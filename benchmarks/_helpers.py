@@ -1,0 +1,67 @@
+"""Shared builders and reporting helpers for the benchmark suite.
+
+Every ``bench_e*.py`` file regenerates one experiment from the per-experiment
+index in DESIGN.md. The paper reports no wall-clock numbers (it is a theory
+paper), so each benchmark both *times* the relevant machinery with
+pytest-benchmark and *prints* the series EXPERIMENTS.md records (complement
+sizes, speedups, correctness checks). Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence
+
+import pytest
+
+from repro import Catalog, Database, Relation, View, parse
+
+
+def figure1_catalog(with_ri: bool = False) -> Catalog:
+    catalog = Catalog()
+    catalog.relation("Sale", ("item", "clerk"))
+    catalog.relation("Emp", ("clerk", "age"), key=("clerk",))
+    if with_ri:
+        catalog.inclusion("Sale", ("clerk",), "Emp")
+    return catalog
+
+
+def figure1_database(
+    catalog: Catalog, n_emps: int, sales_per_emp: int, seed: int = 0
+) -> Database:
+    """A scaled-up Figure 1 instance (every clerk exists in Emp)."""
+    rng = random.Random(seed)
+    db = Database(catalog)
+    emps = [(f"clerk{i}", rng.randint(18, 65)) for i in range(n_emps)]
+    db.load("Emp", emps)
+    sales = []
+    for i in range(n_emps * sales_per_emp):
+        clerk = f"clerk{rng.randrange(n_emps)}"
+        sales.append((f"item{i}", clerk))
+    db.load("Sale", sales)
+    return db
+
+
+def sold_view() -> View:
+    return View("Sold", parse("Sale join Emp"))
+
+
+def print_table(title: str, header: Sequence[str], rows: List[Sequence[object]]) -> None:
+    """Print a small aligned table (the series EXPERIMENTS.md records)."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in header]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(row):
+        return "  ".join(str(c).rjust(widths[i]) for i, c in enumerate(row))
+
+    print()
+    print(title)
+    print(fmt(header))
+    print("  ".join("-" * w for w in widths))
+    for row in cells:
+        print(fmt(row))

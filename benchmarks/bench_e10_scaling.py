@@ -1,0 +1,88 @@
+"""E10 — Specification-time scaling of the complement machinery.
+
+Sweeps the number of relations and views on random catalogs and times
+``complement_thm22`` (Theorem 2.2: hats, covers, IND substitution, pruning),
+plus the storage ratio of the computed complement against the trivial one.
+
+Expected shape: specification cost is polynomial in schema size (cover
+enumeration dominates but view counts per relation are small), and the
+computed complement consistently stores a fraction of the trivial replica.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import complement_thm22, complement_trivial
+from repro.core.independence import warehouse_state
+from repro.workloads import (
+    GeneratorConfig,
+    random_catalog,
+    random_database,
+    random_views,
+)
+
+from _helpers import print_table
+
+SWEEP = [
+    (3, 2),
+    (5, 4),
+    (8, 6),
+    (12, 8),
+]
+
+
+@pytest.mark.parametrize("n_relations,n_views", SWEEP)
+def test_specification_cost(benchmark, n_relations, n_views):
+    config = GeneratorConfig(n_relations=n_relations)
+    catalog = random_catalog(7, config)
+    views = random_views(7, catalog, n_views=n_views)
+    benchmark(lambda: complement_thm22(catalog, views))
+
+
+def stored_complement_rows(spec, state) -> int:
+    names = set(spec.complement_names())
+    image = warehouse_state(spec, state)
+    return sum(len(rel) for name, rel in image.items() if name in names)
+
+
+def test_report_series(benchmark):
+    import time
+
+    rows = []
+    for n_relations, n_views in SWEEP:
+        config = GeneratorConfig(n_relations=n_relations)
+        catalog = random_catalog(7, config)
+        views = random_views(7, catalog, n_views=n_views)
+        db = random_database(7, catalog, rows_per_relation=40)
+        state = db.state()
+
+        t0 = time.perf_counter()
+        spec = complement_thm22(catalog, views)
+        elapsed = time.perf_counter() - t0
+
+        minimal_rows = stored_complement_rows(spec, state)
+        trivial_rows = stored_complement_rows(
+            complement_trivial(catalog, views), state
+        )
+        assert minimal_rows <= trivial_rows
+        rows.append(
+            (
+                n_relations,
+                n_views,
+                len(catalog.inclusions()),
+                f"{elapsed * 1e3:.2f}",
+                minimal_rows,
+                trivial_rows,
+                f"{minimal_rows / max(trivial_rows, 1):.2f}",
+            )
+        )
+    print_table(
+        "E10: complement specification cost and storage vs the trivial replica",
+        ("#rel", "#views", "#INDs", "spec [ms]", "thm22 rows", "trivial rows", "ratio"),
+        rows,
+    )
+    config = GeneratorConfig(n_relations=SWEEP[-1][0])
+    catalog = random_catalog(7, config)
+    views = random_views(7, catalog, n_views=SWEEP[-1][1])
+    benchmark(lambda: complement_thm22(catalog, views))

@@ -1,0 +1,104 @@
+"""E2 — Example 2.1 / Theorem 2.1: complement storage vs view sets.
+
+Regenerates the Example 2.1 comparison quantitatively: the stored complement
+shrinks as views are added, and every variant stays strictly below the
+trivial copy-everything complement on joinable data.
+
+Expected shape (paper): trivial > single-view prop22 >= multi-view, with the
+multi-view C_S identically empty.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import (
+    Catalog,
+    Database,
+    Relation,
+    View,
+    complement_prop22,
+    complement_thm22,
+    complement_trivial,
+    parse,
+)
+from repro.core.independence import warehouse_state
+
+from _helpers import print_table
+
+
+def example21_catalog() -> Catalog:
+    catalog = Catalog()
+    catalog.relation("R", ("X", "Y"))
+    catalog.relation("S", ("Y", "Z"))
+    catalog.relation("T", ("Z",))
+    return catalog
+
+
+def joinable_state(n: int, seed: int = 0):
+    """Data where roughly half of R/S/T participates in the 3-way join."""
+    rng = random.Random(seed)
+    r = [(i, i % (n // 2 + 1)) for i in range(n)]
+    s = [(y, y * 2) for y in range(0, n, 2)]
+    t = [(z,) for z in range(0, 2 * n, 3)]
+    return {
+        "R": Relation(("X", "Y"), r),
+        "S": Relation(("Y", "Z"), s),
+        "T": Relation(("Z",), t),
+    }
+
+
+def stored_rows(spec, state) -> int:
+    image = warehouse_state(spec, state)
+    names = set(spec.complement_names())
+    return sum(len(rel) for name, rel in image.items() if name in names)
+
+
+SIZES = [50, 200, 800]
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_complement_computation_cost(benchmark, n):
+    """Specification cost is data-independent (pure schema work)."""
+    catalog = example21_catalog()
+    views = [View("V1", parse("R join S join T")), View("V2", parse("S"))]
+    benchmark(lambda: complement_prop22(catalog, views))
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_complement_materialization_cost(benchmark, n):
+    catalog = example21_catalog()
+    views = [View("V1", parse("R join S join T")), View("V2", parse("S"))]
+    spec = complement_prop22(catalog, views)
+    state = joinable_state(n)
+    benchmark(lambda: warehouse_state(spec, state))
+
+
+def test_report_series(benchmark):
+    catalog = example21_catalog()
+    single = [View("V1", parse("R join S join T"))]
+    multi = [View("V1", parse("R join S join T")), View("V2", parse("S"))]
+
+    rows = []
+    for n in SIZES:
+        state = joinable_state(n)
+        source_rows = sum(len(r) for r in state.values())
+        trivial = stored_rows(complement_trivial(catalog, single), state)
+        prop_single = stored_rows(complement_prop22(catalog, single), state)
+        prop_multi = stored_rows(complement_prop22(catalog, multi), state)
+        thm_multi = stored_rows(complement_thm22(catalog, multi), state)
+        # The paper's ordering: multi <= single < trivial.
+        assert prop_multi <= prop_single <= trivial
+        assert thm_multi <= prop_multi  # pruned C_S is gone entirely
+        rows.append((n, source_rows, trivial, prop_single, prop_multi, thm_multi))
+
+    print_table(
+        "E2 (Example 2.1): stored complement tuples by method",
+        ("n", "source rows", "trivial", "prop22 {V1}", "prop22 {V1,V2}", "thm22 {V1,V2}"),
+        rows,
+    )
+    state = joinable_state(SIZES[-1])
+    spec = complement_prop22(catalog, multi)
+    benchmark(lambda: stored_rows(spec, state))

@@ -1,0 +1,94 @@
+"""E3 — Example 2.2: Proposition 2.2 is not minimal for proper PSJ views.
+
+Measures, over random states of R(A, B, C), how many tuples the paper's
+smaller complement ``C'_R`` stores compared to Proposition 2.2's ``C_R``
+(with views V1 = pi_AB(R), V2 = pi_BC(R), V3 = sigma_{B=b}(R)).
+
+Expected shape: ``|C'_R| <= |C_R|`` on every state, strictly smaller on a
+substantial fraction (exactly the states where some AB-pair's completions
+are all present).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import Catalog, Relation, View, complement_prop22, evaluate, parse
+
+from _helpers import print_table
+
+C_PRIME = parse(
+    "(R join pi[A, B]((pi[A, B](R) join pi[B, C](R)) minus R))"
+    " minus sigma[B = 'b'](R)"
+)
+
+
+def catalog_and_spec():
+    catalog = Catalog()
+    catalog.relation("R", ("A", "B", "C"))
+    views = [
+        View("V1", parse("pi[A, B](R)")),
+        View("V2", parse("pi[B, C](R)")),
+        View("V3", parse("sigma[B = 'b'](R)")),
+    ]
+    return catalog, complement_prop22(catalog, views)
+
+
+def random_state(n: int, domain: int, seed: int):
+    rng = random.Random(seed)
+    rows = {
+        (f"a{rng.randrange(domain)}", f"b{rng.randrange(domain)}", f"c{rng.randrange(domain)}")
+        for _ in range(n)
+    }
+    return {"R": Relation(("A", "B", "C"), rows)}
+
+
+SIZES = [100, 400]
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_c_prime_evaluation_cost(benchmark, n):
+    state = random_state(n, domain=8, seed=1)
+    benchmark(lambda: evaluate(C_PRIME, state))
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_prop22_complement_evaluation_cost(benchmark, n):
+    catalog, spec = catalog_and_spec()
+    cr = spec.complements["R"].definition_over_sources(spec.views)
+    state = random_state(n, domain=8, seed=1)
+    benchmark(lambda: evaluate(cr, state))
+
+
+def test_report_series(benchmark):
+    catalog, spec = catalog_and_spec()
+    cr = spec.complements["R"].definition_over_sources(spec.views)
+    rows = []
+    for n, domain in ((50, 4), (200, 6), (800, 10)):
+        cr_total = cp_total = strict = trials = 0
+        for seed in range(10):
+            state = random_state(n, domain, seed)
+            size_cr = len(evaluate(cr, state))
+            size_cp = len(evaluate(C_PRIME, state))
+            assert size_cp <= size_cr  # C' never stores more
+            cr_total += size_cr
+            cp_total += size_cp
+            strict += size_cp < size_cr
+            trials += 1
+        rows.append(
+            (
+                f"{n}/{domain}",
+                cr_total // trials,
+                cp_total // trials,
+                f"{100 * strict / trials:.0f}%",
+            )
+        )
+    print_table(
+        "E3 (Example 2.2): avg stored tuples, Prop 2.2 C_R vs paper C'_R",
+        ("n/domain", "|C_R|", "|C'_R|", "strictly smaller"),
+        rows,
+    )
+    state = random_state(400, 8, 0)
+    benchmark(lambda: evaluate(C_PRIME, state))

@@ -1,0 +1,100 @@
+"""E6 — Section 3 / Theorem 3.1: query translation and answering.
+
+Times (i) the symbolic translation ``Q -> Q^`` (pure rewriting, independent
+of data size) and (ii) answering the translated query at the warehouse
+versus evaluating the original at the sources, across data scales.
+
+Expected shape: translation cost is microseconds and flat in data size;
+warehouse answering is within a small constant of source evaluation (both
+evaluate one relational expression over comparable data), and the warehouse
+keeps answering when sources are gone.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Warehouse, evaluate, parse
+from repro.core.translation import translate_query
+
+from _helpers import figure1_catalog, figure1_database, print_table, sold_view
+
+QUERIES = {
+    "paper-age-query": "pi[age](sigma[item = 'item1'](Sale) join Emp)",
+    "union-of-clerks": "pi[clerk](Sale) union pi[clerk](Emp)",
+    "anti-join": "Emp minus pi[clerk, age](Sale join Emp)",
+    "full-join": "Sale join Emp",
+    "selection": "sigma[age >= 40](Emp)",
+}
+
+SCALES = [(100, 4), (400, 4)]
+
+
+def build(n_emps: int, per_emp: int):
+    catalog = figure1_catalog(with_ri=True)
+    db = figure1_database(catalog, n_emps, per_emp)
+    wh = Warehouse.specify(catalog, [sold_view()])
+    wh.initialize(db)
+    return db, wh
+
+
+@pytest.mark.parametrize("name", sorted(QUERIES))
+def test_translation_cost(benchmark, name):
+    _, wh = build(50, 2)
+    query = parse(QUERIES[name])
+    benchmark(lambda: translate_query(wh.spec, query))
+
+
+@pytest.mark.parametrize("name", sorted(QUERIES))
+@pytest.mark.parametrize("n_emps,per_emp", [SCALES[-1]])
+def test_warehouse_answering(benchmark, name, n_emps, per_emp):
+    db, wh = build(n_emps, per_emp)
+    query = QUERIES[name]
+    translated = translate_query(wh.spec, parse(query), optimized=True)
+    state = wh.state
+    benchmark(lambda: evaluate(translated, state))
+
+
+@pytest.mark.parametrize("name", sorted(QUERIES))
+@pytest.mark.parametrize("n_emps,per_emp", [SCALES[-1]])
+def test_source_answering(benchmark, name, n_emps, per_emp):
+    db, wh = build(n_emps, per_emp)
+    query = parse(QUERIES[name])
+    state = db.state()
+    benchmark(lambda: evaluate(query, state))
+
+
+def test_report_series(benchmark):
+    import time
+
+    rows = []
+    for n_emps, per_emp in SCALES:
+        db, wh = build(n_emps, per_emp)
+        for name, text in sorted(QUERIES.items()):
+            query = parse(text)
+            t0 = time.perf_counter()
+            translated = translate_query(wh.spec, query, optimized=True)
+            t1 = time.perf_counter()
+            warehouse_answer = evaluate(translated, wh.state)
+            t2 = time.perf_counter()
+            source_answer = evaluate(query, db.state())
+            t3 = time.perf_counter()
+            assert warehouse_answer == source_answer  # Theorem 3.1
+            rows.append(
+                (
+                    f"{n_emps}x{per_emp}",
+                    name,
+                    f"{(t1 - t0) * 1e6:.0f}",
+                    f"{(t2 - t1) * 1e3:.2f}",
+                    f"{(t3 - t2) * 1e3:.2f}",
+                    len(warehouse_answer),
+                )
+            )
+    print_table(
+        "E6 (Theorem 3.1): translation + answering (warehouse == source)",
+        ("scale", "query", "translate [us]", "warehouse [ms]", "source [ms]", "|answer|"),
+        rows,
+    )
+    _, wh = build(*SCALES[-1])
+    query = parse(QUERIES["union-of-clerks"])
+    benchmark(lambda: translate_query(wh.spec, query))

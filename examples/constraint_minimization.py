@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Constraint-driven complement minimization (Examples 2.1, 2.3, 2.4).
+
+Walks through the paper's Section 2 examples and shows how declared keys and
+inclusion dependencies shrink — often to empty — the complement a warehouse
+has to store.
+
+Run:  python examples/constraint_minimization.py
+"""
+
+from repro import Catalog, View, complement_thm22, parse
+
+
+def example_21() -> None:
+    print("Example 2.1: multiple views shrink the complement")
+    print("-" * 60)
+    catalog = Catalog()
+    catalog.relation("R", ("X", "Y"))
+    catalog.relation("S", ("Y", "Z"))
+    catalog.relation("T", ("Z",))
+
+    single = complement_thm22(catalog, [View("V1", parse("R join S join T"))])
+    print("V = {V1 = R join S join T}:")
+    for complement in single.complements.values():
+        print("   ", complement)
+
+    multi = complement_thm22(
+        catalog,
+        [View("V1", parse("R join S join T")), View("V2", parse("S"))],
+    )
+    print("V = {V1, V2 = S}:  (C_S becomes empty)")
+    for complement in multi.complements.values():
+        empty = "  <- provably empty" if complement.provably_empty else ""
+        print("   ", complement, empty)
+    print()
+
+
+def example_23() -> None:
+    print("Example 2.3: keys and INDs (Theorem 2.2)")
+    print("-" * 60)
+    views = [
+        View("V1", parse("R1 join R2")),
+        View("V2", parse("R3")),
+        View("V3", parse("pi[A, B](R1)")),
+        View("V4", parse("pi[A, C](R1)")),
+    ]
+
+    def catalog(with_keys: bool, with_inds: bool) -> Catalog:
+        cat = Catalog()
+        key = ("A",) if with_keys else None
+        cat.relation("R1", ("A", "B", "C"), key=key)
+        cat.relation("R2", ("A", "C", "D"), key=key)
+        cat.relation("R3", ("A", "B"), key=key)
+        if with_inds:
+            cat.inclusion("R3", ("A", "B"), "R1")
+            cat.inclusion("R2", ("A", "C"), "R1")
+        return cat
+
+    for label, with_keys, with_inds in (
+        ("no constraints", False, False),
+        ("keys only", True, False),
+        ("keys + INDs", True, True),
+    ):
+        spec = complement_thm22(catalog(with_keys, with_inds), views)
+        stored = [c for c in spec.complements.values() if not c.provably_empty]
+        print(f"{label}:")
+        for complement in spec.complements.values():
+            flag = "empty" if complement.provably_empty else "stored"
+            print(f"    [{flag}] {complement}")
+        print(f"    R1 inverse: {spec.inverses['R1']}")
+    print()
+
+
+def example_24() -> None:
+    print("Example 2.4: referential integrity empties C2")
+    print("-" * 60)
+    catalog = Catalog()
+    catalog.relation("Sale", ("item", "clerk"))
+    catalog.relation("Emp", ("clerk", "age"), key=("clerk",))
+    catalog.inclusion("Sale", ("clerk",), "Emp")
+
+    spec = complement_thm22(catalog, [View("Sold", parse("Sale join Emp"))])
+    print(spec.describe())
+    print()
+
+
+def main() -> None:
+    example_21()
+    example_23()
+    example_24()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Why not just query the sources? The maintenance anomaly, live.
+
+The paper's Section 1 argues that the integrator cannot maintain the
+warehouse by querying the sources for join partners: sources are decoupled,
+and by the time a notification is processed their state has moved on —
+"traditional incremental view maintenance may exhibit anomalies [27, 28]".
+
+This script replays the interleaving that permanently corrupts a naive
+query-the-sources integrator (a phantom tuple that is never deleted), then
+replays the *same* schedule against the complement-based integrator, which
+stays exact — it needs nothing beyond the warehouse and the notification.
+
+Run:  python examples/integrator_anomalies.py
+"""
+
+from repro import Catalog, View, parse
+from repro.integrator import Channel, ComplementIntegrator, NaiveIntegrator, Source
+
+
+def build():
+    catalog = Catalog()
+    catalog.relation("Sale", ("item", "clerk"))
+    catalog.relation("Emp", ("clerk", "age"), key=("clerk",))
+    channel = Channel()
+    sales = Source("SalesDB", catalog, ("Sale",), channel)
+    company = Source("CompanyDB", catalog, ("Emp",), channel)
+    sales.load("Sale", [])
+    company.load("Emp", [])
+    return catalog, channel, sales, company
+
+
+def replay(kind: str):
+    catalog, channel, sales, company = build()
+    views = [View("Sold", parse("Sale join Emp"))]
+    if kind == "naive":
+        integrator = NaiveIntegrator(catalog, views, [sales, company])
+        integrator.initialize()
+    else:
+        integrator = ComplementIntegrator(catalog, views)
+        integrator.initialize([sales, company])
+
+    print(f"--- {kind} integrator")
+    print("t1: SalesDB   inserts (TV, Zoe)        [Zoe not yet employed]")
+    sales.insert("Sale", [("TV", "Zoe")])
+    print("t2: CompanyDB inserts (Zoe, 40)")
+    company.insert("Emp", [("Zoe", 40)])
+    print("    integrator wakes up, processes t1 and t2")
+    integrator.process_all(channel)
+    print("    Sold =", sorted(integrator.relation("Sold").rows))
+
+    print("t3: SalesDB   deletes (TV, Zoe)        [sale cancelled]")
+    sales.delete("Sale", [("TV", "Zoe")])
+    print("t4: CompanyDB deletes (Zoe, 40)        [Zoe leaves]")
+    company.delete("Emp", [("Zoe", 40)])
+    print("    integrator wakes up, processes t3 and t4")
+    integrator.process_all(channel)
+
+    correct = sales.relation("Sale").natural_join(company.relation("Emp"))
+    got = integrator.relation("Sold")
+    status = "CORRECT" if got == correct else "CORRUPTED (permanent phantom!)"
+    print(f"    final Sold = {sorted(got.rows)}   expected {sorted(correct.rows)}")
+    print(f"    => {status}\n")
+    return got == correct
+
+
+def main() -> None:
+    print(__doc__)
+    naive_ok = replay("naive")
+    complement_ok = replay("complement")
+    assert not naive_ok, "the naive integrator should have corrupted"
+    assert complement_ok, "the complement integrator must stay exact"
+    print("Summary: querying live sources corrupts under lag; the complement")
+    print("integrator needs only the warehouse and the notification (Thm 4.1).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Allows ``pip install -e .`` on environments whose setuptools lacks PEP 660
+editable-wheel support (no ``wheel`` package installed). All metadata lives
+in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

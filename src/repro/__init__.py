@@ -1,0 +1,123 @@
+"""repro — reproduction of "Complements for Data Warehouses" (ICDE 1999).
+
+A data warehouse is a set of materialized views over autonomous sources.
+Storing a **view complement** (Bancilhon/Spyratos) alongside the views makes
+the warehouse mapping invertible, which renders the warehouse
+
+* **query-independent** — any source query is answerable from warehouse
+  relations alone (Theorem 3.1), and
+* **update-independent** (self-maintainable) — any reported source update is
+  folded in without querying the sources (Theorem 4.1).
+
+Quickstart
+----------
+>>> from repro import Catalog, Relation, View, Warehouse, parse
+>>> catalog = Catalog()
+>>> _ = catalog.relation("Sale", ("item", "clerk"))
+>>> _ = catalog.relation("Emp", ("clerk", "age"), key=("clerk",))
+>>> wh = Warehouse.specify(catalog, [View("Sold", parse("Sale join Emp"))])
+>>> _ = wh.initialize({
+...     "Sale": Relation(("item", "clerk"), [("TV", "Mary")]),
+...     "Emp": Relation(("clerk", "age"), [("Mary", 23), ("Paula", 32)]),
+... })
+>>> sorted(wh.answer("pi[clerk](Sale) union pi[clerk](Emp)").rows)
+[('Mary',), ('Paula',)]
+
+See README.md for the architecture overview and DESIGN.md for the mapping
+from paper results to modules.
+"""
+
+from repro.errors import (
+    ConstraintViolation,
+    EvaluationError,
+    ExpressionError,
+    ParseError,
+    ReproError,
+    SchemaError,
+    WarehouseError,
+)
+from repro.schema import Catalog, InclusionDependency, KeyConstraint, RelationSchema
+from repro.storage import Database, Delta, Relation, Update
+from repro.algebra import (
+    TRUE,
+    attr,
+    const,
+    difference,
+    empty,
+    evaluate,
+    join,
+    parse,
+    parse_condition,
+    project,
+    rel,
+    rename,
+    select,
+    simplify,
+    substitute,
+    union,
+)
+from repro.views import PSJView, View, as_psj
+from repro.core import (
+    ComplementView,
+    Warehouse,
+    WarehouseSpec,
+    answer_query,
+    complement_prop22,
+    complement_thm22,
+    complement_trivial,
+    maintenance_expressions,
+    specify,
+    translate_query,
+    verify_complement,
+    verify_one_to_one,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Catalog",
+    "ComplementView",
+    "ConstraintViolation",
+    "Database",
+    "Delta",
+    "EvaluationError",
+    "ExpressionError",
+    "InclusionDependency",
+    "KeyConstraint",
+    "PSJView",
+    "ParseError",
+    "Relation",
+    "RelationSchema",
+    "ReproError",
+    "SchemaError",
+    "TRUE",
+    "Update",
+    "View",
+    "Warehouse",
+    "WarehouseError",
+    "WarehouseSpec",
+    "answer_query",
+    "as_psj",
+    "attr",
+    "complement_prop22",
+    "complement_thm22",
+    "complement_trivial",
+    "const",
+    "difference",
+    "empty",
+    "evaluate",
+    "join",
+    "maintenance_expressions",
+    "parse",
+    "parse_condition",
+    "project",
+    "rel",
+    "rename",
+    "select",
+    "simplify",
+    "specify",
+    "translate_query",
+    "union",
+    "verify_complement",
+    "verify_one_to_one",
+]

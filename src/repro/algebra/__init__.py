@@ -1,0 +1,107 @@
+"""Relational algebra: expressions, conditions, evaluation, and rewriting.
+
+This package is the formal machinery of the paper: views are relational
+expressions over the catalog (Section 2), complements and inverses are again
+expressions, query translation substitutes inverse expressions for base
+relations (Section 3), and maintenance expressions are derived symbolically
+by delta rules and the same substitution (Section 4).
+
+Public API highlights:
+
+* expression constructors — :func:`rel`, :func:`project`, :func:`select`,
+  :func:`join`, :func:`union`, :func:`difference`, :func:`rename`,
+  :func:`empty`;
+* condition constructors — :func:`attr`, :func:`const` and the comparison
+  helpers on :class:`~repro.algebra.conditions.Operand`;
+* :func:`~repro.algebra.evaluator.evaluate` — run an expression over a state;
+* :func:`~repro.algebra.parser.parse` — textual expression syntax;
+* :func:`~repro.algebra.simplify.simplify` — algebraic simplification;
+* :func:`~repro.algebra.rewriting.substitute` — base-relation substitution;
+* :func:`~repro.algebra.deltas.derive_delta` — symbolic change propagation;
+* :func:`~repro.algebra.containment.is_contained_in` — conjunctive-query
+  containment on the PSJ fragment.
+"""
+
+from repro.algebra.conditions import (
+    And,
+    AttributeRef,
+    Comparison,
+    Condition,
+    Constant,
+    Not,
+    Operand,
+    Or,
+    TRUE,
+    TrueCondition,
+    attr,
+    conjoin,
+    const,
+)
+from repro.algebra.expressions import (
+    Difference,
+    Empty,
+    Expression,
+    Join,
+    Project,
+    RelationRef,
+    Rename,
+    Select,
+    Union,
+    difference,
+    empty,
+    join,
+    project,
+    rel,
+    rename,
+    select,
+    union,
+)
+from repro.algebra.evaluator import evaluate
+from repro.algebra.optimize import optimize
+from repro.algebra.parser import parse, parse_condition
+from repro.algebra.rewriting import base_relations, substitute
+from repro.algebra.simplify import simplify
+from repro.algebra.deltas import DeltaExpressions, derive_delta, new_value_expression
+
+__all__ = [
+    "And",
+    "AttributeRef",
+    "Comparison",
+    "Condition",
+    "Constant",
+    "DeltaExpressions",
+    "Difference",
+    "Empty",
+    "Expression",
+    "Join",
+    "Not",
+    "Operand",
+    "Or",
+    "Project",
+    "RelationRef",
+    "Rename",
+    "Select",
+    "TRUE",
+    "TrueCondition",
+    "Union",
+    "attr",
+    "base_relations",
+    "conjoin",
+    "const",
+    "derive_delta",
+    "difference",
+    "empty",
+    "evaluate",
+    "join",
+    "new_value_expression",
+    "optimize",
+    "parse",
+    "parse_condition",
+    "project",
+    "rel",
+    "rename",
+    "select",
+    "simplify",
+    "substitute",
+    "union",
+]

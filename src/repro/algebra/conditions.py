@@ -1,0 +1,522 @@
+"""Selection conditions for the algebra's ``select`` operator.
+
+Conditions are the usual boolean combinations of comparisons between
+attribute references and constants. The PSJ views of the paper use
+conjunctions of such comparisons; the full boolean language is supported so
+that translated queries and maintenance expressions remain closed under
+rewriting.
+
+Conditions are immutable and structurally hashable, compile to fast
+positional row predicates, and support attribute renaming (needed when a
+rename operator is pushed through a selection).
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Callable, Dict, FrozenSet, Iterable, Mapping, Sequence, Tuple
+
+from repro.errors import ExpressionError
+
+Row = Tuple[object, ...]
+
+def _total(op: Callable[[object, object], bool]) -> Callable[[object, object], bool]:
+    """Make an ordered comparison total across value types.
+
+    Python 3 raises ``TypeError`` on e.g. ``"x" < 2``; a relational engine
+    over untyped columns needs a deterministic answer instead. Values of
+    incomparable types are ordered by type name first (so all ints sort
+    against all strs consistently), then by their ``repr``.
+    """
+
+    def compare(left: object, right: object) -> bool:
+        try:
+            return op(left, right)
+        except TypeError:
+            return op(
+                (type(left).__name__, repr(left)),
+                (type(right).__name__, repr(right)),
+            )
+
+    return compare
+
+
+_OPS: Dict[str, Callable[[object, object], bool]] = {
+    "=": operator.eq,
+    "!=": operator.ne,
+    "<": _total(operator.lt),
+    "<=": _total(operator.le),
+    ">": _total(operator.gt),
+    ">=": _total(operator.ge),
+}
+
+_NEGATED: Dict[str, str] = {
+    "=": "!=",
+    "!=": "=",
+    "<": ">=",
+    "<=": ">",
+    ">": "<=",
+    ">=": "<",
+}
+
+_FLIPPED: Dict[str, str] = {
+    "=": "=",
+    "!=": "!=",
+    "<": ">",
+    "<=": ">=",
+    ">": "<",
+    ">=": "<=",
+}
+
+
+class Operand:
+    """Base class of comparison operands (attribute refs and constants).
+
+    Provides comparison-builder sugar so conditions read naturally::
+
+        attr("age") >= const(18)
+    """
+
+    __slots__ = ()
+
+    def _compare(self, op: str, other: "Operand") -> "Comparison":
+        if not isinstance(other, Operand):
+            other = Constant(other)
+        return Comparison(self, op, other)
+
+    def __eq__(self, other: object):  # type: ignore[override]
+        # Builder sugar: produces a Comparison, not a bool. Structural
+        # equality is available via `same_as`.
+        return self._compare("=", other)  # type: ignore[arg-type]
+
+    def __ne__(self, other: object):  # type: ignore[override]
+        return self._compare("!=", other)  # type: ignore[arg-type]
+
+    def __lt__(self, other: "Operand") -> "Comparison":
+        return self._compare("<", other)
+
+    def __le__(self, other: "Operand") -> "Comparison":
+        return self._compare("<=", other)
+
+    def __gt__(self, other: "Operand") -> "Comparison":
+        return self._compare(">", other)
+
+    def __ge__(self, other: "Operand") -> "Comparison":
+        return self._compare(">=", other)
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def same_as(self, other: "Operand") -> bool:
+        """Structural equality (``==`` is overloaded as a builder)."""
+        return type(self) is type(other) and self._key() == other._key()
+
+    def _key(self) -> tuple:
+        raise NotImplementedError
+
+    def attributes(self) -> FrozenSet[str]:
+        """Attribute names this operand refers to."""
+        raise NotImplementedError
+
+    def renamed(self, mapping: Mapping[str, str]) -> "Operand":
+        """This operand with attribute names substituted."""
+        raise NotImplementedError
+
+
+class AttributeRef(Operand):
+    """A reference to an attribute by name."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        if not isinstance(name, str) or not name:
+            raise ExpressionError(f"attribute name must be a non-empty string: {name!r}")
+        self.name = name
+
+    def _key(self) -> tuple:
+        return ("attr", self.name)
+
+    def attributes(self) -> FrozenSet[str]:
+        return frozenset({self.name})
+
+    def renamed(self, mapping: Mapping[str, str]) -> "AttributeRef":
+        return AttributeRef(mapping.get(self.name, self.name))
+
+    def __repr__(self) -> str:
+        return f"attr({self.name!r})"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class Constant(Operand):
+    """A literal value (string, number, ...)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: object) -> None:
+        self.value = value
+
+    def _key(self) -> tuple:
+        return ("const", type(self.value).__name__, self.value)
+
+    def attributes(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def renamed(self, mapping: Mapping[str, str]) -> "Constant":
+        return self
+
+    def __repr__(self) -> str:
+        return f"const({self.value!r})"
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            escaped = self.value.replace("'", "\\'")
+            return f"'{escaped}'"
+        return repr(self.value)
+
+
+def attr(name: str) -> AttributeRef:
+    """Shorthand for :class:`AttributeRef`."""
+    return AttributeRef(name)
+
+
+def const(value: object) -> Constant:
+    """Shorthand for :class:`Constant`."""
+    return Constant(value)
+
+
+class Condition:
+    """Base class of selection conditions."""
+
+    __slots__ = ()
+
+    def attributes(self) -> FrozenSet[str]:
+        """All attribute names the condition refers to."""
+        raise NotImplementedError
+
+    def compile(self, attributes: Sequence[str]) -> Callable[[Row], bool]:
+        """A fast predicate over rows laid out in ``attributes`` order."""
+        raise NotImplementedError
+
+    def renamed(self, mapping: Mapping[str, str]) -> "Condition":
+        """This condition with attribute names substituted."""
+        raise NotImplementedError
+
+    def negated(self) -> "Condition":
+        """The logical negation, pushed inward where cheap."""
+        return Not(self)
+
+    def conjuncts(self) -> Tuple["Condition", ...]:
+        """Top-level conjuncts (flattened over nested ``And``)."""
+        return (self,)
+
+    def same_as(self, other: "Condition") -> bool:
+        """Structural equality."""
+        return type(self) is type(other) and self._key() == other._key()
+
+    def _key(self) -> tuple:
+        raise NotImplementedError
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Condition):
+            return NotImplemented
+        return self.same_as(other)
+
+    # Builder sugar -----------------------------------------------------
+
+    def __and__(self, other: "Condition") -> "Condition":
+        return conjoin([self, other])
+
+    def __or__(self, other: "Condition") -> "Condition":
+        return Or((self, other))
+
+    def __invert__(self) -> "Condition":
+        return self.negated()
+
+
+class TrueCondition(Condition):
+    """The always-true condition (selection with it is the identity)."""
+
+    __slots__ = ()
+
+    def attributes(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def compile(self, attributes: Sequence[str]) -> Callable[[Row], bool]:
+        return lambda row: True
+
+    def renamed(self, mapping: Mapping[str, str]) -> "TrueCondition":
+        return self
+
+    def negated(self) -> "Condition":
+        return FalseCondition()
+
+    def _key(self) -> tuple:
+        return ("true",)
+
+    def __repr__(self) -> str:
+        return "TRUE"
+
+    def __str__(self) -> str:
+        return "true"
+
+
+class FalseCondition(Condition):
+    """The always-false condition (selection with it yields the empty set)."""
+
+    __slots__ = ()
+
+    def attributes(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def compile(self, attributes: Sequence[str]) -> Callable[[Row], bool]:
+        return lambda row: False
+
+    def renamed(self, mapping: Mapping[str, str]) -> "FalseCondition":
+        return self
+
+    def negated(self) -> "Condition":
+        return TRUE
+
+    def _key(self) -> tuple:
+        return ("false",)
+
+    def __repr__(self) -> str:
+        return "FALSE"
+
+    def __str__(self) -> str:
+        return "false"
+
+
+TRUE = TrueCondition()
+FALSE = FalseCondition()
+
+
+class Comparison(Condition):
+    """An atomic comparison ``left op right``."""
+
+    __slots__ = ("left", "op", "right")
+
+    def __init__(self, left: Operand, op: str, right: Operand) -> None:
+        if op not in _OPS:
+            raise ExpressionError(f"unknown comparison operator {op!r}")
+        if not isinstance(left, Operand) or not isinstance(right, Operand):
+            raise ExpressionError("comparison operands must be AttributeRef or Constant")
+        if isinstance(left, Constant) and isinstance(right, Constant):
+            # Constant-constant comparisons are legal but pointless; keep them
+            # (the simplifier folds them away).
+            pass
+        self.left = left
+        self.op = op
+        self.right = right
+
+    def attributes(self) -> FrozenSet[str]:
+        return self.left.attributes() | self.right.attributes()
+
+    def compile(self, attributes: Sequence[str]) -> Callable[[Row], bool]:
+        func = _OPS[self.op]
+        attrs = tuple(attributes)
+
+        def resolve(operand: Operand) -> Callable[[Row], object]:
+            if isinstance(operand, AttributeRef):
+                if operand.name not in attrs:
+                    raise ExpressionError(
+                        f"condition attribute {operand.name!r} not among {attrs}"
+                    )
+                pos = attrs.index(operand.name)
+                return lambda row: row[pos]
+            value = operand.value  # type: ignore[union-attr]
+            return lambda row: value
+
+        get_left = resolve(self.left)
+        get_right = resolve(self.right)
+        return lambda row: func(get_left(row), get_right(row))
+
+    def renamed(self, mapping: Mapping[str, str]) -> "Comparison":
+        return Comparison(self.left.renamed(mapping), self.op, self.right.renamed(mapping))
+
+    def negated(self) -> "Condition":
+        return Comparison(self.left, _NEGATED[self.op], self.right)
+
+    def flipped(self) -> "Comparison":
+        """The same comparison with operands swapped (``a < b`` -> ``b > a``)."""
+        return Comparison(self.right, _FLIPPED[self.op], self.left)
+
+    def canonical(self) -> "Comparison":
+        """A canonical orientation: attribute refs before constants, sorted."""
+        left_key, right_key = self.left._key(), self.right._key()
+        if isinstance(self.left, Constant) and isinstance(self.right, AttributeRef):
+            return self.flipped()
+        if (
+            isinstance(self.left, AttributeRef)
+            and isinstance(self.right, AttributeRef)
+            and right_key < left_key
+        ):
+            return self.flipped()
+        return self
+
+    def _key(self) -> tuple:
+        canon = self.canonical()
+        return ("cmp", canon.left._key(), canon.op, canon.right._key())
+
+    def __repr__(self) -> str:
+        return f"Comparison({self.left!r}, {self.op!r}, {self.right!r})"
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+def _flatten(
+    cls: type, parts: Iterable[Condition]
+) -> Tuple[Condition, ...]:
+    flat = []
+    for part in parts:
+        if isinstance(part, cls):
+            flat.extend(part.parts)  # type: ignore[attr-defined]
+        else:
+            flat.append(part)
+    # Deduplicate structurally while preserving order.
+    seen = set()
+    unique = []
+    for part in flat:
+        key = part._key()
+        if key not in seen:
+            seen.add(key)
+            unique.append(part)
+    return tuple(unique)
+
+
+class And(Condition):
+    """Conjunction of conditions (flattened, deduplicated)."""
+
+    __slots__ = ("parts",)
+
+    def __init__(self, parts: Iterable[Condition]) -> None:
+        self.parts = _flatten(And, parts)
+        if len(self.parts) < 2:
+            raise ExpressionError("And requires at least two distinct conjuncts; use conjoin()")
+
+    def attributes(self) -> FrozenSet[str]:
+        out: FrozenSet[str] = frozenset()
+        for part in self.parts:
+            out |= part.attributes()
+        return out
+
+    def compile(self, attributes: Sequence[str]) -> Callable[[Row], bool]:
+        preds = [part.compile(attributes) for part in self.parts]
+        return lambda row: all(p(row) for p in preds)
+
+    def renamed(self, mapping: Mapping[str, str]) -> "Condition":
+        return conjoin([part.renamed(mapping) for part in self.parts])
+
+    def negated(self) -> "Condition":
+        return Or(tuple(part.negated() for part in self.parts))
+
+    def conjuncts(self) -> Tuple[Condition, ...]:
+        out = []
+        for part in self.parts:
+            out.extend(part.conjuncts())
+        return tuple(out)
+
+    def _key(self) -> tuple:
+        return ("and", frozenset(part._key() for part in self.parts))
+
+    def __repr__(self) -> str:
+        return f"And({list(self.parts)!r})"
+
+    def __str__(self) -> str:
+        return " and ".join(
+            f"({part})" if isinstance(part, Or) else str(part) for part in self.parts
+        )
+
+
+class Or(Condition):
+    """Disjunction of conditions (flattened, deduplicated)."""
+
+    __slots__ = ("parts",)
+
+    def __init__(self, parts: Iterable[Condition]) -> None:
+        self.parts = _flatten(Or, parts)
+        if len(self.parts) < 2:
+            raise ExpressionError("Or requires at least two distinct disjuncts")
+
+    def attributes(self) -> FrozenSet[str]:
+        out: FrozenSet[str] = frozenset()
+        for part in self.parts:
+            out |= part.attributes()
+        return out
+
+    def compile(self, attributes: Sequence[str]) -> Callable[[Row], bool]:
+        preds = [part.compile(attributes) for part in self.parts]
+        return lambda row: any(p(row) for p in preds)
+
+    def renamed(self, mapping: Mapping[str, str]) -> "Condition":
+        return Or(tuple(part.renamed(mapping) for part in self.parts))
+
+    def negated(self) -> "Condition":
+        return conjoin([part.negated() for part in self.parts])
+
+    def _key(self) -> tuple:
+        return ("or", frozenset(part._key() for part in self.parts))
+
+    def __repr__(self) -> str:
+        return f"Or({list(self.parts)!r})"
+
+    def __str__(self) -> str:
+        return " or ".join(str(part) for part in self.parts)
+
+
+class Not(Condition):
+    """Negation of a condition."""
+
+    __slots__ = ("part",)
+
+    def __init__(self, part: Condition) -> None:
+        self.part = part
+
+    def attributes(self) -> FrozenSet[str]:
+        return self.part.attributes()
+
+    def compile(self, attributes: Sequence[str]) -> Callable[[Row], bool]:
+        pred = self.part.compile(attributes)
+        return lambda row: not pred(row)
+
+    def renamed(self, mapping: Mapping[str, str]) -> "Condition":
+        return Not(self.part.renamed(mapping))
+
+    def negated(self) -> "Condition":
+        return self.part
+
+    def _key(self) -> tuple:
+        return ("not", self.part._key())
+
+    def __repr__(self) -> str:
+        return f"Not({self.part!r})"
+
+    def __str__(self) -> str:
+        return f"not ({self.part})"
+
+
+def conjoin(parts: Iterable[Condition]) -> Condition:
+    """The conjunction of ``parts``, collapsing trivial cases.
+
+    Zero parts yield :data:`TRUE`; one part yields itself; ``TRUE`` conjuncts
+    are dropped and a ``FALSE`` conjunct collapses the whole condition.
+    """
+    kept = []
+    for part in parts:
+        if isinstance(part, TrueCondition):
+            continue
+        if isinstance(part, FalseCondition):
+            return FALSE
+        kept.append(part)
+    flat = _flatten(And, kept)
+    if not flat:
+        return TRUE
+    if len(flat) == 1:
+        return flat[0]
+    return And(flat)

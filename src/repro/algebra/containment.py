@@ -1,0 +1,341 @@
+"""Conjunctive-query containment for the PSJ fragment.
+
+Definition 2.1 of the paper orders views by information content:
+``U <= V`` iff ``U(d) subseteq V(d)`` for every state ``d``. On the
+PSJ fragment with equality-only selection conditions, views are (unions of)
+conjunctive queries and containment is decidable by the classical
+homomorphism theorem (Chandra/Merlin; for unions, Sagiv/Yannakakis: a union
+is contained in another iff every disjunct is contained in some disjunct).
+
+This module compiles PSJ-with-union expressions to unions of conjunctive
+queries and decides containment. Expressions outside the fragment
+(differences, inequality predicates, negation) raise
+:class:`UnsupportedFragment`; callers fall back to the empirical state-based
+ordering in :mod:`repro.core.minimality`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.algebra.conditions import (
+    And,
+    AttributeRef,
+    Comparison,
+    Condition,
+    Or,
+    TrueCondition,
+)
+from repro.algebra.expressions import (
+    Empty,
+    Expression,
+    Join,
+    Project,
+    RelationRef,
+    Rename,
+    Select,
+    Union,
+    Scope,
+)
+
+
+class UnsupportedFragment(ReproError):
+    """The expression falls outside the union-of-conjunctive-queries fragment."""
+
+
+class _Var:
+    """A query variable (identity-based)."""
+
+    __slots__ = ("label",)
+    _counter = itertools.count()
+
+    def __init__(self) -> None:
+        self.label = next(_Var._counter)
+
+    def __repr__(self) -> str:
+        return f"?x{self.label}"
+
+
+Term = object  # _Var or a constant value
+Atom = Tuple[str, Tuple[Term, ...]]
+
+
+class ConjunctiveQuery:
+    """One conjunctive query: body atoms plus a head (attribute -> term)."""
+
+    __slots__ = ("head", "atoms")
+
+    def __init__(self, head: Mapping[str, Term], atoms: Sequence[Atom]) -> None:
+        self.head: Dict[str, Term] = dict(head)
+        self.atoms: Tuple[Atom, ...] = tuple(atoms)
+
+    def variables(self) -> List[_Var]:
+        """All distinct variables appearing in the head or body."""
+        seen: Dict[int, _Var] = {}
+        for _, terms in self.atoms:
+            for term in terms:
+                if isinstance(term, _Var):
+                    seen[id(term)] = term
+        for term in self.head.values():
+            if isinstance(term, _Var):
+                seen[id(term)] = term
+        return list(seen.values())
+
+    def substituted(self, mapping: Mapping[int, Term]) -> "ConjunctiveQuery":
+        """This CQ with variables replaced per ``mapping`` (by ``id``)."""
+
+        def sub(term: Term) -> Term:
+            while isinstance(term, _Var) and id(term) in mapping:
+                term = mapping[id(term)]
+            return term
+
+        head = {a: sub(t) for a, t in self.head.items()}
+        atoms = tuple((r, tuple(sub(t) for t in ts)) for r, ts in self.atoms)
+        return ConjunctiveQuery(head, atoms)
+
+    def __repr__(self) -> str:
+        head = ", ".join(f"{a}={t!r}" for a, t in sorted(self.head.items()))
+        body = ", ".join(f"{r}({', '.join(map(repr, ts))})" for r, ts in self.atoms)
+        return f"CQ[{head} :- {body}]"
+
+
+def _unify(left: Term, right: Term) -> Optional[Dict[int, Term]]:
+    """A substitution making ``left == right``, or ``None`` if impossible."""
+    if isinstance(left, _Var):
+        if left is right:
+            return {}
+        return {id(left): right}
+    if isinstance(right, _Var):
+        return {id(right): left}
+    return {} if left == right else None
+
+
+def _apply_condition(
+    cq: ConjunctiveQuery, condition: Condition
+) -> List[ConjunctiveQuery]:
+    """Apply a selection condition, possibly splitting into several CQs."""
+    if isinstance(condition, TrueCondition):
+        return [cq]
+    if isinstance(condition, And):
+        current = [cq]
+        for part in condition.parts:
+            current = [out for c in current for out in _apply_condition(c, part)]
+        return current
+    if isinstance(condition, Or):
+        return [out for part in condition.parts for out in _apply_condition(cq, part)]
+    if isinstance(condition, Comparison) and condition.op == "=":
+        def term_of(operand) -> Term:
+            if isinstance(operand, AttributeRef):
+                if operand.name not in cq.head:
+                    raise UnsupportedFragment(
+                        f"condition attribute {operand.name!r} not in scope of CQ head"
+                    )
+                return cq.head[operand.name]
+            return operand.value  # Constant
+
+        mapping = _unify(term_of(condition.left), term_of(condition.right))
+        if mapping is None:
+            return []  # unsatisfiable disjunct
+        return [cq.substituted(mapping)]
+    raise UnsupportedFragment(f"condition {condition} is outside the CQ fragment")
+
+
+def to_union_of_cqs(expression: Expression, scope: Scope) -> List[ConjunctiveQuery]:
+    """Compile a PSJ-with-union expression into a union of CQs.
+
+    Raises :class:`UnsupportedFragment` for differences, renames into
+    colliding names, or non-equality conditions.
+    """
+    if isinstance(expression, RelationRef):
+        attrs = expression.attributes(scope)
+        head = {a: _Var() for a in attrs}
+        atom: Atom = (expression.name, tuple(head[a] for a in attrs))
+        return [ConjunctiveQuery(head, [atom])]
+
+    if isinstance(expression, Empty):
+        return []
+
+    if isinstance(expression, Project):
+        out = []
+        for cq in to_union_of_cqs(expression.child, scope):
+            out.append(
+                ConjunctiveQuery({a: cq.head[a] for a in expression.attrs}, cq.atoms)
+            )
+        return out
+
+    if isinstance(expression, Select):
+        out = []
+        for cq in to_union_of_cqs(expression.child, scope):
+            out.extend(_apply_condition(cq, expression.condition))
+        return out
+
+    if isinstance(expression, Join):
+        lefts = to_union_of_cqs(expression.left, scope)
+        rights = to_union_of_cqs(expression.right, scope)
+        out = []
+        for lcq in lefts:
+            for rcq in rights:
+                head = dict(lcq.head)
+                for attr_name, term in rcq.head.items():
+                    head.setdefault(attr_name, term)
+                cq = ConjunctiveQuery(head, lcq.atoms + rcq.atoms)
+                ok = True
+                for attr_name in sorted(set(lcq.head) & set(rcq.head)):
+                    # cq carries the left occurrence (head) and rcq the right
+                    # one; both are kept substituted in lock-step so later
+                    # unifications see earlier bindings.
+                    mapping = _unify(cq.head[attr_name], rcq.head[attr_name])
+                    if mapping is None:
+                        ok = False
+                        break
+                    cq = cq.substituted(mapping)
+                    rcq = rcq.substituted(mapping)
+                if ok:
+                    out.append(cq)
+        return out
+
+    if isinstance(expression, Union):
+        return to_union_of_cqs(expression.left, scope) + to_union_of_cqs(
+            expression.right, scope
+        )
+
+    if isinstance(expression, Rename):
+        out = []
+        for cq in to_union_of_cqs(expression.child, scope):
+            head = {expression.mapping.get(a, a): t for a, t in cq.head.items()}
+            out.append(ConjunctiveQuery(head, cq.atoms))
+        return out
+
+    raise UnsupportedFragment(
+        f"{type(expression).__name__} is outside the union-of-CQs fragment"
+    )
+
+
+class _FrozenVar:
+    """A frozen variable: a fresh constant for the canonical database."""
+
+    __slots__ = ("label",)
+
+    def __init__(self, label: int) -> None:
+        self.label = label
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _FrozenVar) and other.label == self.label
+
+    def __hash__(self) -> int:
+        return hash(("frozen", self.label))
+
+    def __repr__(self) -> str:
+        return f"<f{self.label}>"
+
+
+def _freeze(cq: ConjunctiveQuery) -> ConjunctiveQuery:
+    mapping = {id(v): _FrozenVar(v.label) for v in cq.variables()}
+    return cq.substituted(mapping)
+
+
+def _cq_contained_in_cq(sub: ConjunctiveQuery, sup: ConjunctiveQuery) -> bool:
+    """Homomorphism test: is ``sub subseteq sup``? (``sub`` is frozen here.)"""
+    frozen = _freeze(sub)
+    # Canonical database: the frozen atoms, grouped by relation.
+    facts: Dict[str, List[Tuple[Term, ...]]] = {}
+    for name, terms in frozen.atoms:
+        facts.setdefault(name, []).append(terms)
+
+    head_attrs = sorted(frozen.head)
+    if sorted(sup.head) != head_attrs:
+        return False
+    target_head = tuple(frozen.head[a] for a in head_attrs)
+
+    # Backtracking search for a homomorphism from sup's atoms into facts that
+    # maps sup's head to the frozen head.
+    binding: Dict[int, Term] = {}
+
+    def bind_term(term: Term, value: Term) -> Optional[List[int]]:
+        """Try to bind; returns list of newly bound var ids, or None."""
+        if isinstance(term, _Var):
+            if id(term) in binding:
+                return [] if binding[id(term)] == value else None
+            binding[id(term)] = value
+            return [id(term)]
+        return [] if term == value else None
+
+    def unbind(ids: List[int]) -> None:
+        for var_id in ids:
+            del binding[var_id]
+
+    def search(atom_index: int) -> bool:
+        if atom_index == len(sup.atoms):
+            # Check the head mapping.
+            newly: List[int] = []
+            ok = True
+            for attr_name, want in zip(head_attrs, target_head):
+                bound = bind_term(sup.head[attr_name], want)
+                if bound is None:
+                    ok = False
+                    break
+                newly.extend(bound)
+            if ok:
+                return True
+            unbind(newly)
+            return False
+        name, terms = sup.atoms[atom_index]
+        for fact in facts.get(name, ()):
+            newly: List[int] = []
+            ok = True
+            for term, value in zip(terms, fact):
+                bound = bind_term(term, value)
+                if bound is None:
+                    ok = False
+                    break
+                newly.extend(bound)
+            if ok and search(atom_index + 1):
+                return True
+            unbind(newly)
+        return False
+
+    # Binding the head first prunes the search dramatically.
+    head_newly: List[int] = []
+    for attr_name, want in zip(head_attrs, target_head):
+        bound = bind_term(sup.head[attr_name], want)
+        if bound is None:
+            unbind(head_newly)
+            return False
+        head_newly.extend(bound)
+    found = search(0)
+    unbind(head_newly)
+    # `search` also re-verifies the head; binding it up front is only a
+    # pruning aid, so the result stands either way.
+    return found
+
+
+def is_contained_in(
+    sub: Expression, sup: Expression, scope: Scope
+) -> bool:
+    """Decide ``sub <= sup`` (Definition 2.1) on the union-of-CQs fragment.
+
+    Raises :class:`UnsupportedFragment` if either expression cannot be
+    compiled to a union of conjunctive queries.
+
+    Examples
+    --------
+    >>> from repro.algebra.parser import parse
+    >>> scope = {"R": ("A", "B"), "S": ("B", "C")}
+    >>> is_contained_in(parse("pi[A](R join S)"), parse("pi[A](R)"), scope)
+    True
+    >>> is_contained_in(parse("pi[A](R)"), parse("pi[A](R join S)"), scope)
+    False
+    """
+    sub_cqs = to_union_of_cqs(sub, scope)
+    sup_cqs = to_union_of_cqs(sup, scope)
+    for sub_cq in sub_cqs:
+        if not any(_cq_contained_in_cq(sub_cq, sup_cq) for sup_cq in sup_cqs):
+            return False
+    return True
+
+
+def is_equivalent(left: Expression, right: Expression, scope: Scope) -> bool:
+    """Decide view equivalence on the union-of-CQs fragment."""
+    return is_contained_in(left, right, scope) and is_contained_in(right, left, scope)

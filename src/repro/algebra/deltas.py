@@ -1,0 +1,223 @@
+"""Symbolic change propagation (delta rules) for set-semantics algebra.
+
+Section 4 of the paper plugs "an incremental view maintenance algorithm"
+(e.g. Griffin/Libkin style) into its framework: derive, per view and per
+update, expressions computing the view's change, then replace every base
+relation by its inverse over warehouse views (Example 4.1). This module
+implements the first half — sound and *exact* delta rules for set semantics.
+
+Conventions
+-----------
+An update to base relation ``R`` is represented by two relation names bound
+in the evaluation state: ``ins_name(R)`` (= ``R__ins``) for inserted tuples
+and ``del_name(R)`` (= ``R__del``) for deleted tuples. Deltas are assumed
+*effective*: inserts disjoint from ``R``, deletes contained in ``R``. Under
+that assumption the derived pair ``(inserts, deletes)`` of every node ``E``
+is exactly ``new(E) - old(E)`` and ``old(E) - new(E)``; no post-hoc
+normalization is needed.
+
+Rules (``I``/``D`` are the child deltas, ``Eo``/``En`` old and new values)::
+
+    sigma_C(E):   I' = sigma_C(I)                 D' = sigma_C(D)
+    pi_Z(E):      I' = pi_Z(I) - pi_Z(Eo)         D' = pi_Z(D) - pi_Z(En)
+    E1 join E2:   I' = (I1 join E2n) + (E1n join I2)
+                  D' = (D1 join E2o) + (E1o join D2)
+    E1 union E2:  I' = (I1 + I2) - (E1o + E2o)    D' = (D1 + D2) - (E1n + E2n)
+    E1 minus E2:  I' = (I1 - E2n) + (D2 ∩ E1n)    D' = (D1 - E2o) + (I2 ∩ E1o)
+    rho_m(E):     I' = rho_m(I)                   D' = rho_m(D)
+
+(``∩`` is encoded as ``x - (x - y)``; ``+`` is union, ``-`` difference.)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, NamedTuple, Tuple
+
+from repro.errors import ExpressionError
+from repro.algebra.expressions import (
+    Difference,
+    Empty,
+    Expression,
+    Join,
+    Project,
+    RelationRef,
+    Rename,
+    Select,
+    Union,
+    Scope,
+)
+from repro.algebra.rewriting import substitute
+from repro.algebra.simplify import simplify
+
+INSERT_SUFFIX = "__ins"
+DELETE_SUFFIX = "__del"
+
+
+def ins_name(relation: str) -> str:
+    """Name of the insert-delta relation for ``relation``."""
+    return relation + INSERT_SUFFIX
+
+
+def del_name(relation: str) -> str:
+    """Name of the delete-delta relation for ``relation``."""
+    return relation + DELETE_SUFFIX
+
+
+class DeltaExpressions(NamedTuple):
+    """The derived change of an expression: insert and delete expressions."""
+
+    inserts: Expression
+    deletes: Expression
+
+    def map(self, func) -> "DeltaExpressions":
+        """Apply ``func`` to both component expressions."""
+        return DeltaExpressions(func(self.inserts), func(self.deletes))
+
+
+def delta_scope(scope: Scope, updated: Iterable[str]) -> Dict[str, Tuple[str, ...]]:
+    """``scope`` extended with the delta relation names for ``updated``."""
+    extended = dict(scope)
+    for name in updated:
+        if name not in scope:
+            raise ExpressionError(f"updated relation {name!r} not in scope")
+        extended[ins_name(name)] = tuple(scope[name])
+        extended[del_name(name)] = tuple(scope[name])
+    return extended
+
+
+def new_value_expression(expression: Expression, updated: Iterable[str]) -> Expression:
+    """``expression`` over the *post-update* state.
+
+    Every reference to an updated relation ``R`` is replaced by
+    ``(R minus R__del) union R__ins``; references to unchanged relations stay.
+    """
+    replacements = {}
+    for name in updated:
+        replacements[name] = Union(
+            Difference(RelationRef(name), RelationRef(del_name(name))),
+            RelationRef(ins_name(name)),
+        )
+    return substitute(expression, replacements)
+
+
+def _intersect(left: Expression, right: Expression) -> Expression:
+    """Set intersection via double difference (no dedicated node needed)."""
+    return Difference(left, Difference(left, right))
+
+
+def derive_delta(
+    expression: Expression,
+    updated: Iterable[str],
+    scope: Scope,
+    simplified: bool = True,
+) -> DeltaExpressions:
+    """Derive symbolic insert/delete expressions for ``expression``.
+
+    Parameters
+    ----------
+    expression:
+        The (view) expression whose change is wanted.
+    updated:
+        Names of base relations that carry deltas. All other relations are
+        treated as unchanged (their deltas are empty, and the simplifier
+        erases the corresponding branches — which is why, in Example 4.1, an
+        insertion into ``Sale`` yields maintenance expressions mentioning only
+        ``s join Emp`` and not any ``Emp``-delta terms).
+    scope:
+        Name -> attribute tuple for every relation in ``expression``.
+    simplified:
+        Simplify the derived expressions (on by default).
+
+    Returns
+    -------
+    DeltaExpressions
+        Expressions over the old-state relation names plus the delta names
+        ``R__ins`` / ``R__del`` for each updated relation. Given effective
+        base deltas, ``inserts`` evaluates exactly to ``new - old`` and
+        ``deletes`` to ``old - new``.
+    """
+    updated_set = frozenset(updated)
+    unknown = updated_set - set(scope)
+    if unknown:
+        raise ExpressionError(f"updated relations {sorted(unknown)} not in scope")
+    result = _derive(expression, updated_set, scope)
+    if simplified:
+        extended = delta_scope(scope, updated_set)
+        result = result.map(lambda e: simplify(e, extended))
+    return result
+
+
+def _derive(
+    expr: Expression, updated: FrozenSet[str], scope: Scope
+) -> DeltaExpressions:
+    if isinstance(expr, RelationRef):
+        attrs = expr.attributes(scope)
+        if expr.name in updated:
+            return DeltaExpressions(
+                RelationRef(ins_name(expr.name)), RelationRef(del_name(expr.name))
+            )
+        return DeltaExpressions(Empty(attrs), Empty(attrs))
+
+    if isinstance(expr, Empty):
+        return DeltaExpressions(Empty(expr.attrs), Empty(expr.attrs))
+
+    if isinstance(expr, Select):
+        child = _derive(expr.child, updated, scope)
+        return DeltaExpressions(
+            Select(child.inserts, expr.condition),
+            Select(child.deletes, expr.condition),
+        )
+
+    if isinstance(expr, Project):
+        child = _derive(expr.child, updated, scope)
+        old_child = expr.child
+        new_child = new_value_expression(expr.child, updated)
+        return DeltaExpressions(
+            Difference(Project(child.inserts, expr.attrs), Project(old_child, expr.attrs)),
+            Difference(Project(child.deletes, expr.attrs), Project(new_child, expr.attrs)),
+        )
+
+    if isinstance(expr, Join):
+        left = _derive(expr.left, updated, scope)
+        right = _derive(expr.right, updated, scope)
+        left_old, right_old = expr.left, expr.right
+        left_new = new_value_expression(expr.left, updated)
+        right_new = new_value_expression(expr.right, updated)
+        inserts = Union(
+            Join(left.inserts, right_new), Join(left_new, right.inserts)
+        )
+        deletes = Union(
+            Join(left.deletes, right_old), Join(left_old, right.deletes)
+        )
+        return DeltaExpressions(inserts, deletes)
+
+    if isinstance(expr, Union):
+        left = _derive(expr.left, updated, scope)
+        right = _derive(expr.right, updated, scope)
+        old_value = Union(expr.left, expr.right)
+        new_value = new_value_expression(old_value, updated)
+        inserts = Difference(Union(left.inserts, right.inserts), old_value)
+        deletes = Difference(Union(left.deletes, right.deletes), new_value)
+        return DeltaExpressions(inserts, deletes)
+
+    if isinstance(expr, Difference):
+        left = _derive(expr.left, updated, scope)
+        right = _derive(expr.right, updated, scope)
+        left_old, right_old = expr.left, expr.right
+        left_new = new_value_expression(expr.left, updated)
+        right_new = new_value_expression(expr.right, updated)
+        inserts = Union(
+            Difference(left.inserts, right_new), _intersect(right.deletes, left_new)
+        )
+        deletes = Union(
+            Difference(left.deletes, right_old), _intersect(right.inserts, left_old)
+        )
+        return DeltaExpressions(inserts, deletes)
+
+    if isinstance(expr, Rename):
+        child = _derive(expr.child, updated, scope)
+        return DeltaExpressions(
+            Rename(child.inserts, expr.mapping), Rename(child.deletes, expr.mapping)
+        )
+
+    raise ExpressionError(f"cannot derive deltas for {type(expr).__name__}")

@@ -1,0 +1,144 @@
+"""Evaluation of algebra expressions against a state.
+
+A *state* is any mapping from relation names to
+:class:`~repro.storage.relation.Relation` instances — a source database
+snapshot, a warehouse state, or a mixed state that additionally binds delta
+relations during incremental maintenance. Evaluation memoizes common
+sub-expressions (structural identity) within one call, which matters because
+inverse expressions (Equation (4) of the paper) share large sub-trees.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from repro.errors import EvaluationError
+from repro.algebra.expressions import (
+    Difference,
+    Empty,
+    Expression,
+    Join,
+    Project,
+    RelationRef,
+    Rename,
+    Select,
+    Union,
+)
+from repro.storage.relation import Relation
+
+State = Mapping[str, Relation]
+
+
+def evaluate(
+    expression: Expression,
+    state: State,
+    cache: Optional[Dict[tuple, Relation]] = None,
+) -> Relation:
+    """Evaluate ``expression`` over ``state`` and return the result relation.
+
+    Parameters
+    ----------
+    expression:
+        The expression to evaluate.
+    state:
+        Mapping from relation names to relation instances. All
+        :class:`RelationRef` leaves must be bound here.
+    cache:
+        Optional memo table, keyed by structural expression keys. Pass the
+        same dict across several :func:`evaluate` calls over the *same state*
+        to share work (the warehouse refresh engine does this).
+
+    Examples
+    --------
+    >>> from repro.algebra import rel, join
+    >>> sale = Relation(("item", "clerk"), [("TV", "Mary")])
+    >>> emp = Relation(("clerk", "age"), [("Mary", 23)])
+    >>> evaluate(join(rel("Sale"), rel("Emp")), {"Sale": sale, "Emp": emp}).to_set()
+    frozenset({('TV', 'Mary', 23)})
+    """
+    memo: Dict[tuple, Relation] = cache if cache is not None else {}
+    return _eval(expression, state, memo)
+
+
+def _eval(expr: Expression, state: State, memo: Dict[tuple, Relation]) -> Relation:
+    key = expr._key()
+    hit = memo.get(key)
+    if hit is not None:
+        return hit
+    result = _eval_node(expr, state, memo)
+    memo[key] = result
+    return result
+
+
+_SCOPE_KEY = ("__scope__",)
+
+
+def _scope(state: State, memo: Dict[tuple, Relation]):
+    scope = memo.get(_SCOPE_KEY)
+    if scope is None:
+        scope = {name: relation.attributes for name, relation in state.items()}
+        memo[_SCOPE_KEY] = scope  # type: ignore[assignment]
+    return scope
+
+
+def _eval_node(expr: Expression, state: State, memo: Dict[tuple, Relation]) -> Relation:
+    if isinstance(expr, RelationRef):
+        relation = state.get(expr.name)
+        if relation is None:
+            raise EvaluationError(
+                f"relation {expr.name!r} is not bound in the evaluation state "
+                f"(bound: {sorted(state)})"
+            )
+        return relation
+
+    if isinstance(expr, Empty):
+        return Relation.empty(expr.attrs)
+
+    if isinstance(expr, Project):
+        return _eval(expr.child, state, memo).project(expr.attrs)
+
+    if isinstance(expr, Select):
+        child = _eval(expr.child, state, memo)
+        predicate = expr.condition.compile(child.attributes)
+        return child.select(predicate)
+
+    if isinstance(expr, Join):
+        # Empty short-circuit: if one side is empty, the join is empty and
+        # the other side need not be evaluated (this is what makes the
+        # delete-branch of maintenance expressions free on insert-only
+        # updates — the delta relation binds to the empty set).
+        left = _eval(expr.left, state, memo)
+        if not left:
+            return Relation.empty(expr.attributes(_scope(state, memo)))
+        right = _eval(expr.right, state, memo)
+        if not right:
+            return Relation.empty(expr.attributes(_scope(state, memo)))
+        return left.natural_join(right)
+
+    if isinstance(expr, Union):
+        left = _eval(expr.left, state, memo)
+        right = _eval(expr.right, state, memo)
+        return left.union(right)
+
+    if isinstance(expr, Difference):
+        left = _eval(expr.left, state, memo)
+        if not left:
+            return left  # empty minus anything is empty: skip the right side
+        right = _eval(expr.right, state, memo)
+        return left.difference(right)
+
+    if isinstance(expr, Rename):
+        return _eval(expr.child, state, memo).rename(expr.mapping)
+
+    raise EvaluationError(f"unknown expression node {type(expr).__name__}")
+
+
+def evaluate_all(
+    expressions: Mapping[str, Expression], state: State
+) -> Dict[str, Relation]:
+    """Evaluate several named expressions over one state, sharing the memo.
+
+    Returns ``{name: result}`` in input order.
+    """
+    memo: Dict[tuple, Relation] = {}
+    return {name: _eval(expr, state, memo) for name, expr in expressions.items()}

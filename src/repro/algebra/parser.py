@@ -1,0 +1,309 @@
+"""A small textual syntax for algebra expressions and conditions.
+
+The grammar mirrors the pretty-printer of
+:mod:`repro.algebra.expressions`, so ``parse(str(expr)) == expr`` holds for
+every expression the library produces. It exists to make examples, tests,
+and interactive exploration pleasant::
+
+    parse("pi[age](sigma[item = 'PC'](Sale join Emp))")
+
+Grammar (binary operators are left-associative; ``join`` binds tighter than
+``minus``/``union``)::
+
+    expr      := term (("union" | "minus") term)*
+    term      := factor ("join" factor)*
+    factor    := NAME
+               | "empty" "[" attrs "]"
+               | "pi" "[" attrs "]" "(" expr ")"
+               | "sigma" "[" cond "]" "(" expr ")"
+               | "rho" "[" renames "]" "(" expr ")"
+               | "(" expr ")"
+    renames   := NAME "->" NAME ("," NAME "->" NAME)*
+    cond      := disj
+    disj      := conj ("or" conj)*
+    conj      := atom ("and" atom)*
+    atom      := "true" | "false" | "not" "(" cond ")" | "(" cond ")"
+               | operand OP operand
+    operand   := NAME | NUMBER | STRING
+    OP        := "=" | "!=" | "<" | "<=" | ">" | ">="
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, NamedTuple, Optional, Tuple
+
+from repro.errors import ParseError
+from repro.algebra.conditions import (
+    Comparison,
+    Condition,
+    FALSE,
+    Not,
+    Operand,
+    Or,
+    TRUE,
+    attr,
+    conjoin,
+    const,
+)
+from repro.algebra.expressions import (
+    Difference,
+    Empty,
+    Expression,
+    Join,
+    Project,
+    RelationRef,
+    Rename,
+    Select,
+    Union,
+)
+
+
+class _Token(NamedTuple):
+    kind: str
+    text: str
+    pos: int
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<op><=|>=|!=|->|[=<>])
+  | (?P<punct>[\[\](),])
+  | (?P<number>-?\d+(?:\.\d+)?)
+  | (?P<string>'(?:\\'|[^'])*')
+  | (?P<name>[A-Za-z_][A-Za-z_0-9]*)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"pi", "sigma", "rho", "empty", "join", "union", "minus", "and", "or", "not", "true", "false"}
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise ParseError(f"unexpected character {text[pos]!r} at offset {pos}")
+        kind = match.lastgroup or ""
+        value = match.group()
+        if kind != "ws":
+            if kind == "name" and value in _KEYWORDS:
+                kind = "keyword"
+            tokens.append(_Token(kind, value, pos))
+        pos = match.end()
+    tokens.append(_Token("eof", "", len(text)))
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token list."""
+
+    def __init__(self, text: str) -> None:
+        self._text = text
+        self._tokens = _tokenize(text)
+        self._index = 0
+
+    # -- token plumbing --------------------------------------------------
+
+    def _peek(self) -> _Token:
+        return self._tokens[self._index]
+
+    def _next(self) -> _Token:
+        token = self._tokens[self._index]
+        self._index += 1
+        return token
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> _Token:
+        token = self._peek()
+        if token.kind != kind or (text is not None and token.text != text):
+            want = text if text is not None else kind
+            raise ParseError(
+                f"expected {want!r} at offset {token.pos}, found {token.text!r} "
+                f"in {self._text!r}"
+            )
+        return self._next()
+
+    def _accept(self, kind: str, text: Optional[str] = None) -> Optional[_Token]:
+        token = self._peek()
+        if token.kind == kind and (text is None or token.text == text):
+            return self._next()
+        return None
+
+    # -- expression grammar ------------------------------------------------
+
+    def parse_expression(self) -> Expression:
+        expr = self._expr()
+        self._expect("eof")
+        return expr
+
+    def _expr(self) -> Expression:
+        left = self._term()
+        while True:
+            if self._accept("keyword", "union"):
+                left = Union(left, self._term())
+            elif self._accept("keyword", "minus"):
+                left = Difference(left, self._term())
+            else:
+                return left
+
+    def _term(self) -> Expression:
+        left = self._factor()
+        while self._accept("keyword", "join"):
+            left = Join(left, self._factor())
+        return left
+
+    def _factor(self) -> Expression:
+        token = self._peek()
+        if token.kind == "punct" and token.text == "(":
+            self._next()
+            expr = self._expr()
+            self._expect("punct", ")")
+            return expr
+        if token.kind == "keyword" and token.text == "empty":
+            self._next()
+            self._expect("punct", "[")
+            attrs = self._attr_list()
+            self._expect("punct", "]")
+            return Empty(attrs)
+        if token.kind == "keyword" and token.text == "pi":
+            self._next()
+            self._expect("punct", "[")
+            attrs = self._attr_list()
+            self._expect("punct", "]")
+            self._expect("punct", "(")
+            child = self._expr()
+            self._expect("punct", ")")
+            return Project(child, attrs)
+        if token.kind == "keyword" and token.text == "sigma":
+            self._next()
+            self._expect("punct", "[")
+            condition = self._condition()
+            self._expect("punct", "]")
+            self._expect("punct", "(")
+            child = self._expr()
+            self._expect("punct", ")")
+            return Select(child, condition)
+        if token.kind == "keyword" and token.text == "rho":
+            self._next()
+            self._expect("punct", "[")
+            mapping = self._rename_list()
+            self._expect("punct", "]")
+            self._expect("punct", "(")
+            child = self._expr()
+            self._expect("punct", ")")
+            return Rename(child, mapping)
+        if token.kind == "name":
+            self._next()
+            return RelationRef(token.text)
+        raise ParseError(
+            f"expected an expression at offset {token.pos}, found {token.text!r} "
+            f"in {self._text!r}"
+        )
+
+    def _attr_list(self) -> Tuple[str, ...]:
+        names = [self._expect("name").text]
+        while self._accept("punct", ","):
+            names.append(self._expect("name").text)
+        return tuple(names)
+
+    def _rename_list(self) -> dict:
+        mapping = {}
+        while True:
+            old = self._expect("name").text
+            self._expect("op", "->")
+            new = self._expect("name").text
+            mapping[old] = new
+            if not self._accept("punct", ","):
+                return mapping
+
+    # -- condition grammar ---------------------------------------------------
+
+    def parse_condition_only(self) -> Condition:
+        condition = self._condition()
+        self._expect("eof")
+        return condition
+
+    def _condition(self) -> Condition:
+        parts = [self._conjunction()]
+        while self._accept("keyword", "or"):
+            parts.append(self._conjunction())
+        if len(parts) == 1:
+            return parts[0]
+        return Or(parts)
+
+    def _conjunction(self) -> Condition:
+        parts = [self._atom()]
+        while self._accept("keyword", "and"):
+            parts.append(self._atom())
+        return conjoin(parts)
+
+    def _atom(self) -> Condition:
+        token = self._peek()
+        if token.kind == "keyword" and token.text == "true":
+            self._next()
+            return TRUE
+        if token.kind == "keyword" and token.text == "false":
+            self._next()
+            return FALSE
+        if token.kind == "keyword" and token.text == "not":
+            self._next()
+            self._expect("punct", "(")
+            inner = self._condition()
+            self._expect("punct", ")")
+            return Not(inner)
+        if token.kind == "punct" and token.text == "(":
+            self._next()
+            inner = self._condition()
+            self._expect("punct", ")")
+            return inner
+        left = self._operand()
+        op_token = self._peek()
+        if op_token.kind != "op" or op_token.text == "->":
+            raise ParseError(
+                f"expected comparison operator at offset {op_token.pos} in {self._text!r}"
+            )
+        self._next()
+        right = self._operand()
+        return Comparison(left, op_token.text, right)
+
+    def _operand(self) -> Operand:
+        token = self._next()
+        if token.kind == "name":
+            return attr(token.text)
+        if token.kind == "number":
+            text = token.text
+            return const(float(text) if "." in text else int(text))
+        if token.kind == "string":
+            raw = token.text[1:-1].replace("\\'", "'")
+            return const(raw)
+        raise ParseError(
+            f"expected an operand at offset {token.pos}, found {token.text!r} "
+            f"in {self._text!r}"
+        )
+
+
+def parse(text: str) -> Expression:
+    """Parse the textual form of an algebra expression.
+
+    Examples
+    --------
+    >>> parse("Sale join Emp")
+    <Join: Sale join Emp>
+    >>> parse("pi[clerk](Sale) union pi[clerk](Emp)")
+    <Union: pi[clerk](Sale) union pi[clerk](Emp)>
+    """
+    return _Parser(text).parse_expression()
+
+
+def parse_condition(text: str) -> Condition:
+    """Parse the textual form of a selection condition.
+
+    Examples
+    --------
+    >>> str(parse_condition("item = 'PC' and age >= 18"))
+    "item = 'PC' and age >= 18"
+    """
+    return _Parser(text).parse_condition_only()

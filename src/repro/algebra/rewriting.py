@@ -1,0 +1,92 @@
+"""Substitution of relation references — the engine behind ``Q ∘ W⁻¹``.
+
+The paper's query translation (Section 3, Step 3) and maintenance-expression
+derivation (Section 4, Step 3 / Example 4.1) are both "replace every
+reference to a base relation by its inverse expression". That is exactly
+:func:`substitute`.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Mapping
+
+from repro.algebra.expressions import Expression, RelationRef
+
+
+def base_relations(expression: Expression) -> FrozenSet[str]:
+    """Names of all relation references in ``expression``.
+
+    Alias of :meth:`Expression.relation_names`, exported under the paper's
+    terminology.
+    """
+    return expression.relation_names()
+
+
+def substitute(
+    expression: Expression, replacements: Mapping[str, Expression]
+) -> Expression:
+    """Replace every :class:`RelationRef` named in ``replacements``.
+
+    The replacement expressions are inserted as-is (no capture issues arise:
+    relation names and attribute names live in separate namespaces, and
+    replacement happens in a single pass, so names introduced by a
+    replacement are never themselves replaced).
+
+    Examples
+    --------
+    >>> from repro.algebra.parser import parse
+    >>> inverse = {"Emp": parse("pi[clerk, age](Sold) union C1")}
+    >>> str(substitute(parse("pi[clerk](Emp)"), inverse))
+    'pi[clerk](pi[clerk, age](Sold) union C1)'
+    """
+    if isinstance(expression, RelationRef):
+        replacement = replacements.get(expression.name)
+        return replacement if replacement is not None else expression
+    children = expression.children()
+    if not children:
+        return expression
+    new_children = tuple(substitute(child, replacements) for child in children)
+    if new_children == children:
+        return expression
+    return expression.with_children(new_children)
+
+
+def rename_relations(expression: Expression, mapping: Mapping[str, str]) -> Expression:
+    """Rename relation references (not attributes) throughout the tree."""
+    return substitute(
+        expression, {old: RelationRef(new) for old, new in mapping.items()}
+    )
+
+
+def fold_occurrences(
+    expression: Expression, replacements: Mapping[Expression, Expression]
+) -> Expression:
+    """Replace subtrees structurally equal to a key of ``replacements``.
+
+    The inverse direction of :func:`substitute`: where substitution expands
+    names into definitions, folding contracts definitions back into names.
+    Used to recognize materialized views inside derived maintenance
+    expressions (Example 4.1 keeps ``Sold`` as ``Sold`` instead of expanding
+    it into ``Sale join Emp`` and then into inverse expressions).
+
+    Matches top-down first (so the *largest* enclosing definition wins — a
+    copy view like ``CustomerDim = Customer`` must not fold the ``Customer``
+    leaf inside a bigger definition that also matches), then bottom-up on the
+    rebuilt node (so occurrences that only appear after inner folds are still
+    caught).
+    """
+    by_key = {key._key(): value for key, value in replacements.items()}
+
+    def fold(node: Expression) -> Expression:
+        replacement = by_key.get(node._key())
+        if replacement is not None:
+            return replacement
+        children = node.children()
+        if children:
+            new_children = tuple(fold(child) for child in children)
+            if new_children != children:
+                node = node.with_children(new_children)
+        replacement = by_key.get(node._key())
+        return replacement if replacement is not None else node
+
+    return fold(expression)

@@ -1,0 +1,86 @@
+"""Core: the paper's contribution — complements and independent warehouses.
+
+* :mod:`repro.core.covers` — ``V_K``, ``V_K^ind``, cover enumeration
+  ``C_R^ind`` (Theorem 2.2 notation, illustrated in Example 2.3);
+* :mod:`repro.core.complement` — Proposition 2.2 and Theorem 2.2 complement
+  computation plus the inverse mapping ``W^{-1}`` (Equation (4));
+* :mod:`repro.core.independence` — Proposition 2.1 (injectivity) and
+  complement verification;
+* :mod:`repro.core.translation` — query translation ``Q^ = Q ∘ W^{-1}``
+  (Theorem 3.1);
+* :mod:`repro.core.maintenance` — maintenance expressions and incremental
+  refresh (Theorem 4.1, Example 4.1);
+* :mod:`repro.core.warehouse` — the Section 5 specification algorithm and the
+  runtime :class:`~repro.core.warehouse.Warehouse`;
+* :mod:`repro.core.minimality` — the Definition 2.1 view ordering and
+  Theorem 2.1 certificates;
+* :mod:`repro.core.selfmaint` — update independence without complements
+  (Section 4 end);
+* :mod:`repro.core.star` / :mod:`repro.core.aggregates` — Section 5 star
+  schemata and aggregate views.
+"""
+
+from repro.core.complement import (
+    ComplementView,
+    WarehouseSpec,
+    complement_prop22,
+    complement_thm22,
+    complement_trivial,
+    specify,
+)
+from repro.core.auxviews import AuxiliaryViewSet, auxiliary_views
+from repro.core.hybrid import HybridWarehouse
+from repro.core.covers import CoverElement, enumerate_covers, ind_views, key_views
+from repro.core.independence import (
+    enumerate_states,
+    is_complement,
+    verify_complement,
+    verify_one_to_one,
+)
+from repro.core.maintenance import (
+    MaintenancePlan,
+    maintenance_expressions,
+    refresh_state,
+)
+from repro.core.minimality import (
+    compare_view_sets,
+    is_minimal_certificate,
+    smaller_on_states,
+)
+from repro.core.selfmaint import (
+    is_select_only_update_independent,
+    self_maintenance_analysis,
+)
+from repro.core.translation import answer_query, translate_query
+from repro.core.warehouse import Warehouse
+
+__all__ = [
+    "AuxiliaryViewSet",
+    "ComplementView",
+    "CoverElement",
+    "HybridWarehouse",
+    "MaintenancePlan",
+    "Warehouse",
+    "WarehouseSpec",
+    "answer_query",
+    "auxiliary_views",
+    "compare_view_sets",
+    "complement_prop22",
+    "complement_thm22",
+    "complement_trivial",
+    "enumerate_covers",
+    "enumerate_states",
+    "ind_views",
+    "is_complement",
+    "is_minimal_certificate",
+    "is_select_only_update_independent",
+    "key_views",
+    "maintenance_expressions",
+    "refresh_state",
+    "self_maintenance_analysis",
+    "smaller_on_states",
+    "specify",
+    "translate_query",
+    "verify_complement",
+    "verify_one_to_one",
+]

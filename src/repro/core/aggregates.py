@@ -1,0 +1,299 @@
+"""Materialized aggregate views over fact tables (Section 5, last paragraph).
+
+The paper positions aggregates carefully: "aggregate queries cannot be
+exploited when computing complements, [but] they do not restrict the
+applicability of our approach either: the fact tables can be maintained as
+described above using PSJ views, whereas view maintenance algorithms for
+aggregate queries ... can be used to maintain materialized aggregate
+queries."
+
+Accordingly, an :class:`AggregateView` here sits *on top of* a maintained
+warehouse relation (typically a fact table): the warehouse folds source
+updates into the fact table via the complement machinery, and the resulting
+fact-table delta drives summary-delta-style aggregate maintenance (after
+Mumick/Quass/Mumick, SIGMOD 1997):
+
+* COUNT and SUM (and hence AVG) are maintained purely from the delta;
+* MIN/MAX are maintained from the delta on insertion; a deletion that hits
+  the current extremum recomputes just the affected groups from the (still
+  warehouse-local) new fact table state.
+
+Set semantics throughout, matching the rest of the library.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import WarehouseError
+from repro.schema.schema import check_name
+from repro.storage.relation import Relation
+from repro.storage.update import Delta
+
+SUPPORTED = ("count", "sum", "avg", "min", "max")
+
+
+class Measure:
+    """One aggregate measure: ``func`` over ``attribute``, named ``output``.
+
+    ``count`` ignores ``attribute`` (it counts tuples per group) — pass
+    ``None``.
+    """
+
+    __slots__ = ("func", "attribute", "output")
+
+    def __init__(self, func: str, attribute: Optional[str], output: str) -> None:
+        if func not in SUPPORTED:
+            raise WarehouseError(
+                f"unsupported aggregate {func!r}; supported: {SUPPORTED}"
+            )
+        if func != "count" and attribute is None:
+            raise WarehouseError(f"aggregate {func!r} requires an attribute")
+        self.func = func
+        self.attribute = attribute
+        self.output = check_name(output, "measure")
+
+    def __repr__(self) -> str:
+        arg = self.attribute if self.attribute is not None else "*"
+        return f"{self.output}={self.func}({arg})"
+
+
+def count(output: str = "n") -> Measure:
+    """``COUNT(*)`` per group."""
+    return Measure("count", None, output)
+
+
+def agg_sum(attribute: str, output: Optional[str] = None) -> Measure:
+    """``SUM(attribute)`` per group."""
+    return Measure("sum", attribute, output or f"sum_{attribute}")
+
+
+def agg_avg(attribute: str, output: Optional[str] = None) -> Measure:
+    """``AVG(attribute)`` per group."""
+    return Measure("avg", attribute, output or f"avg_{attribute}")
+
+
+def agg_min(attribute: str, output: Optional[str] = None) -> Measure:
+    """``MIN(attribute)`` per group."""
+    return Measure("min", attribute, output or f"min_{attribute}")
+
+
+def agg_max(attribute: str, output: Optional[str] = None) -> Measure:
+    """``MAX(attribute)`` per group."""
+    return Measure("max", attribute, output or f"max_{attribute}")
+
+
+class AggregateView:
+    """A materialized group-by aggregate over one warehouse relation.
+
+    Parameters
+    ----------
+    name:
+        Name of the aggregate view.
+    source:
+        Name of the warehouse relation it aggregates (e.g. a fact table).
+    group_by:
+        Grouping attributes.
+    measures:
+        The aggregate measures.
+
+    Examples
+    --------
+    >>> fact = Relation(("loc", "amount"), [("N", 10), ("N", 20), ("S", 5)])
+    >>> view = AggregateView("ByLoc", "F", ("loc",), [count(), agg_sum("amount")])
+    >>> view.recompute(fact)
+    >>> sorted(view.table().rows)
+    [('N', 2, 30), ('S', 1, 5)]
+    """
+
+    def __init__(
+        self,
+        name: str,
+        source: str,
+        group_by: Sequence[str],
+        measures: Sequence[Measure],
+    ) -> None:
+        self.name = check_name(name, "aggregate view")
+        self.source = source
+        self.group_by = tuple(group_by)
+        self.measures = tuple(measures)
+        if not self.measures:
+            raise WarehouseError("an aggregate view needs at least one measure")
+        # Distinct accumulator slots (sum/avg over the same attribute share
+        # one sum slot; min/max each get their own).
+        self._sum_attrs = tuple(
+            sorted({m.attribute for m in self.measures if m.func in ("sum", "avg")})
+        )
+        self._min_attrs = tuple(
+            sorted({m.attribute for m in self.measures if m.func == "min"})
+        )
+        self._max_attrs = tuple(
+            sorted({m.attribute for m in self.measures if m.func == "max"})
+        )
+        # Per-group accumulators: group key -> {"count": int, per-measure state}.
+        self._groups: Dict[tuple, Dict[str, object]] = {}
+        self._attrs: Optional[Tuple[str, ...]] = None
+
+    # ------------------------------------------------------------------
+    # Computation
+    # ------------------------------------------------------------------
+
+    def _positions(self, relation: Relation) -> Tuple[Tuple[int, ...], Dict[str, int]]:
+        attrs = relation.attributes
+        try:
+            group_pos = tuple(attrs.index(a) for a in self.group_by)
+        except ValueError as exc:
+            raise WarehouseError(
+                f"group-by attributes {self.group_by} not all in {attrs}"
+            ) from exc
+        measure_pos: Dict[str, int] = {}
+        for measure in self.measures:
+            if measure.attribute is not None:
+                if measure.attribute not in attrs:
+                    raise WarehouseError(
+                        f"measure attribute {measure.attribute!r} not in {attrs}"
+                    )
+                measure_pos[measure.attribute] = attrs.index(measure.attribute)
+        return group_pos, measure_pos
+
+    def recompute(self, source: Relation) -> None:
+        """Recompute all groups from scratch."""
+        self._attrs = source.attributes
+        group_pos, measure_pos = self._positions(source)
+        self._groups = {}
+        for row in source:
+            key = tuple(row[p] for p in group_pos)
+            self._accumulate(key, row, measure_pos, sign=+1)
+
+    def _accumulate(
+        self, key: tuple, row: tuple, measure_pos: Dict[str, int], sign: int
+    ) -> None:
+        state = self._groups.get(key)
+        if state is None:
+            if sign < 0:
+                raise WarehouseError(
+                    f"aggregate {self.name}: delete from unknown group {key!r}"
+                )
+            state = {"count": 0}
+            for attribute in self._sum_attrs:
+                state[f"sum_{attribute}"] = 0
+            for attribute in self._min_attrs:
+                state[f"min_{attribute}"] = None
+            for attribute in self._max_attrs:
+                state[f"max_{attribute}"] = None
+            self._groups[key] = state
+        state["count"] += sign
+        for attribute in self._sum_attrs:
+            value = row[measure_pos[attribute]]
+            state[f"sum_{attribute}"] = state[f"sum_{attribute}"] + sign * value
+        if sign > 0:
+            for attribute in self._min_attrs:
+                value = row[measure_pos[attribute]]
+                slot = f"min_{attribute}"
+                current = state[slot]
+                state[slot] = value if current is None or value < current else current
+            for attribute in self._max_attrs:
+                value = row[measure_pos[attribute]]
+                slot = f"max_{attribute}"
+                current = state[slot]
+                state[slot] = value if current is None or value > current else current
+
+    def apply_delta(self, delta: Delta, new_source: Relation) -> None:
+        """Fold a source delta into the aggregate (summary-delta style).
+
+        ``new_source`` is the source relation *after* the delta; it is only
+        consulted to re-derive MIN/MAX for groups whose extremum was deleted
+        and to validate schema positions.
+        """
+        if self._attrs is None:
+            self.recompute(new_source)
+            return
+        group_pos, measure_pos = self._positions(new_source)
+        dirty_minmax: set = set()
+        has_minmax = any(m.func in ("min", "max") for m in self.measures)
+
+        for row in delta.deletes.reorder(new_source.attributes):
+            key = tuple(row[p] for p in group_pos)
+            self._accumulate(key, row, measure_pos, sign=-1)
+            if has_minmax:
+                state = self._groups[key]
+                for measure in self.measures:
+                    if measure.func not in ("min", "max"):
+                        continue
+                    slot = f"{measure.func}_{measure.attribute}"
+                    if state[slot] == row[measure_pos[measure.attribute]]:
+                        dirty_minmax.add(key)
+        for row in delta.inserts.reorder(new_source.attributes):
+            key = tuple(row[p] for p in group_pos)
+            self._accumulate(key, row, measure_pos, sign=+1)
+
+        # Drop empty groups; recompute dirty MIN/MAX groups from the source.
+        empty = [key for key, state in self._groups.items() if state["count"] == 0]
+        for key in empty:
+            del self._groups[key]
+            dirty_minmax.discard(key)
+        if dirty_minmax:
+            self._repair_minmax(dirty_minmax, new_source, group_pos, measure_pos)
+
+    def _repair_minmax(
+        self,
+        keys: set,
+        source: Relation,
+        group_pos: Tuple[int, ...],
+        measure_pos: Dict[str, int],
+    ) -> None:
+        fresh: Dict[tuple, Dict[str, object]] = {
+            key: {} for key in keys if key in self._groups
+        }
+        slots = [
+            (f"{m.func}_{m.attribute}", m.func, measure_pos[m.attribute])
+            for m in self.measures
+            if m.func in ("min", "max")
+        ]
+        for row in source:
+            key = tuple(row[p] for p in group_pos)
+            if key not in fresh:
+                continue
+            state = fresh[key]
+            for slot, func, pos in slots:
+                value = row[pos]
+                current = state.get(slot)
+                if current is None:
+                    state[slot] = value
+                elif func == "min" and value < current:
+                    state[slot] = value
+                elif func == "max" and value > current:
+                    state[slot] = value
+        for key, state in fresh.items():
+            self._groups[key].update(state)
+
+    # ------------------------------------------------------------------
+    # Output
+    # ------------------------------------------------------------------
+
+    def output_attributes(self) -> Tuple[str, ...]:
+        """Attribute names of the aggregate table."""
+        return self.group_by + tuple(m.output for m in self.measures)
+
+    def table(self) -> Relation:
+        """The current aggregate table as a relation."""
+        rows: List[tuple] = []
+        for key, state in self._groups.items():
+            values: List[object] = list(key)
+            for measure in self.measures:
+                if measure.func == "count":
+                    values.append(state["count"])
+                elif measure.func == "sum":
+                    values.append(state[f"sum_{measure.attribute}"])
+                elif measure.func == "avg":
+                    values.append(state[f"sum_{measure.attribute}"] / state["count"])
+                else:
+                    values.append(state[f"{measure.func}_{measure.attribute}"])
+            rows.append(tuple(values))
+        return Relation(self.output_attributes(), rows)
+
+    def __repr__(self) -> str:
+        return (
+            f"AggregateView({self.name!r} over {self.source!r}, "
+            f"group_by={list(self.group_by)}, measures={list(self.measures)})"
+        )

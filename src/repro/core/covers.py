@@ -1,0 +1,172 @@
+"""Covers: the ``V_K`` / ``V_K^ind`` / ``C_R^ind`` machinery of Theorem 2.2.
+
+For a relation ``R_j`` with key ``K_j`` the paper defines (Section 2):
+
+* ``V_{K_j}`` — the views involving ``R_j`` whose schema retains ``K_j``;
+* ``V_{K_j}^ind`` — ``V_{K_j}`` plus, for every inclusion dependency
+  ``pi_X(R_i) subseteq pi_X(R_j)`` with ``K_j subseteq X``, the pseudo-view
+  ``pi_X(R_i)`` (which behaves like a view over ``R_j`` retaining its key);
+* a **cover** of ``R_j`` — a subset of ``V_{K_j}^ind`` whose attributes
+  jointly cover ``attr(R_j)``, minimal with that property;
+* ``C_{R_j}^ind`` — the set of all covers.
+
+Joining the elements of a cover along the key ``K_j`` is an *extension join*
+(Honeyman): every element's restriction to its ``R_j``-attributes stems from
+a single ``R_j`` tuple identified by the key, so the join is lossless-sound
+and ``pi_{attr(R_j)}`` of it is contained in ``R_j``.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.algebra.expressions import (
+    Expression,
+    Project,
+    RelationRef,
+    Rename,
+)
+from repro.schema.catalog import Catalog
+from repro.schema.constraints import InclusionDependency
+from repro.views.psj import View
+
+
+class CoverElement:
+    """One element of ``V_{K_j}^ind``: a view or an IND pseudo-view.
+
+    Attributes
+    ----------
+    kind:
+        ``"view"`` for a warehouse view from ``V_{K_j}``; ``"ind"`` for a
+        pseudo-view ``pi_X(R_i)`` contributed by an inclusion dependency.
+    label:
+        The view name, or a rendering of the pseudo-view.
+    expression:
+        For views: a reference to the view *name* (resolved against the
+        warehouse state). For pseudo-views: ``pi_X(R_i)`` over the *base*
+        relation name — Theorem 2.2 (footnote 3) replaces this base reference
+        by ``R_i``'s warehouse representation when building the inverse.
+    attributes:
+        The element's attributes *relevant to* ``R_j`` (intersected with
+        ``attr(R_j)``); always a superset of ``K_j``.
+    """
+
+    __slots__ = ("kind", "label", "expression", "attributes", "ind")
+
+    def __init__(
+        self,
+        kind: str,
+        label: str,
+        expression: Expression,
+        attributes: FrozenSet[str],
+        ind: Optional[InclusionDependency] = None,
+    ) -> None:
+        self.kind = kind
+        self.label = label
+        self.expression = expression
+        self.attributes = attributes
+        self.ind = ind
+
+    def __repr__(self) -> str:
+        return f"CoverElement({self.kind}:{self.label}, attrs={sorted(self.attributes)})"
+
+
+def key_views(
+    catalog: Catalog, views: Sequence[View], relation: str
+) -> List[CoverElement]:
+    """``V_{K_j}``: views involving ``relation`` whose schema keeps its key.
+
+    Returns an empty list when ``relation`` declares no key (Theorem 2.2
+    degenerates to Proposition 2.2 for such relations).
+    """
+    schema = catalog[relation]
+    if schema.key is None:
+        return []
+    key = set(schema.key)
+    scope = {s.name: s.attributes for s in catalog.schemas()}
+    elements: List[CoverElement] = []
+    for view in views:
+        psj = view.psj(scope)
+        if not psj.involves(relation):
+            continue
+        view_attrs = set(psj.attributes(scope))
+        if not key <= view_attrs:
+            continue
+        relevant = frozenset(view_attrs & set(schema.attribute_set))
+        elements.append(
+            CoverElement("view", view.name, RelationRef(view.name), relevant)
+        )
+    return elements
+
+
+def ind_views(catalog: Catalog, relation: str) -> List[CoverElement]:
+    """IND pseudo-views for ``relation``: the extra elements of ``V_K^ind``.
+
+    For every declared IND ``pi_X(R_i) subseteq pi_Y(relation)`` whose
+    right-hand attributes include the key of ``relation``, the pseudo-view
+    is ``pi_X(R_i)`` renamed (if necessary) into ``relation``'s attribute
+    names — footnote 3's renaming.
+    """
+    schema = catalog[relation]
+    if schema.key is None:
+        return []
+    key = set(schema.key)
+    elements: List[CoverElement] = []
+    for ind in catalog.inclusions_into(relation):
+        if not key <= set(ind.rhs_attributes):
+            continue
+        base: Expression = Project(RelationRef(ind.lhs), ind.lhs_attributes)
+        if not ind.is_identity():
+            mapping = {
+                old: new
+                for old, new in zip(ind.lhs_attributes, ind.rhs_attributes)
+                if old != new
+            }
+            if mapping:
+                base = Rename(base, mapping)
+        elements.append(
+            CoverElement(
+                "ind",
+                f"pi[{', '.join(ind.lhs_attributes)}]({ind.lhs})",
+                base,
+                frozenset(ind.rhs_attributes),
+                ind=ind,
+            )
+        )
+    return elements
+
+
+def ind_key_views(
+    catalog: Catalog, views: Sequence[View], relation: str
+) -> List[CoverElement]:
+    """``V_{K_j}^ind``: key views plus IND pseudo-views."""
+    return key_views(catalog, views, relation) + ind_views(catalog, relation)
+
+
+def enumerate_covers(
+    elements: Sequence[CoverElement], target: FrozenSet[str]
+) -> List[Tuple[CoverElement, ...]]:
+    """All covers of ``target`` by ``elements`` (``C_R^ind``).
+
+    A cover is a subset whose attribute union contains ``target`` and which
+    is minimal with that property (dropping any element breaks coverage).
+    Enumerates subsets by increasing size, skipping supersets of covers
+    already found, so the result contains exactly the minimal covers.
+    """
+    usable = [e for e in elements if e.attributes]
+    covers: List[Tuple[CoverElement, ...]] = []
+    cover_index_sets: List[FrozenSet[int]] = []
+    indices = range(len(usable))
+    for size in range(1, len(usable) + 1):
+        for combo in combinations(indices, size):
+            combo_set = frozenset(combo)
+            if any(found <= combo_set for found in cover_index_sets):
+                continue  # strict superset of a known cover: not minimal
+            covered: FrozenSet[str] = frozenset()
+            for index in combo:
+                covered |= usable[index].attributes
+            if target <= covered:
+                covers.append(tuple(usable[index] for index in combo))
+                cover_index_sets.append(combo_set)
+    return covers

@@ -1,0 +1,167 @@
+"""Hybrid warehouses: store the complement's *expression*, not its data.
+
+Section 6 of the paper: "If the queries to base relations required for the
+computation of any specific C_i can be answered in reasonable time, then we
+do not need to maintain C_i at the warehouse; we simply store the expression
+for computing it. Otherwise, we have to maintain C_i at the warehouse."
+
+:class:`HybridWarehouse` implements that knob. Complements named in
+``virtual`` are *not* materialized; whenever an operation needs one (a
+translated query touching it, an update whose maintenance plan references
+it), its defining expression is evaluated against the sources through a
+caller-provided access callback. The class counts those source round trips,
+making the trade-off measurable: virtual complements save storage but each
+use re-opens the dependence on source availability the paper's fully
+materialized design removes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Iterable, Optional
+
+from repro.errors import WarehouseError
+from repro.algebra.evaluator import evaluate, evaluate_all
+from repro.storage.relation import Relation
+from repro.storage.update import Delta, Update
+from repro.core.complement import WarehouseSpec
+from repro.core.maintenance import refresh_state
+from repro.core.translation import translate_query
+from repro.core.warehouse import Warehouse
+
+SourceAccess = Callable[[str], Relation]
+
+
+class HybridWarehouse(Warehouse):
+    """A warehouse that keeps selected complements virtual (Section 6).
+
+    Parameters
+    ----------
+    spec:
+        An ordinary :class:`~repro.core.complement.WarehouseSpec`.
+    virtual:
+        Names of complement views to keep virtual (must be complement names
+        from the spec; provably-empty complements are never materialized
+        anyway and need not be listed).
+    source_access:
+        Callback ``relation name -> current Relation`` used whenever a
+        virtual complement must be computed. Each *distinct base relation
+        read* increments :attr:`source_queries`.
+    """
+
+    def __init__(
+        self,
+        spec: WarehouseSpec,
+        virtual: Iterable[str],
+        source_access: SourceAccess,
+    ) -> None:
+        super().__init__(spec)
+        self.virtual: FrozenSet[str] = frozenset(virtual)
+        unknown = self.virtual - set(spec.complement_names())
+        if unknown:
+            raise WarehouseError(
+                f"virtual names {sorted(unknown)} are not stored complements"
+            )
+        self._source_access = source_access
+        self.source_queries = 0
+
+    # ------------------------------------------------------------------
+
+    def _virtual_definitions(self) -> Dict[str, object]:
+        by_name = {
+            complement.name: complement
+            for complement in self.spec.complements.values()
+        }
+        return {
+            name: by_name[name].definition_over_sources(self.spec.views)
+            for name in self.virtual
+        }
+
+    def _fetch_virtual(self, undo: Optional[Update] = None) -> Dict[str, Relation]:
+        """Evaluate the virtual complements against the live sources.
+
+        During :meth:`apply`, the sources have already applied the update
+        being processed, but the maintenance expressions need *pre-update*
+        values; ``undo`` reverses exactly that update's deltas on the
+        fetched relations. Like any source-querying scheme this is only
+        consistent if no *other* update is in flight — the maintenance-
+        anomaly caveat (see :mod:`repro.integrator`) that the fully
+        materialized design avoids; Section 6's trade-off in one line.
+        """
+        definitions = self._virtual_definitions()
+        needed: set = set()
+        for expression in definitions.values():
+            needed |= {
+                name
+                for name in expression.relation_names()
+                if name in self.spec.catalog
+            }
+        source_state = {name: self._source_access(name) for name in sorted(needed)}
+        if undo is not None:
+            for delta in undo:
+                if delta.relation in source_state:
+                    source_state[delta.relation] = delta.inverted().apply_to(
+                        source_state[delta.relation]
+                    )
+        self.source_queries += len(needed)
+        return evaluate_all(definitions, source_state)
+
+    def _full_state(self, undo: Optional[Update] = None) -> Dict[str, Relation]:
+        """Materialized state plus freshly computed virtual complements."""
+        state = dict(self.state)
+        if self.virtual:
+            state.update(self._fetch_virtual(undo))
+        return state
+
+    # ------------------------------------------------------------------
+    # Overrides
+    # ------------------------------------------------------------------
+
+    def initialize(self, source) -> Dict[str, Relation]:
+        materialized = super().initialize(source)
+        # Drop the virtual complements from storage.
+        for name in self.virtual:
+            self._state.pop(name, None)
+        return dict(self._state)
+
+    def storage_rows(self) -> int:
+        return sum(len(rel) for rel in self.state.values())
+
+    def answer(self, query) -> Relation:
+        expression = self._as_expression(query)
+        translated = translate_query(self.spec, expression)
+        if translated.relation_names() & self.virtual:
+            return evaluate(translated, self._full_state())
+        return evaluate(translated, self.state)
+
+    def reconstruct(self, relation: str) -> Relation:
+        inverse = self.spec.inverse_for(relation)
+        if inverse.relation_names() & self.virtual:
+            return evaluate(inverse, self._full_state())
+        return evaluate(inverse, self.state)
+
+    def apply(self, update: Update) -> Dict[str, Delta]:
+        plan = self.maintenance_plan(update.relations())
+        touched: set = set()
+        for exprs in plan.expressions.values():
+            touched |= exprs.inserts.relation_names()
+            touched |= exprs.deletes.relation_names()
+        if touched & self.virtual:
+            working = self._full_state(undo=update)
+        else:
+            working = dict(self.state)
+        new_state, applied = refresh_state(self.spec, working, update, plan)
+        # Persist only the materialized part.
+        self._state = {
+            name: rel for name, rel in new_state.items() if name not in self.virtual
+        }
+        for aggregate in self._aggregates:
+            delta = applied.get(aggregate.source)
+            if delta is not None:
+                aggregate.apply_delta(delta, new_state[aggregate.source])
+        return {name: d for name, d in applied.items() if name not in self.virtual}
+
+    def __repr__(self) -> str:
+        return (
+            f"HybridWarehouse(virtual={sorted(self.virtual)}, "
+            f"source_queries={self.source_queries})"
+        )

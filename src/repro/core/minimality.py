@@ -1,0 +1,203 @@
+"""The view ordering of Definition 2.1 and minimality of complements.
+
+The paper orders (sets of) views by information content: ``U <= V`` iff
+``U_i(d) subseteq V_i(d)`` for all states ``d``, for *some* pairing of the
+two sets' members. General minimality of complements is undecidable-hard and
+left partially open by the paper (Section 6); what the paper *proves* is
+
+* Theorem 2.1 — for SJ views without constraints, Proposition 2.2's
+  complement is minimal;
+* Theorem 2.2 — its complement is minimal among complements whose
+  recomputations join along keys and use only complementary views and
+  ``V_K^ind`` members.
+
+Accordingly this module offers two tools:
+
+* :func:`smaller_on_states` / :func:`compare_view_sets` — the *empirical*
+  ordering over explicit state collections (a sound refuter: if ``U <= V``
+  fails on some sampled state, it fails, full stop; if it holds on all
+  samples it is only evidence). For PSJ-with-union expressions the exact
+  containment test of :mod:`repro.algebra.containment` is used instead of
+  sampling whenever both sides fall in the fragment.
+* :func:`is_minimal_certificate` — the structural certificates matching the
+  two theorems.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, NamedTuple, Optional, Sequence, Tuple
+
+from repro.algebra.containment import UnsupportedFragment, is_contained_in
+from repro.algebra.evaluator import evaluate
+from repro.algebra.expressions import Expression
+from repro.storage.relation import Relation
+from repro.core.complement import WarehouseSpec
+
+State = Mapping[str, Relation]
+
+
+def _contained_on_states(
+    sub: Expression, sup: Expression, states: Sequence[State]
+) -> bool:
+    for state in states:
+        left = evaluate(sub, state)
+        right = evaluate(sup, state)
+        if left.attribute_set != right.attribute_set:
+            return False
+        # Align the right side's rows to the left's column order.
+        if not (left.rows <= left._aligned_rows(right)):
+            return False
+    return True
+
+
+def _find_matching(compatible: List[List[bool]]) -> Optional[List[int]]:
+    """A perfect matching in a bipartite compatibility matrix, or ``None``.
+
+    Classic augmenting-path matching; sizes here are tiny (one view per base
+    relation).
+    """
+    size = len(compatible)
+    match_right: List[Optional[int]] = [None] * size
+
+    def try_assign(left: int, visited: List[bool]) -> bool:
+        for right in range(size):
+            if compatible[left][right] and not visited[right]:
+                visited[right] = True
+                if match_right[right] is None or try_assign(match_right[right], visited):
+                    match_right[right] = left
+                    return True
+        return False
+
+    for left in range(size):
+        if not try_assign(left, [False] * size):
+            return None
+    result: List[int] = [0] * size
+    for right, left in enumerate(match_right):
+        assert left is not None
+        result[left] = right
+    return result
+
+
+def smaller_on_states(
+    candidates: Sequence[Expression],
+    references: Sequence[Expression],
+    states: Sequence[State],
+    scope: Optional[Mapping[str, Tuple[str, ...]]] = None,
+) -> bool:
+    """Whether ``candidates <= references`` (Definition 2.1, elementwise).
+
+    Tries the exact conjunctive-query containment first (when ``scope`` is
+    given and both expressions are in the fragment); otherwise falls back to
+    checking containment on every provided state. Set sizes must agree.
+    """
+    if len(candidates) != len(references):
+        return False
+    size = len(candidates)
+    compatible = [[False] * size for _ in range(size)]
+    for i, sub in enumerate(candidates):
+        for j, sup in enumerate(references):
+            exact: Optional[bool] = None
+            if scope is not None:
+                try:
+                    exact = is_contained_in(sub, sup, scope)
+                except UnsupportedFragment:
+                    exact = None
+            if exact is None:
+                exact = _contained_on_states(sub, sup, states)
+            compatible[i][j] = exact
+    return _find_matching(compatible) is not None
+
+
+class Comparison(NamedTuple):
+    """Outcome of comparing two view sets under Definition 2.1."""
+
+    le: bool
+    ge: bool
+
+    @property
+    def strictly_smaller(self) -> bool:
+        """``candidates < references``."""
+        return self.le and not self.ge
+
+    @property
+    def equivalent(self) -> bool:
+        """Both orderings hold (equal information content on the evidence)."""
+        return self.le and self.ge
+
+    @property
+    def incomparable(self) -> bool:
+        """Neither ordering holds."""
+        return not self.le and not self.ge
+
+
+def compare_view_sets(
+    candidates: Sequence[Expression],
+    references: Sequence[Expression],
+    states: Sequence[State],
+    scope: Optional[Mapping[str, Tuple[str, ...]]] = None,
+) -> Comparison:
+    """Both directions of the Definition 2.1 ordering."""
+    return Comparison(
+        le=smaller_on_states(candidates, references, states, scope),
+        ge=smaller_on_states(references, candidates, states, scope),
+    )
+
+
+class MinimalityCertificate(NamedTuple):
+    """A structural minimality statement about a spec's complement."""
+
+    certified: bool
+    theorem: Optional[str]
+    reason: str
+
+
+def is_minimal_certificate(spec: WarehouseSpec) -> MinimalityCertificate:
+    """The structural minimality certificate the paper's theorems provide.
+
+    * All views SJ and no constraints used: minimal by Theorem 2.1.
+    * Theorem 2.2 method: minimal among key-join recomputations over
+      ``V_K^ind`` members (the theorem's qualified minimality).
+    * Otherwise: no certificate (Example 2.2 shows Proposition 2.2 can be
+      non-minimal for proper PSJ views).
+    """
+    scope = spec.source_scope()
+    all_sj = all(view.psj(scope).is_sj(scope) for view in spec.views)
+    constraints_present = bool(spec.catalog.inclusions()) or any(
+        s.key is not None for s in spec.catalog.schemas()
+    )
+    if all_sj and not constraints_present:
+        return MinimalityCertificate(
+            True,
+            "Theorem 2.1",
+            "all views are SJ views and no integrity constraints are declared",
+        )
+    if spec.method == "thm22":
+        return MinimalityCertificate(
+            True,
+            "Theorem 2.2",
+            "minimal among complements whose recomputation joins along keys "
+            "and uses only complementary views and V_K^ind members",
+        )
+    if all_sj:
+        return MinimalityCertificate(
+            True,
+            "Theorem 2.1",
+            "all views are SJ views (constraints declared but unused by prop22)",
+        )
+    return MinimalityCertificate(
+        False,
+        None,
+        "proper PSJ views without a theorem: Proposition 2.2 may be non-minimal "
+        "(Example 2.2)",
+    )
+
+
+def total_rows(
+    expressions: Iterable[Expression], state: State
+) -> int:
+    """Total tuple count of several expressions on one state.
+
+    The benchmarks use this as the *storage size* measure when comparing
+    complements against the trivial copy-everything complement.
+    """
+    return sum(len(evaluate(expr, state)) for expr in expressions)

@@ -1,0 +1,72 @@
+"""Query translation: Theorem 3.1, ``Q^ = Q ∘ W^{-1}``.
+
+Section 3, Steps 3-4 of the paper: given the inverse mapping ``W^{-1}``
+(Equation (4)), any query over the sources is answered at the warehouse by
+substituting, for every base relation, its inverse expression. The
+substitution is purely syntactic; correctness is Theorem 3.1 (and is
+re-checked empirically in the test suite).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.errors import WarehouseError
+from repro.algebra.evaluator import evaluate
+from repro.algebra.expressions import Expression
+from repro.algebra.optimize import optimize
+from repro.algebra.rewriting import substitute
+from repro.algebra.simplify import simplify
+from repro.storage.relation import Relation
+from repro.core.complement import WarehouseSpec
+
+
+def translate_query(
+    spec: WarehouseSpec, query: Expression, optimized: bool = False
+) -> Expression:
+    """Translate a source query into a warehouse query (``Q^``).
+
+    Every reference to a base relation is replaced by its Equation (4)
+    inverse; the result is simplified against the warehouse scope so that
+    provably-empty complements vanish (Example 2.4's warehouse answers
+    ``pi_clerk(Sale) union pi_clerk(Emp)`` without ever mentioning ``C_2``).
+
+    Raises :class:`~repro.errors.WarehouseError` if the query references a
+    relation that is neither a base relation nor a warehouse relation.
+
+    Examples
+    --------
+    See ``tests/paper/test_query_independence.py`` for the paper's worked
+    translation of ``pi_age(sigma[item='Computer'](Sale) join Emp)``.
+    """
+    warehouse_names = set(spec.warehouse_names())
+    known = set(spec.inverses) | warehouse_names
+    unknown = query.relation_names() - known
+    if unknown:
+        raise WarehouseError(
+            f"query references unknown relations {sorted(unknown)}; "
+            f"known base relations: {sorted(spec.inverses)}"
+        )
+    translated = substitute(query, spec.inverses)
+    if optimized:
+        return optimize(translated, spec.warehouse_scope())
+    return simplify(translated, spec.warehouse_scope())
+
+
+def answer_query(
+    spec: WarehouseSpec,
+    warehouse: Mapping[str, Relation],
+    query: Expression,
+    optimized: bool = True,
+) -> Relation:
+    """Answer a source query using warehouse relations only.
+
+    ``warehouse`` is the materialized warehouse state; the query is stated
+    over base relations (and/or warehouse relations) and is evaluated after
+    translation — no source relation is ever touched. ``optimized`` runs
+    selection pushdown / projection pruning on the translated expression
+    before evaluation (on by default; ``translate_query`` keeps the
+    unoptimized, paper-shaped form by default for display).
+    """
+    translated = translate_query(spec, query, optimized=optimized)
+    return evaluate(translated, warehouse)

@@ -1,0 +1,238 @@
+"""The ``Warehouse`` runtime: Section 5's specification algorithm, live.
+
+``Warehouse.specify`` performs the paper's Steps 1-3 at definition time:
+
+1. compute a complement of the given PSJ views and the inverse mapping
+   ``W^{-1}`` (Theorem 2.2, Equation (4));
+2. query translation is then a substitution (Theorem 3.1) — available as
+   :meth:`Warehouse.translate` / :meth:`Warehouse.answer`;
+3. maintenance expressions are derived per update shape and cached —
+   :meth:`Warehouse.apply` folds reported source updates into the
+   materialized state using warehouse data only (Theorem 4.1).
+
+The warehouse user "does not need to be aware of complementary views or
+query rewriting" (Section 5): queries are posed against base relation names
+and updates arrive as plain :class:`~repro.storage.update.Update` objects.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Union as TypingUnion
+
+from repro.errors import WarehouseError
+from repro.algebra.evaluator import evaluate, evaluate_all
+from repro.algebra.expressions import Expression
+from repro.algebra.parser import parse
+from repro.schema.catalog import Catalog
+from repro.storage.database import Database
+from repro.storage.relation import Relation
+from repro.storage.update import Delta, Update
+from repro.views.psj import View
+from repro.core.complement import WarehouseSpec, specify
+from repro.core.maintenance import (
+    MaintenancePlan,
+    full_recompute_state,
+    maintenance_expressions,
+    refresh_state,
+)
+from repro.core.translation import answer_query, translate_query
+
+QueryLike = TypingUnion[str, Expression]
+StateLike = TypingUnion[Database, Mapping[str, Relation]]
+
+
+class Warehouse:
+    """A materialized, query- and update-independent warehouse.
+
+    Examples
+    --------
+    >>> from repro.schema import Catalog
+    >>> from repro.views.psj import View
+    >>> from repro.algebra.parser import parse
+    >>> catalog = Catalog()
+    >>> _ = catalog.relation("Sale", ("item", "clerk"))
+    >>> _ = catalog.relation("Emp", ("clerk", "age"), key=("clerk",))
+    >>> wh = Warehouse.specify(catalog, [View("Sold", parse("Sale join Emp"))])
+    >>> sorted(wh.spec.warehouse_names())
+    ['C_Emp', 'C_Sale', 'Sold']
+    """
+
+    def __init__(self, spec: WarehouseSpec) -> None:
+        self.spec = spec
+        self._state: Optional[Dict[str, Relation]] = None
+        self._plans: Dict[frozenset, MaintenancePlan] = {}
+        self._aggregates: list = []
+
+    # ------------------------------------------------------------------
+    # Construction (Section 5, Step 1)
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def specify(
+        cls,
+        catalog: Catalog,
+        views: Sequence[View],
+        method: str = "thm22",
+        **options,
+    ) -> "Warehouse":
+        """Build a warehouse from a catalog and PSJ view definitions."""
+        return cls(specify(catalog, views, method=method, **options))
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+
+    def initialize(self, source: StateLike) -> Dict[str, Relation]:
+        """Materialize the warehouse from an initial source snapshot.
+
+        This is the only moment source data is read (the initial extract);
+        afterwards the warehouse lives off reported updates alone.
+        """
+        state = source.state() if isinstance(source, Database) else dict(source)
+        self._state = evaluate_all(self.spec.definitions_over_sources(), state)
+        for aggregate in self._aggregates:
+            aggregate.recompute(self._state[aggregate.source])
+        return dict(self._state)
+
+    @property
+    def state(self) -> Dict[str, Relation]:
+        """The materialized warehouse state (views plus stored complements)."""
+        if self._state is None:
+            raise WarehouseError("warehouse not initialized; call initialize() first")
+        return self._state
+
+    def relation(self, name: str) -> Relation:
+        """One materialized warehouse relation by name."""
+        state = self.state
+        if name not in state:
+            raise WarehouseError(f"no warehouse relation named {name!r}")
+        return state[name]
+
+    def storage_rows(self) -> int:
+        """Total number of materialized tuples (views + complements)."""
+        return sum(len(rel) for rel in self.state.values())
+
+    def storage_by_relation(self) -> Dict[str, int]:
+        """Tuple counts per materialized warehouse relation."""
+        return {name: len(rel) for name, rel in self.state.items()}
+
+    # ------------------------------------------------------------------
+    # Query independence (Section 3)
+    # ------------------------------------------------------------------
+
+    def translate(self, query: QueryLike) -> Expression:
+        """Translate a source query to a warehouse query (``Q^``)."""
+        return translate_query(self.spec, self._as_expression(query))
+
+    def answer(self, query: QueryLike) -> Relation:
+        """Answer a source query from warehouse relations only."""
+        return answer_query(self.spec, self.state, self._as_expression(query))
+
+    def reconstruct(self, relation: str) -> Relation:
+        """Recompute one base relation via Equation (4)."""
+        return evaluate(self.spec.inverse_for(relation), self.state)
+
+    def reconstruct_all(self) -> Dict[str, Relation]:
+        """Recompute every base relation (the full ``W^{-1}``)."""
+        return evaluate_all(self.spec.inverses, self.state)
+
+    def audit(self) -> list:
+        """Self-check: do the reconstructed base relations satisfy ``D``?
+
+        Because the warehouse state determines the base state (Proposition
+        2.1), every declared constraint is checkable *locally*. A non-empty
+        result means either the sources violated their own constraints or a
+        reported update was lost/corrupted in transit — exactly the failure
+        a decoupled pipeline wants to detect early. Returns human-readable
+        violation descriptions (empty list = consistent).
+        """
+        rebuilt = Database(self.spec.catalog, self.reconstruct_all(), check=False)
+        return rebuilt.constraint_violations()
+
+    # ------------------------------------------------------------------
+    # Update independence (Section 4)
+    # ------------------------------------------------------------------
+
+    def maintenance_plan(
+        self, updated: Iterable[str], **options
+    ) -> MaintenancePlan:
+        """The (cached) symbolic maintenance plan for an update shape."""
+        updated_set = frozenset(updated)
+        if options:
+            return maintenance_expressions(self.spec, updated_set, **options)
+        plan = self._plans.get(updated_set)
+        if plan is None:
+            plan = maintenance_expressions(self.spec, updated_set)
+            self._plans[updated_set] = plan
+        return plan
+
+    def apply(self, update: Update) -> Dict[str, Delta]:
+        """Incrementally fold a reported source update into the warehouse.
+
+        Returns the effective per-warehouse-relation deltas. Touches no
+        source database.
+        """
+        plan = self.maintenance_plan(update.relations())
+        new_state, applied = refresh_state(self.spec, self.state, update, plan)
+        self._state = new_state
+        for aggregate in self._aggregates:
+            delta = applied.get(aggregate.source)
+            if delta is not None:
+                aggregate.apply_delta(delta, new_state[aggregate.source])
+        return applied
+
+    def apply_full(self, update: Update) -> None:
+        """Baseline: ``w' = W(u(W^{-1}(w)))`` — full recomputation."""
+        self._state = full_recompute_state(self.spec, self.state, update)
+        for aggregate in self._aggregates:
+            aggregate.recompute(self._state[aggregate.source])
+
+    def attach_aggregate(self, aggregate) -> None:
+        """Attach a materialized aggregate view (Section 5, last paragraph).
+
+        The aggregate rides on one warehouse relation (typically a fact
+        table): every :meth:`apply` forwards that relation's effective delta
+        to the aggregate's summary-delta maintenance. If the warehouse is
+        already initialized the aggregate is computed immediately.
+        """
+        if aggregate.source not in self.spec.warehouse_names():
+            raise WarehouseError(
+                f"aggregate source {aggregate.source!r} is not a warehouse relation"
+            )
+        self._aggregates.append(aggregate)
+        if self._state is not None:
+            aggregate.recompute(self._state[aggregate.source])
+
+    def aggregate(self, name: str) -> Relation:
+        """The current table of an attached aggregate view, by name."""
+        for aggregate in self._aggregates:
+            if aggregate.name == name:
+                return aggregate.table()
+        raise WarehouseError(f"no aggregate view named {name!r}")
+
+    def insert(self, relation: str, rows: Iterable[Sequence[object]]) -> Dict[str, Delta]:
+        """Convenience: apply an insertion update."""
+        attrs = self.spec.catalog[relation].attributes
+        return self.apply(Update.insert(relation, attrs, rows))
+
+    def delete(self, relation: str, rows: Iterable[Sequence[object]]) -> Dict[str, Delta]:
+        """Convenience: apply a deletion update."""
+        attrs = self.spec.catalog[relation].attributes
+        return self.apply(Update.delete(relation, attrs, rows))
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def _as_expression(self, query: QueryLike) -> Expression:
+        if isinstance(query, str):
+            return parse(query)
+        return query
+
+    def describe(self) -> str:
+        """The full specification, human-readable."""
+        return self.spec.describe()
+
+    def __repr__(self) -> str:
+        status = "uninitialized" if self._state is None else f"{self.storage_rows()} rows"
+        return f"Warehouse({len(self.spec.views)} views, {self.spec.method}, {status})"

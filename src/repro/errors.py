@@ -1,0 +1,45 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-raised exceptions derive from :class:`ReproError`, so callers can
+catch a single base class. The subclasses distinguish the layer at fault:
+schema definition, expression construction/typing, evaluation, constraint
+violations, and warehouse-level misuse.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all exceptions raised by this library."""
+
+
+class SchemaError(ReproError):
+    """A relation schema, constraint, or catalog definition is invalid."""
+
+
+class ExpressionError(ReproError):
+    """A relational-algebra expression is malformed or badly typed.
+
+    Raised, for example, when a union combines incompatible attribute sets or
+    a projection mentions attributes absent from its input.
+    """
+
+
+class EvaluationError(ReproError):
+    """An expression could not be evaluated against the given state.
+
+    Typically the state is missing a relation the expression refers to, or a
+    bound relation's attributes disagree with the catalog.
+    """
+
+
+class ConstraintViolation(ReproError):
+    """A database state or update violates a declared integrity constraint."""
+
+
+class WarehouseError(ReproError):
+    """Warehouse-level misuse: unknown relations, uninitialized state, etc."""
+
+
+class ParseError(ReproError):
+    """The textual form of an expression or condition could not be parsed."""

@@ -1,0 +1,37 @@
+"""The integration pipeline of Figure 1: sources, channels, integrators.
+
+The paper's architecture decouples sources from the warehouse: sources
+apply updates locally and *report* them; the integrator folds reported
+updates into the warehouse. Crucially, "the warehouse is typically not in a
+position to send queries back to the sources ... such queries can cause
+warehouse maintenance anomalies [27, 28]" (Section 1).
+
+This package makes that motivation executable:
+
+* :class:`~repro.integrator.source.Source` — a named autonomous database
+  that stamps every update with a sequence number and reports it;
+* :class:`~repro.integrator.channel.Channel` — the loosely-coupled link:
+  a FIFO queue with configurable delivery lag, so the integrator sees
+  notifications *after* the source has moved on;
+* :class:`~repro.integrator.integrator.ComplementIntegrator` — the paper's
+  approach: maintain the warehouse from the notification alone (Theorem
+  4.1); correct under any lag;
+* :class:`~repro.integrator.integrator.NaiveIntegrator` — the strawman the
+  paper argues against: on each notification it queries the *current*
+  source state for join partners. Under lag this reproduces the classical
+  Zhuge et al. maintenance anomalies (see
+  ``tests/integrator/test_anomalies.py`` and
+  ``examples/integrator_anomalies.py``).
+"""
+
+from repro.integrator.channel import Channel, Notification
+from repro.integrator.integrator import ComplementIntegrator, NaiveIntegrator
+from repro.integrator.source import Source
+
+__all__ = [
+    "Channel",
+    "ComplementIntegrator",
+    "NaiveIntegrator",
+    "Notification",
+    "Source",
+]

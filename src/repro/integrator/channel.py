@@ -1,0 +1,80 @@
+"""Channels: the loosely-coupled link between sources and integrator.
+
+A :class:`Channel` is a FIFO of :class:`Notification` objects. The crucial
+knob is *lag*: the integrator drains the channel some time after the source
+applied the update, during which the source may have applied further
+updates. A naive integrator that queries the live source during that window
+reads a state inconsistent with the notification it is processing — the
+maintenance-anomaly mechanism of Zhuge et al. that the paper's Section 1
+cites as motivation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import Deque, Iterator, List, NamedTuple, Optional
+
+from repro.storage.update import Update
+
+
+class Notification(NamedTuple):
+    """One reported update: source name, global sequence number, update."""
+
+    source: str
+    sequence: int
+    update: Update
+
+
+class Channel:
+    """A FIFO update channel shared by any number of sources.
+
+    Sequence numbers are global per channel, so total order of publication
+    is preserved; delivery order equals publication order (the anomaly does
+    not require reordering — lag alone suffices).
+    """
+
+    def __init__(self) -> None:
+        self._queue: Deque[Notification] = deque()
+        self._sequence = itertools.count(1)
+        self._delivered = 0
+
+    def publish(self, source: str, update: Update) -> Notification:
+        """Append a notification (called by sources)."""
+        notification = Notification(source, next(self._sequence), update)
+        self._queue.append(notification)
+        return notification
+
+    def pending(self) -> int:
+        """Number of undelivered notifications."""
+        return len(self._queue)
+
+    def delivered(self) -> int:
+        """Number of notifications delivered so far."""
+        return self._delivered
+
+    def poll(self) -> Optional[Notification]:
+        """Deliver the oldest pending notification, or ``None``."""
+        if not self._queue:
+            return None
+        self._delivered += 1
+        return self._queue.popleft()
+
+    def drain(self, limit: Optional[int] = None) -> List[Notification]:
+        """Deliver up to ``limit`` pending notifications (all by default)."""
+        out: List[Notification] = []
+        while self._queue and (limit is None or len(out) < limit):
+            notification = self.poll()
+            assert notification is not None
+            out.append(notification)
+        return out
+
+    def __iter__(self) -> Iterator[Notification]:
+        """Iterate by draining (consumes the queue)."""
+        while self._queue:
+            notification = self.poll()
+            assert notification is not None
+            yield notification
+
+    def __repr__(self) -> str:
+        return f"Channel({len(self._queue)} pending, {self._delivered} delivered)"

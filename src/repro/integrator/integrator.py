@@ -1,0 +1,175 @@
+"""Integrators: folding reported updates into the warehouse.
+
+Two implementations of the integrator box in Figure 1:
+
+* :class:`ComplementIntegrator` — the paper's design. At definition time it
+  computes a complement and maintenance expressions; at run time each
+  notification is folded in using warehouse relations and the notification
+  only. Correct under arbitrary delivery lag, because nothing it reads can
+  drift: the warehouse state *is* the (pre-update) source state, by
+  invertibility.
+
+* :class:`NaiveIntegrator` — the strawman: it materializes the views only,
+  and when a notification arrives it computes the view change by joining
+  the reported delta against the *live* source relations ("having the
+  Company Database join the new tuple with all tuples in relation Emp",
+  Section 1 — exactly what the paper says is not an option). If the sources
+  have moved on since the notification was published (delivery lag), the
+  integrator joins against a too-new state and the materialized view
+  diverges — the classical maintenance anomaly (Zhuge et al.), reproduced
+  in ``tests/integrator/test_anomalies.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.errors import WarehouseError
+from repro.algebra.deltas import derive_delta
+from repro.algebra.evaluator import evaluate
+from repro.schema.catalog import Catalog
+from repro.storage.relation import Relation
+from repro.views.psj import View
+from repro.core.maintenance import delta_bindings
+from repro.core.warehouse import Warehouse
+from repro.integrator.channel import Channel, Notification
+from repro.integrator.source import Source
+
+
+def _source_state(sources: Sequence[Source]) -> Dict[str, Relation]:
+    state: Dict[str, Relation] = {}
+    for source in sources:
+        for relation in source.relations:
+            if relation in state:
+                raise WarehouseError(
+                    f"relation {relation!r} owned by more than one source"
+                )
+            state[relation] = source.relation(relation)
+    return state
+
+
+class ComplementIntegrator:
+    """The paper's integrator: complement-based, source-free maintenance."""
+
+    def __init__(self, catalog: Catalog, views: Sequence[View], **specify_options) -> None:
+        self.warehouse = Warehouse.specify(catalog, views, **specify_options)
+        self._processed = 0
+
+    @classmethod
+    def from_spec(cls, spec) -> "ComplementIntegrator":
+        """Build an integrator from an existing spec (e.g. a star schema's).
+
+        ``Warehouse.specify`` requires PSJ views; star specifications carry
+        union-defined fact tables and are constructed by
+        :func:`repro.core.star.star_specify` instead — this constructor
+        accepts them directly.
+        """
+        integrator = cls.__new__(cls)
+        integrator.warehouse = Warehouse(spec)
+        integrator._processed = 0
+        return integrator
+
+    def initialize(self, sources: Sequence[Source]) -> None:
+        """The initial extract: the only read of source data, ever."""
+        self.warehouse.initialize(_source_state(sources))
+
+    def process(self, notification: Notification) -> None:
+        """Fold one reported update in — no source access."""
+        self.warehouse.apply(notification.update)
+        self._processed += 1
+
+    def process_all(self, channel: Channel) -> int:
+        """Drain a channel; returns the number of notifications processed."""
+        count = 0
+        for notification in channel:
+            self.process(notification)
+            count += 1
+        return count
+
+    def relation(self, name: str) -> Relation:
+        """A materialized warehouse relation."""
+        return self.warehouse.relation(name)
+
+    @property
+    def processed(self) -> int:
+        """Notifications processed so far."""
+        return self._processed
+
+    def __repr__(self) -> str:
+        return f"ComplementIntegrator({self._processed} notifications processed)"
+
+
+class NaiveIntegrator:
+    """The query-the-sources strawman (anomalous under delivery lag).
+
+    Materializes only the views. Each notification's view-delta is computed
+    by the standard delta rules, but with base relations bound to the *live*
+    source state at processing time — correct only if nothing changed since
+    publication.
+    """
+
+    def __init__(
+        self, catalog: Catalog, views: Sequence[View], sources: Sequence[Source]
+    ) -> None:
+        self.catalog = catalog
+        self.views = tuple(views)
+        self.sources = tuple(sources)
+        self._scope = {s.name: s.attributes for s in catalog.schemas()}
+        self._state: Optional[Dict[str, Relation]] = None
+        self._processed = 0
+
+    def initialize(self) -> None:
+        """Materialize the views from the current source state."""
+        live = _source_state(self.sources)
+        self._state = {
+            view.name: evaluate(view.definition, live) for view in self.views
+        }
+
+    def process(self, notification: Notification) -> None:
+        """Maintain the views by querying the live sources (anomalous)."""
+        if self._state is None:
+            raise WarehouseError("integrator not initialized")
+        update = notification.update
+        updated = tuple(update.relations())
+        live = _source_state(self.sources)  # <- the bug the paper avoids:
+        # this is the post-lag state, not the state the update applied to.
+        combined: Dict[str, Relation] = dict(live)
+        # Undo this notification's own deltas so that, when the integrator
+        # is tightly coupled (zero lag), the reconstructed pre-state is
+        # exact and maintenance is correct. Under lag, other sources' (or
+        # the same source's later) updates are already baked into `live`
+        # and cannot be undone — that residue is the maintenance anomaly.
+        for delta in update:
+            combined[delta.relation] = delta.inverted().apply_to(
+                live[delta.relation]
+            )
+        combined.update(delta_bindings(update, self._scope))
+        for view in self.views:
+            derived = derive_delta(view.definition, updated, self._scope)
+            inserts = evaluate(derived.inserts, combined)
+            deletes = evaluate(derived.deletes, combined)
+            current = self._state[view.name]
+            self._state[view.name] = current.difference(deletes).union(inserts)
+        self._processed += 1
+
+    def process_all(self, channel: Channel) -> int:
+        """Drain a channel; returns the number of notifications processed."""
+        count = 0
+        for notification in channel:
+            self.process(notification)
+            count += 1
+        return count
+
+    def relation(self, name: str) -> Relation:
+        """A materialized view."""
+        if self._state is None or name not in self._state:
+            raise WarehouseError(f"no materialized view named {name!r}")
+        return self._state[name]
+
+    @property
+    def processed(self) -> int:
+        """Notifications processed so far."""
+        return self._processed
+
+    def __repr__(self) -> str:
+        return f"NaiveIntegrator({self._processed} notifications processed)"

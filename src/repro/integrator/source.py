@@ -1,0 +1,111 @@
+"""Sources: autonomous databases that report their changes.
+
+A :class:`Source` owns a :class:`~repro.storage.database.Database` (possibly
+covering only a subset of the global catalog's relations — the paper's
+Figure 1 has a Sales database and a Company database over one conceptual
+schema) and publishes every applied update to a channel as a
+:class:`~repro.integrator.channel.Notification`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.errors import SchemaError
+from repro.schema.catalog import Catalog
+from repro.storage.database import Database
+from repro.storage.relation import Relation
+from repro.storage.update import Update
+from repro.integrator.channel import Channel
+
+
+class Source:
+    """A named, autonomous source database.
+
+    Parameters
+    ----------
+    name:
+        Source name (appears in notifications).
+    catalog:
+        The *global* catalog; the source hosts ``relations`` of it.
+    relations:
+        The relation names this source owns. Constraint checking at the
+        source is restricted to constraints fully local to these relations —
+        autonomy means a source cannot validate cross-source inclusions.
+    channel:
+        Where applied updates are reported.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        catalog: Catalog,
+        relations: Sequence[str],
+        channel: Optional[Channel] = None,
+    ) -> None:
+        self.name = name
+        self.relations = tuple(relations)
+        for relation in self.relations:
+            if relation not in catalog:
+                raise SchemaError(f"source {name!r}: unknown relation {relation!r}")
+        self._catalog = _restrict_catalog(catalog, self.relations)
+        self.database = Database(self._catalog)
+        self.channel = channel if channel is not None else Channel()
+
+    # ------------------------------------------------------------------
+
+    def load(self, relation: str, rows: Iterable[Sequence[object]]) -> None:
+        """Bulk-load initial data (not reported — part of the initial extract)."""
+        self._require_owned(relation)
+        self.database.load(relation, rows)
+
+    def relation(self, name: str) -> Relation:
+        """Current contents of an owned relation."""
+        self._require_owned(name)
+        return self.database[name]
+
+    def apply(self, update: Update) -> Update:
+        """Apply an update locally and report its effective form."""
+        for delta in update:
+            self._require_owned(delta.relation)
+        effective = self.database.apply(update)
+        if not effective.is_empty():
+            self.channel.publish(self.name, effective)
+        return effective
+
+    def insert(self, relation: str, rows: Iterable[Sequence[object]]) -> Update:
+        """Insert rows and report the effective update."""
+        self._require_owned(relation)
+        attrs = self._catalog[relation].attributes
+        return self.apply(Update.insert(relation, attrs, rows))
+
+    def delete(self, relation: str, rows: Iterable[Sequence[object]]) -> Update:
+        """Delete rows and report the effective update."""
+        self._require_owned(relation)
+        attrs = self._catalog[relation].attributes
+        return self.apply(Update.delete(relation, attrs, rows))
+
+    def _require_owned(self, relation: str) -> None:
+        if relation not in self.relations:
+            raise SchemaError(
+                f"source {self.name!r} does not own relation {relation!r}"
+            )
+
+    def __repr__(self) -> str:
+        return f"Source({self.name!r}, relations={list(self.relations)})"
+
+
+def _restrict_catalog(catalog: Catalog, relations: Sequence[str]) -> Catalog:
+    """The sub-catalog a source can see: its relations and local constraints."""
+    owned = set(relations)
+    restricted = Catalog()
+    for schema in catalog.schemas():
+        if schema.name in owned:
+            restricted.add_relation(schema)
+    for ind in catalog.inclusions():
+        if ind.lhs in owned and ind.rhs in owned:
+            restricted.add_inclusion(ind)
+    for name in relations:
+        for check in catalog.checks(name):
+            restricted.add_check(name, check)
+    return restricted

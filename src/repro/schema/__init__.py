@@ -1,0 +1,28 @@
+"""Schema layer: relation schemata, integrity constraints, and catalogs.
+
+This package models the paper's set ``D = {R_1, ..., R_n}`` of relation
+schemata together with the two constraint classes the paper exploits when
+minimizing complements (Section 2):
+
+* at most one **key** per relation schema, and
+* an **acyclic** set of **inclusion dependencies**
+  ``pi_X(R_i) subseteq pi_Y(R_j)``.
+
+Public API:
+
+* :class:`~repro.schema.schema.RelationSchema`
+* :class:`~repro.schema.constraints.KeyConstraint`
+* :class:`~repro.schema.constraints.InclusionDependency`
+* :class:`~repro.schema.catalog.Catalog`
+"""
+
+from repro.schema.constraints import InclusionDependency, KeyConstraint
+from repro.schema.catalog import Catalog
+from repro.schema.schema import RelationSchema
+
+__all__ = [
+    "Catalog",
+    "InclusionDependency",
+    "KeyConstraint",
+    "RelationSchema",
+]

@@ -1,0 +1,238 @@
+"""The catalog: the paper's set ``D`` of relation schemata plus constraints.
+
+A :class:`Catalog` owns the relation schemata, the (at most one per relation)
+key constraints, and the set of inclusion dependencies, and it enforces the
+paper's structural assumptions at definition time:
+
+* relation names are unique,
+* every constraint refers to declared relations/attributes,
+* the set of inclusion dependencies is **acyclic** (Section 2 requires this;
+  it is what makes the recursive substitution in Theorem 2.2 / footnote 3
+  terminate).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import SchemaError
+from repro.schema.constraints import InclusionDependency, KeyConstraint
+from repro.schema.schema import RelationSchema
+
+
+class Catalog:
+    """A set of relation schemata with key and inclusion constraints.
+
+    Examples
+    --------
+    >>> catalog = Catalog()
+    >>> _ = catalog.add_relation(RelationSchema("Sale", ("item", "clerk")))
+    >>> _ = catalog.add_relation(RelationSchema("Emp", ("clerk", "age"), key=("clerk",)))
+    >>> _ = catalog.add_inclusion(InclusionDependency("Sale", ("clerk",), "Emp"))
+    >>> sorted(catalog.relation_names())
+    ['Emp', 'Sale']
+    """
+
+    def __init__(self) -> None:
+        self._relations: Dict[str, RelationSchema] = {}
+        self._inclusions: List[InclusionDependency] = []
+        self._checks: Dict[str, list] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add_relation(self, schema: RelationSchema) -> RelationSchema:
+        """Register a relation schema; returns it for chaining."""
+        if schema.name in self._relations:
+            raise SchemaError(f"relation {schema.name!r} already declared")
+        self._relations[schema.name] = schema
+        return schema
+
+    def relation(
+        self,
+        name: str,
+        attributes: Iterable[str],
+        key: Optional[Iterable[str]] = None,
+    ) -> RelationSchema:
+        """Convenience: build and register a :class:`RelationSchema`."""
+        return self.add_relation(RelationSchema(name, attributes, key=key))
+
+    def add_inclusion(self, ind: InclusionDependency) -> InclusionDependency:
+        """Register an inclusion dependency, preserving IND-acyclicity."""
+        for side, attrs in ((ind.lhs, ind.lhs_attributes), (ind.rhs, ind.rhs_attributes)):
+            schema = self._require(side)
+            missing = set(attrs) - schema.attribute_set
+            if missing:
+                raise SchemaError(
+                    f"inclusion dependency {ind} mentions attributes "
+                    f"{sorted(missing)} not in relation {side!r}"
+                )
+        if ind.lhs == ind.rhs:
+            raise SchemaError(f"inclusion dependency {ind} relates a relation to itself")
+        if ind in self._inclusions:
+            return ind
+        self._inclusions.append(ind)
+        try:
+            self.inclusion_order()
+        except SchemaError:
+            self._inclusions.pop()
+            raise
+        return ind
+
+    def inclusion(
+        self,
+        lhs: str,
+        lhs_attributes: Iterable[str],
+        rhs: str,
+        rhs_attributes: Iterable[str] = None,
+    ) -> InclusionDependency:
+        """Convenience: build and register an :class:`InclusionDependency`."""
+        return self.add_inclusion(
+            InclusionDependency(lhs, lhs_attributes, rhs, rhs_attributes)
+        )
+
+    def foreign_key(
+        self, lhs: str, attributes: Iterable[str], rhs: str
+    ) -> InclusionDependency:
+        """Register a foreign key: an IND into the *key* of ``rhs``.
+
+        The attribute sequence on the referencing side maps positionally onto
+        the declared key of the referenced relation.
+        """
+        rhs_schema = self._require(rhs)
+        if rhs_schema.key is None:
+            raise SchemaError(f"foreign key target {rhs!r} has no declared key")
+        return self.add_inclusion(
+            InclusionDependency(lhs, attributes, rhs, rhs_schema.key)
+        )
+
+    def add_check(self, relation: str, condition) -> None:
+        """Declare a check constraint: every tuple of ``relation`` satisfies
+        ``condition`` (equivalently, ``sigma_condition(R) = R``).
+
+        Section 5 of the paper relies on such invariants implicitly: a
+        per-location source's tuples all carry that location's dimension
+        value, which is what lets the fact table's member selections be
+        recognized as no-ops (see :mod:`repro.core.star`).
+        """
+        schema = self._require(relation)
+        missing = condition.attributes() - schema.attribute_set
+        if missing:
+            raise SchemaError(
+                f"check constraint on {relation!r} mentions unknown attributes "
+                f"{sorted(missing)}"
+            )
+        self._checks.setdefault(relation, []).append(condition)
+
+    def checks(self, relation: str) -> tuple:
+        """The declared check constraints of ``relation`` (possibly empty)."""
+        self._require(relation)
+        return tuple(self._checks.get(relation, ()))
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def _require(self, name: str) -> RelationSchema:
+        schema = self._relations.get(name)
+        if schema is None:
+            raise SchemaError(f"unknown relation {name!r}")
+        return schema
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __getitem__(self, name: str) -> RelationSchema:
+        return self._require(name)
+
+    def get(self, name: str) -> Optional[RelationSchema]:
+        """The schema named ``name``, or ``None``."""
+        return self._relations.get(name)
+
+    def relation_names(self) -> Tuple[str, ...]:
+        """All relation names, in declaration order."""
+        return tuple(self._relations)
+
+    def schemas(self) -> Tuple[RelationSchema, ...]:
+        """All relation schemata, in declaration order."""
+        return tuple(self._relations.values())
+
+    def attributes(self, name: str) -> frozenset:
+        """``attr(R)`` for the relation named ``name``."""
+        return self._require(name).attribute_set
+
+    def key(self, name: str) -> Optional[Tuple[str, ...]]:
+        """The declared key of ``name``, or ``None``."""
+        return self._require(name).key
+
+    def key_constraints(self) -> Tuple[KeyConstraint, ...]:
+        """All declared keys as :class:`KeyConstraint` objects."""
+        return tuple(
+            KeyConstraint(schema.name, schema.key)
+            for schema in self._relations.values()
+            if schema.key is not None
+        )
+
+    def inclusions(self) -> Tuple[InclusionDependency, ...]:
+        """All declared inclusion dependencies."""
+        return tuple(self._inclusions)
+
+    def inclusions_into(self, rhs: str) -> Tuple[InclusionDependency, ...]:
+        """INDs whose containing (right-hand) relation is ``rhs``."""
+        return tuple(ind for ind in self._inclusions if ind.rhs == rhs)
+
+    def inclusions_from(self, lhs: str) -> Tuple[InclusionDependency, ...]:
+        """INDs whose contained (left-hand) relation is ``lhs``."""
+        return tuple(ind for ind in self._inclusions if ind.lhs == lhs)
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+
+    def inclusion_order(self) -> Tuple[str, ...]:
+        """A topological order of relations w.r.t. the IND graph.
+
+        The returned order lists ``lhs`` before ``rhs`` for every IND
+        ``pi_X(lhs) subseteq pi_Y(rhs)``. Theorem 2.2 uses this order when it
+        replaces IND-derived views ``pi_X(R_i)`` by ``R_i``'s representation
+        over warehouse views (footnote 3): processing relations in this order
+        guarantees the representation of ``R_i`` exists before it is needed.
+
+        Raises :class:`~repro.errors.SchemaError` if the IND set is cyclic,
+        which the paper excludes by assumption.
+        """
+        # Kahn's algorithm over edges lhs -> rhs.
+        successors: Dict[str, List[str]] = {name: [] for name in self._relations}
+        indegree: Dict[str, int] = {name: 0 for name in self._relations}
+        for ind in self._inclusions:
+            successors[ind.lhs].append(ind.rhs)
+            indegree[ind.rhs] += 1
+        ready = [name for name in self._relations if indegree[name] == 0]
+        order: List[str] = []
+        while ready:
+            name = ready.pop()
+            order.append(name)
+            for succ in successors[name]:
+                indegree[succ] -= 1
+                if indegree[succ] == 0:
+                    ready.append(succ)
+        if len(order) != len(self._relations):
+            cyclic = sorted(name for name in self._relations if indegree[name] > 0)
+            raise SchemaError(
+                f"inclusion dependencies are cyclic (involving {cyclic}); "
+                "the paper requires an acyclic IND set"
+            )
+        return tuple(order)
+
+    def __repr__(self) -> str:
+        return (
+            f"Catalog(relations={list(self._relations)}, "
+            f"inclusions={[str(i) for i in self._inclusions]})"
+        )
+
+    def describe(self) -> str:
+        """A human-readable, multi-line description of the catalog."""
+        lines = [str(schema) for schema in self._relations.values()]
+        lines.extend(str(ind) for ind in self._inclusions)
+        return "\n".join(lines)

@@ -1,0 +1,180 @@
+"""Integrity constraints: keys and inclusion dependencies.
+
+The paper's complement minimization (Theorem 2.2) exploits exactly two kinds
+of constraints:
+
+* **key constraints** — at most one key per relation schema, declared on the
+  :class:`~repro.schema.schema.RelationSchema` itself and mirrored here as
+  :class:`KeyConstraint` objects for uniform constraint handling;
+* **inclusion dependencies** ``pi_X(R_i) subseteq pi_Y(R_j)`` where ``X`` and
+  ``Y`` are equally long attribute sequences. The common case ``X = Y``
+  (identical attribute names, as in the paper's body text) needs no renaming;
+  differing names realize footnote 3's remark that general INDs "could be
+  incorporated by a suitable application of the renaming operator".
+
+A *foreign key* in the usual sense is the combination of an IND whose
+right-hand side is the key of the referenced relation — the paper notes that
+Theorem 2.2 handles these combinations directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+from repro.errors import SchemaError
+from repro.schema.schema import check_name
+
+
+class KeyConstraint:
+    """Key constraint ``K -> attr(R)`` on relation ``relation``.
+
+    Stored redundantly with :attr:`RelationSchema.key`; the catalog keeps the
+    two in sync. Equality is structural.
+    """
+
+    __slots__ = ("_relation", "_attributes")
+
+    def __init__(self, relation: str, attributes: Iterable[str]) -> None:
+        self._relation = check_name(relation, "relation")
+        attrs = tuple(attributes)
+        if not attrs:
+            raise SchemaError("key constraint must have at least one attribute")
+        if len(set(attrs)) != len(attrs):
+            raise SchemaError("key constraint attributes must be distinct")
+        self._attributes = attrs
+
+    @property
+    def relation(self) -> str:
+        """Name of the constrained relation."""
+        return self._relation
+
+    @property
+    def attributes(self) -> Tuple[str, ...]:
+        """The key attributes."""
+        return self._attributes
+
+    @property
+    def attribute_set(self) -> frozenset:
+        """The key attributes as a frozen set."""
+        return frozenset(self._attributes)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, KeyConstraint):
+            return NotImplemented
+        return self._relation == other._relation and frozenset(
+            self._attributes
+        ) == frozenset(other._attributes)
+
+    def __hash__(self) -> int:
+        return hash((self._relation, frozenset(self._attributes)))
+
+    def __repr__(self) -> str:
+        return f"KeyConstraint({self._relation!r}, {list(self._attributes)})"
+
+    def __str__(self) -> str:
+        return f"key({self._relation}: {', '.join(self._attributes)})"
+
+
+class InclusionDependency:
+    """An inclusion dependency ``pi_X(lhs) subseteq pi_Y(rhs)``.
+
+    Parameters
+    ----------
+    lhs, rhs:
+        Names of the left- and right-hand relations (``R_i`` and ``R_j``).
+    lhs_attributes, rhs_attributes:
+        Equally long attribute sequences; position ``p`` of the left sequence
+        corresponds to position ``p`` of the right one. If ``rhs_attributes``
+        is omitted, it defaults to ``lhs_attributes`` (the paper's
+        same-name case ``pi_X(R_i) subseteq pi_X(R_j)``).
+
+    Examples
+    --------
+    >>> ind = InclusionDependency("Sale", ("clerk",), "Emp")
+    >>> ind.is_identity()
+    True
+    >>> str(ind)
+    'Sale[clerk] <= Emp[clerk]'
+    """
+
+    __slots__ = ("_lhs", "_rhs", "_lhs_attributes", "_rhs_attributes")
+
+    def __init__(
+        self,
+        lhs: str,
+        lhs_attributes: Iterable[str],
+        rhs: str,
+        rhs_attributes: Iterable[str] = None,
+    ) -> None:
+        self._lhs = check_name(lhs, "relation")
+        self._rhs = check_name(rhs, "relation")
+        lhs_attrs = tuple(lhs_attributes)
+        rhs_attrs = tuple(rhs_attributes) if rhs_attributes is not None else lhs_attrs
+        if not lhs_attrs:
+            raise SchemaError("inclusion dependency must involve at least one attribute")
+        if len(lhs_attrs) != len(rhs_attrs):
+            raise SchemaError(
+                "inclusion dependency sides must have equally many attributes: "
+                f"{lhs_attrs} vs {rhs_attrs}"
+            )
+        if len(set(lhs_attrs)) != len(lhs_attrs) or len(set(rhs_attrs)) != len(rhs_attrs):
+            raise SchemaError("inclusion dependency attributes must be distinct per side")
+        self._lhs_attributes = lhs_attrs
+        self._rhs_attributes = rhs_attrs
+
+    @property
+    def lhs(self) -> str:
+        """Name of the contained relation (``R_i``)."""
+        return self._lhs
+
+    @property
+    def rhs(self) -> str:
+        """Name of the containing relation (``R_j``)."""
+        return self._rhs
+
+    @property
+    def lhs_attributes(self) -> Tuple[str, ...]:
+        """Attribute sequence on the contained side."""
+        return self._lhs_attributes
+
+    @property
+    def rhs_attributes(self) -> Tuple[str, ...]:
+        """Attribute sequence on the containing side."""
+        return self._rhs_attributes
+
+    def is_identity(self) -> bool:
+        """Whether both sides use identical attribute names (no renaming)."""
+        return self._lhs_attributes == self._rhs_attributes
+
+    def renaming(self) -> Dict[str, str]:
+        """Mapping from lhs attribute names to the corresponding rhs names."""
+        return dict(zip(self._lhs_attributes, self._rhs_attributes))
+
+    def inverse_renaming(self) -> Dict[str, str]:
+        """Mapping from rhs attribute names back to the lhs names."""
+        return dict(zip(self._rhs_attributes, self._lhs_attributes))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, InclusionDependency):
+            return NotImplemented
+        return (
+            self._lhs == other._lhs
+            and self._rhs == other._rhs
+            and self._lhs_attributes == other._lhs_attributes
+            and self._rhs_attributes == other._rhs_attributes
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._lhs, self._rhs, self._lhs_attributes, self._rhs_attributes))
+
+    def __repr__(self) -> str:
+        return (
+            f"InclusionDependency({self._lhs!r}, {list(self._lhs_attributes)}, "
+            f"{self._rhs!r}, {list(self._rhs_attributes)})"
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"{self._lhs}[{', '.join(self._lhs_attributes)}] <= "
+            f"{self._rhs}[{', '.join(self._rhs_attributes)}]"
+        )

@@ -1,0 +1,142 @@
+"""Relation schemata.
+
+A :class:`RelationSchema` is a named, ordered list of attribute names,
+optionally with one declared key (the paper assumes "at most one key is
+declared for every relation schema", Section 2). Attribute order is kept for
+presentation; all semantics are attribute-*set* based, as in the paper's
+named-attribute relational algebra with natural joins.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+from repro.errors import SchemaError
+
+_VALID_FIRST = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_VALID_REST = _VALID_FIRST | set("0123456789")
+
+
+def check_name(name: str, kind: str) -> str:
+    """Validate an identifier (relation or attribute name) and return it.
+
+    Names must be non-empty, start with a letter or underscore, and contain
+    only letters, digits, and underscores. This keeps the textual expression
+    syntax (``repro.algebra.parser``) unambiguous.
+    """
+    if not isinstance(name, str) or not name:
+        raise SchemaError(f"{kind} name must be a non-empty string, got {name!r}")
+    if name[0] not in _VALID_FIRST or any(ch not in _VALID_REST for ch in name[1:]):
+        raise SchemaError(f"{kind} name {name!r} is not a valid identifier")
+    return name
+
+
+class RelationSchema:
+    """A relation schema ``R(A_1, ..., A_m)`` with an optional key.
+
+    Parameters
+    ----------
+    name:
+        Relation name, unique within a :class:`~repro.schema.catalog.Catalog`.
+    attributes:
+        Ordered attribute names; duplicates are rejected.
+    key:
+        Optional key attributes (a subset of ``attributes``). Following the
+        paper, at most one key may be declared per relation.
+
+    Examples
+    --------
+    >>> emp = RelationSchema("Emp", ("clerk", "age"), key=("clerk",))
+    >>> emp.attribute_set == frozenset({"clerk", "age"})
+    True
+    >>> emp.key
+    ('clerk',)
+    """
+
+    __slots__ = ("_name", "_attributes", "_attribute_set", "_key")
+
+    def __init__(
+        self,
+        name: str,
+        attributes: Iterable[str],
+        key: Optional[Iterable[str]] = None,
+    ) -> None:
+        self._name = check_name(name, "relation")
+        attrs = tuple(attributes)
+        if not attrs:
+            raise SchemaError(f"relation {name!r} must have at least one attribute")
+        seen = set()
+        for attr in attrs:
+            check_name(attr, "attribute")
+            if attr in seen:
+                raise SchemaError(f"duplicate attribute {attr!r} in relation {name!r}")
+            seen.add(attr)
+        self._attributes = attrs
+        self._attribute_set = frozenset(attrs)
+        if key is None:
+            self._key: Optional[Tuple[str, ...]] = None
+        else:
+            key_attrs = tuple(key)
+            if not key_attrs:
+                raise SchemaError(f"key of relation {name!r} must be non-empty")
+            if len(set(key_attrs)) != len(key_attrs):
+                raise SchemaError(f"key of relation {name!r} has duplicate attributes")
+            missing = set(key_attrs) - self._attribute_set
+            if missing:
+                raise SchemaError(
+                    f"key attributes {sorted(missing)} not in relation {name!r}"
+                )
+            # Canonical order: the order in which attributes appear in the schema.
+            self._key = tuple(a for a in attrs if a in set(key_attrs))
+
+    @property
+    def name(self) -> str:
+        """The relation name."""
+        return self._name
+
+    @property
+    def attributes(self) -> Tuple[str, ...]:
+        """Attribute names in declaration order."""
+        return self._attributes
+
+    @property
+    def attribute_set(self) -> frozenset:
+        """Attribute names as a frozen set (``attr(R)`` in the paper)."""
+        return self._attribute_set
+
+    @property
+    def key(self) -> Optional[Tuple[str, ...]]:
+        """The declared key attributes, or ``None`` if no key was declared."""
+        return self._key
+
+    @property
+    def key_set(self) -> Optional[frozenset]:
+        """The declared key as a frozen set, or ``None``."""
+        return frozenset(self._key) if self._key is not None else None
+
+    def has_key(self) -> bool:
+        """Whether a key is declared for this schema."""
+        return self._key is not None
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RelationSchema):
+            return NotImplemented
+        return (
+            self._name == other._name
+            and self._attributes == other._attributes
+            and self._key == other._key
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._name, self._attributes, self._key))
+
+    def __repr__(self) -> str:
+        key_part = f", key={list(self._key)}" if self._key is not None else ""
+        return f"RelationSchema({self._name!r}, {list(self._attributes)}{key_part})"
+
+    def __str__(self) -> str:
+        cols = []
+        key = set(self._key or ())
+        for attr in self._attributes:
+            cols.append(f"{attr}*" if attr in key else attr)
+        return f"{self._name}({', '.join(cols)})"

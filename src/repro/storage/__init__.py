@@ -1,0 +1,26 @@
+"""Storage layer: in-memory relations, database states, and updates.
+
+This package is the relational substrate the paper presupposes. Everything is
+set-semantics (the paper works in plain relational algebra over sets):
+
+* :class:`~repro.storage.relation.Relation` — an immutable relation instance
+  (attribute schema + set of tuples) with the usual algebra operations;
+* :class:`~repro.storage.database.Database` — a database state over a
+  :class:`~repro.schema.catalog.Catalog`, enforcing keys and INDs;
+* :class:`~repro.storage.update.Update` / :class:`~repro.storage.update.Delta`
+  — the change notifications sources report to the integrator.
+"""
+
+from repro.storage.relation import Relation
+from repro.storage.database import Database
+from repro.storage.update import Delta, Update
+from repro.storage.persist import load_warehouse, save_warehouse
+
+__all__ = [
+    "Database",
+    "Delta",
+    "Relation",
+    "Update",
+    "load_warehouse",
+    "save_warehouse",
+]

@@ -1,0 +1,192 @@
+"""Database states over a catalog, with integrity enforcement.
+
+A :class:`Database` binds every relation name of a
+:class:`~repro.schema.catalog.Catalog` to a
+:class:`~repro.storage.relation.Relation` instance and checks the declared
+constraints (keys and inclusion dependencies). It stands in for the paper's
+autonomous sources: the warehouse-side code never reads a ``Database``
+directly — it only consumes the :class:`~repro.storage.update.Update` objects
+the database reports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.errors import ConstraintViolation, SchemaError
+from repro.schema.catalog import Catalog
+from repro.storage.relation import Relation
+from repro.storage.update import Update
+
+
+class Database:
+    """A mutable database state over a catalog.
+
+    Examples
+    --------
+    >>> from repro.schema import Catalog, RelationSchema
+    >>> catalog = Catalog()
+    >>> _ = catalog.relation("Emp", ("clerk", "age"), key=("clerk",))
+    >>> db = Database(catalog)
+    >>> db.load("Emp", [("Mary", 23), ("John", 25)])
+    >>> len(db["Emp"])
+    2
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        state: Optional[Mapping[str, Relation]] = None,
+        check: bool = True,
+    ) -> None:
+        self._catalog = catalog
+        self._state: Dict[str, Relation] = {}
+        for schema in catalog.schemas():
+            self._state[schema.name] = Relation.empty(schema.attributes)
+        if state is not None:
+            for name, relation in state.items():
+                self._bind(name, relation)
+        if check:
+            self.check_constraints()
+
+    @property
+    def catalog(self) -> Catalog:
+        """The catalog this state is over."""
+        return self._catalog
+
+    # ------------------------------------------------------------------
+    # State access
+    # ------------------------------------------------------------------
+
+    def _bind(self, name: str, relation: Relation) -> None:
+        schema = self._catalog.get(name)
+        if schema is None:
+            raise SchemaError(f"unknown relation {name!r}")
+        if relation.attribute_set != schema.attribute_set:
+            raise SchemaError(
+                f"relation {name!r} expects attributes {schema.attributes}, "
+                f"got {relation.attributes}"
+            )
+        self._state[name] = relation.reorder(schema.attributes)
+
+    def __getitem__(self, name: str) -> Relation:
+        if name not in self._state:
+            raise SchemaError(f"unknown relation {name!r}")
+        return self._state[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._state
+
+    def load(self, name: str, rows: Iterable[Sequence[object]], check: bool = True) -> None:
+        """Replace the contents of ``name`` with ``rows`` (value tuples)."""
+        schema = self._catalog[name]
+        self._bind(name, Relation(schema.attributes, rows))
+        if check:
+            self.check_constraints()
+
+    def state(self) -> Dict[str, Relation]:
+        """A snapshot of the full state (name -> relation)."""
+        return dict(self._state)
+
+    def total_rows(self) -> int:
+        """Total number of stored tuples across all relations."""
+        return sum(len(rel) for rel in self._state.values())
+
+    def copy(self) -> "Database":
+        """An independent copy of this database (relations are immutable)."""
+        return Database(self._catalog, self._state, check=False)
+
+    # ------------------------------------------------------------------
+    # Constraints
+    # ------------------------------------------------------------------
+
+    def constraint_violations(self) -> List[str]:
+        """Human-readable descriptions of all violated constraints."""
+        problems: List[str] = []
+        for schema in self._catalog.schemas():
+            if schema.key is None:
+                continue
+            violations = self._state[schema.name].key_violations(schema.key)
+            for first, second in violations:
+                problems.append(
+                    f"key {schema.key} of {schema.name} violated by "
+                    f"{first!r} and {second!r}"
+                )
+        for ind in self._catalog.inclusions():
+            lhs = self._state[ind.lhs].project(ind.lhs_attributes)
+            rhs = self._state[ind.rhs].project(ind.rhs_attributes)
+            dangling = lhs.rows - frozenset(rhs.rows)
+            for row in sorted(dangling, key=repr):
+                problems.append(f"inclusion {ind} violated by {row!r}")
+        for schema in self._catalog.schemas():
+            relation = self._state[schema.name]
+            for condition in self._catalog.checks(schema.name):
+                predicate = condition.compile(relation.attributes)
+                for row in sorted(relation.rows, key=repr):
+                    if not predicate(row):
+                        problems.append(
+                            f"check [{condition}] on {schema.name} violated by {row!r}"
+                        )
+        return problems
+
+    def check_constraints(self) -> None:
+        """Raise :class:`ConstraintViolation` if any constraint is violated."""
+        problems = self.constraint_violations()
+        if problems:
+            raise ConstraintViolation("; ".join(problems))
+
+    def satisfies_constraints(self) -> bool:
+        """Whether the current state satisfies all declared constraints."""
+        return not self.constraint_violations()
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+
+    def apply(self, update: Update, check: bool = True) -> Update:
+        """Apply ``update`` and return its effective (normalized) form.
+
+        The returned update is what the source would report to the
+        integrator: per-relation effective inserts and deletes. If ``check``
+        is true and the new state violates a constraint, the update is rolled
+        back and :class:`ConstraintViolation` is raised.
+        """
+        effective = update.normalized(self._state)
+        before = dict(self._state)
+        for delta in effective:
+            self._bind(delta.relation, delta.apply_to(self._state[delta.relation]))
+        if check:
+            problems = self.constraint_violations()
+            if problems:
+                self._state = before
+                raise ConstraintViolation("; ".join(problems))
+        return effective
+
+    def insert(
+        self, name: str, rows: Iterable[Sequence[object]], check: bool = True
+    ) -> Update:
+        """Insert ``rows`` into ``name``; returns the effective update."""
+        schema = self._catalog[name]
+        return self.apply(Update.insert(name, schema.attributes, rows), check=check)
+
+    def delete(
+        self, name: str, rows: Iterable[Sequence[object]], check: bool = True
+    ) -> Update:
+        """Delete ``rows`` from ``name``; returns the effective update."""
+        schema = self._catalog[name]
+        return self.apply(Update.delete(name, schema.attributes, rows), check=check)
+
+    # ------------------------------------------------------------------
+    # Display
+    # ------------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        sizes = ", ".join(f"{name}={len(rel)}" for name, rel in self._state.items())
+        return f"Database({sizes})"
+
+    def describe(self) -> str:
+        """All relations rendered as small tables."""
+        blocks = []
+        for name, relation in self._state.items():
+            blocks.append(f"{name}:\n{relation.pretty()}")
+        return "\n\n".join(blocks)

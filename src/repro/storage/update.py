@@ -1,0 +1,223 @@
+"""Updates: the change notifications sources report to the integrator.
+
+The paper's update model (Section 4) is a state transition ``d -> d'`` caused
+by an update ``u``; the warehouse sees only ``u`` (never ``d``). We model
+``u`` as an :class:`Update` — a set of per-relation :class:`Delta` objects,
+each carrying inserted and deleted tuple sets. Modifications are expressed as
+delete+insert, as footnote 1 of the paper also assumes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ExpressionError
+from repro.storage.relation import Relation
+
+
+class Delta:
+    """Inserted and deleted tuples for one relation.
+
+    A delta is *effective* w.r.t. a relation instance ``r`` when its inserts
+    are disjoint from ``r`` and its deletes are contained in ``r`` (and the
+    two sets are mutually disjoint). The maintenance machinery normalizes
+    deltas to effective form before propagating them.
+    """
+
+    __slots__ = ("_relation", "_inserts", "_deletes")
+
+    def __init__(
+        self,
+        relation: str,
+        inserts: Optional[Relation] = None,
+        deletes: Optional[Relation] = None,
+    ) -> None:
+        if inserts is None and deletes is None:
+            raise ExpressionError(f"delta for {relation!r} must insert or delete")
+        # Note: an empty Relation is falsy, so `inserts or deletes` would be
+        # wrong here — test identity against None explicitly.
+        attrs = (inserts if inserts is not None else deletes).attributes
+        self._relation = relation
+        self._inserts = inserts if inserts is not None else Relation.empty(attrs)
+        self._deletes = deletes if deletes is not None else Relation.empty(attrs)
+        if self._inserts.attribute_set != self._deletes.attribute_set:
+            raise ExpressionError(
+                f"delta for {relation!r}: insert and delete schemata differ"
+            )
+
+    @property
+    def relation(self) -> str:
+        """Name of the updated relation."""
+        return self._relation
+
+    @property
+    def inserts(self) -> Relation:
+        """The inserted tuples."""
+        return self._inserts
+
+    @property
+    def deletes(self) -> Relation:
+        """The deleted tuples."""
+        return self._deletes
+
+    @property
+    def attributes(self) -> Tuple[str, ...]:
+        """Attribute names of the updated relation."""
+        return self._inserts.attributes
+
+    def is_effective_for(self, current: Relation) -> bool:
+        """Whether this delta is effective w.r.t. ``current`` (see class doc)."""
+        return (
+            not self._inserts.intersection(current)
+            and self._deletes == self._deletes.intersection(current)
+            and not self._inserts.intersection(self._deletes)
+        )
+
+    def normalized(self, current: Relation) -> "Delta":
+        """The effective form of this delta w.r.t. ``current``.
+
+        With apply order delete-then-insert, the new state is
+        ``(current - D) union I``, so the tuples actually added are
+        ``I - current`` and the tuples actually removed are
+        ``(D intersect current) - I``.
+        """
+        inserts = self._inserts.difference(current)
+        deletes = self._deletes.intersection(current).difference(self._inserts)
+        return Delta(self._relation, inserts, deletes)
+
+    def apply_to(self, current: Relation) -> Relation:
+        """``(current - deletes) union inserts``."""
+        return current.difference(self._deletes).union(self._inserts)
+
+    def inverted(self) -> "Delta":
+        """The delta undoing this one (valid if this one was effective)."""
+        return Delta(self._relation, inserts=self._deletes, deletes=self._inserts)
+
+    def is_empty(self) -> bool:
+        """Whether this delta changes nothing."""
+        return not self._inserts and not self._deletes
+
+    def __repr__(self) -> str:
+        return (
+            f"Delta({self._relation!r}, +{len(self._inserts)} rows, "
+            f"-{len(self._deletes)} rows)"
+        )
+
+
+class Update:
+    """A transaction: one :class:`Delta` per updated relation.
+
+    Examples
+    --------
+    >>> u = Update.insert("Sale", ("item", "clerk"), [("Computer", "Paula")])
+    >>> [d.relation for d in u]
+    ['Sale']
+    """
+
+    __slots__ = ("_deltas",)
+
+    def __init__(self, deltas: Iterable[Delta] = ()) -> None:
+        self._deltas: Dict[str, Delta] = {}
+        for delta in deltas:
+            self._merge(delta)
+
+    def _merge(self, delta: Delta) -> None:
+        existing = self._deltas.get(delta.relation)
+        if existing is None:
+            self._deltas[delta.relation] = delta
+            return
+        self._deltas[delta.relation] = Delta(
+            delta.relation,
+            inserts=existing.inserts.union(delta.inserts),
+            deletes=existing.deletes.union(delta.deletes),
+        )
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def insert(
+        cls, relation: str, attributes: Sequence[str], rows: Iterable[Sequence[object]]
+    ) -> "Update":
+        """An update inserting ``rows`` (given as value tuples) into ``relation``."""
+        return cls([Delta(relation, inserts=Relation(attributes, rows))])
+
+    @classmethod
+    def delete(
+        cls, relation: str, attributes: Sequence[str], rows: Iterable[Sequence[object]]
+    ) -> "Update":
+        """An update deleting ``rows`` from ``relation``."""
+        return cls([Delta(relation, deletes=Relation(attributes, rows))])
+
+    @classmethod
+    def modify(
+        cls,
+        relation: str,
+        attributes: Sequence[str],
+        old_rows: Iterable[Sequence[object]],
+        new_rows: Iterable[Sequence[object]],
+    ) -> "Update":
+        """A modification, expressed as delete-then-insert.
+
+        The paper treats modifications this way throughout (footnote 1:
+        "for simplicity, we do not consider modifications here" — because
+        they decompose). ``old_rows`` are removed and ``new_rows`` added in
+        one transaction.
+        """
+        return cls(
+            [
+                Delta(
+                    relation,
+                    inserts=Relation(attributes, new_rows),
+                    deletes=Relation(attributes, old_rows),
+                )
+            ]
+        )
+
+    @classmethod
+    def of(cls, *deltas: Delta) -> "Update":
+        """An update from explicit deltas (merged per relation)."""
+        return cls(deltas)
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Delta]:
+        return iter(self._deltas.values())
+
+    def __len__(self) -> int:
+        return len(self._deltas)
+
+    def __contains__(self, relation: str) -> bool:
+        return relation in self._deltas
+
+    def delta_for(self, relation: str) -> Optional[Delta]:
+        """The delta touching ``relation``, or ``None``."""
+        return self._deltas.get(relation)
+
+    def relations(self) -> Tuple[str, ...]:
+        """Names of the relations this update touches."""
+        return tuple(self._deltas)
+
+    def normalized(self, state: Mapping[str, Relation]) -> "Update":
+        """Per-relation effective form w.r.t. the relations in ``state``."""
+        deltas = []
+        for delta in self._deltas.values():
+            current = state[delta.relation]
+            effective = delta.normalized(current)
+            if not effective.is_empty():
+                deltas.append(effective)
+        return Update(deltas)
+
+    def is_empty(self) -> bool:
+        """Whether no relation is changed."""
+        return all(d.is_empty() for d in self._deltas.values())
+
+    def then(self, other: "Update") -> "Update":
+        """This update merged with ``other`` (set-union of deltas)."""
+        return Update(list(self._deltas.values()) + list(other._deltas.values()))
+
+    def __repr__(self) -> str:
+        return f"Update({list(self._deltas.values())!r})"

@@ -1,0 +1,25 @@
+"""Views: PSJ normal form, named view sets, and structural analysis.
+
+The paper's complement algorithms (Proposition 2.2, Theorem 2.2) apply to
+**PSJ views** — expressions of the form ``pi_Z(sigma_C(R_1 join ... join
+R_k))`` (Section 2). This package recognizes and normalizes such views,
+manages named view sets (warehouse definitions), and provides the join-graph
+and inclusion-dependency analyses that let complements collapse to the empty
+relation (Example 2.4).
+"""
+
+from repro.views.psj import PSJView, View, as_psj
+from repro.views.analysis import (
+    derives_inclusion,
+    join_complete_relations,
+    join_graph,
+)
+
+__all__ = [
+    "PSJView",
+    "View",
+    "as_psj",
+    "derives_inclusion",
+    "join_complete_relations",
+    "join_graph",
+]

@@ -1,0 +1,227 @@
+"""Structural analyses of PSJ views: join graphs and join-completeness.
+
+The key analysis here powers Example 2.4 of the paper: with the referential
+integrity constraint ``pi_clerk(Sale) subseteq pi_clerk(Emp)``, *every* tuple
+of ``Sale`` has a join partner in ``Emp``, hence the complement
+``C_2 = Sale - pi_{item,clerk}(Sold)`` is always empty and can be dropped
+from the warehouse.
+
+:func:`join_complete_relations` generalizes this: it returns the base
+relations ``R`` of a PSJ view for which the view provably satisfies
+``pi_{attr(R)}(V) = R`` on every constraint-satisfying state. The sufficient
+condition implemented is conservative but sound:
+
+* the view's selection condition is TRUE,
+* the view's final projection retains all attributes of ``R``, and
+* the remaining join partners can be ordered so that each newly joined
+  relation ``S`` is *covered*: the attributes shared between ``S`` and the
+  part already joined all come from one already-joined relation ``P``, and
+  an inclusion dependency ``pi_shared(P) subseteq pi_shared(S)`` is derivable
+  from the declared INDs (by projection and transitivity).
+
+Under these conditions the join loses no tuple of ``R``, so the projection
+onto ``attr(R)`` returns exactly ``R``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+
+from repro.schema.catalog import Catalog
+from repro.views.psj import PSJView
+
+
+def join_graph(
+    view: PSJView, catalog: Catalog
+) -> Dict[Tuple[str, str], FrozenSet[str]]:
+    """The join graph of a PSJ view.
+
+    Returns a mapping from relation-name pairs (sorted) to the set of shared
+    attributes; only pairs with at least one shared attribute appear.
+    """
+    edges: Dict[Tuple[str, str], FrozenSet[str]] = {}
+    rels = view.relations
+    for i, first in enumerate(rels):
+        for second in rels[i + 1 :]:
+            shared = catalog.attributes(first) & catalog.attributes(second)
+            if shared:
+                edge = tuple(sorted((first, second)))
+                edges[edge] = frozenset(shared)
+    return edges
+
+
+def is_join_connected(view: PSJView, catalog: Catalog) -> bool:
+    """Whether the join graph of the view is connected.
+
+    Disconnected joins are cartesian products; they are legal but rarely
+    intended, and join-completeness analysis refuses them.
+    """
+    rels = list(view.relations)
+    if len(rels) <= 1:
+        return True
+    edges = join_graph(view, catalog)
+    adjacency: Dict[str, Set[str]] = {r: set() for r in rels}
+    for first, second in edges:
+        adjacency[first].add(second)
+        adjacency[second].add(first)
+    seen = {rels[0]}
+    queue = deque([rels[0]])
+    while queue:
+        node = queue.popleft()
+        for neighbor in adjacency[node]:
+            if neighbor not in seen:
+                seen.add(neighbor)
+                queue.append(neighbor)
+    return len(seen) == len(rels)
+
+
+def derives_inclusion(
+    catalog: Catalog,
+    lhs: str,
+    lhs_attributes: Sequence[str],
+    rhs: str,
+    rhs_attributes: Sequence[str],
+) -> bool:
+    """Whether ``pi_{lhs_attributes}(lhs) subseteq pi_{rhs_attributes}(rhs)``
+    is derivable from the declared INDs.
+
+    The derivation rules used are *projection* (an IND implies the IND on any
+    subsequence of its attribute pairs) and *transitivity* (INDs compose).
+    Reflexivity (``lhs == rhs`` with identical sequences) holds trivially.
+    Both rules are sound and, with acyclic INDs, the search (a BFS over
+    relations with the attribute correspondence threaded through) terminates.
+    """
+    want_lhs = tuple(lhs_attributes)
+    want_rhs = tuple(rhs_attributes)
+    if len(want_lhs) != len(want_rhs):
+        return False
+    if lhs == rhs and want_lhs == want_rhs:
+        return True
+
+    # State: (relation, attribute tuple) meaning
+    # pi_{want_lhs}(lhs) subseteq pi_{attrs}(relation) is derived.
+    start = (lhs, want_lhs)
+    seen = {start}
+    queue = deque([start])
+    while queue:
+        relation, attrs = queue.popleft()
+        if relation == rhs and attrs == want_rhs:
+            return True
+        for ind in catalog.inclusions_from(relation):
+            # Apply projection: every attribute of `attrs` must occur on the
+            # IND's left side; map it through the IND's correspondence.
+            renaming = ind.renaming()
+            if all(a in renaming for a in attrs):
+                image = (ind.rhs, tuple(renaming[a] for a in attrs))
+                if image not in seen:
+                    seen.add(image)
+                    queue.append(image)
+    return False
+
+
+def condition_implied_by_checks(view: PSJView, catalog: Catalog) -> bool:
+    """Whether the view's selection condition filters nothing, provably.
+
+    True when the condition is TRUE, or when each of its conjuncts is
+    structurally identical to a declared check-constraint conjunct of some
+    joined relation carrying the conjunct's attributes. The Section 5 star
+    scenario depends on this: a member selection ``loc = 'N'`` over a source
+    whose tuples all satisfy ``loc = 'N'`` (declared via
+    :meth:`~repro.schema.catalog.Catalog.add_check`) is a no-op.
+    """
+    if view.has_trivial_condition():
+        return True
+    for conjunct in view.condition.conjuncts():
+        conjunct_attrs = conjunct.attributes()
+        implied = False
+        for relation in view.relations:
+            if not conjunct_attrs <= catalog.attributes(relation):
+                continue
+            for check in catalog.checks(relation):
+                if any(conjunct.same_as(part) for part in check.conjuncts()):
+                    implied = True
+                    break
+            if implied:
+                break
+        if not implied:
+            return False
+    return True
+
+
+def join_complete_relations(view: PSJView, catalog: Catalog) -> FrozenSet[str]:
+    """Base relations ``R`` with ``pi_{attr(R)}(V) = R`` on all legal states.
+
+    See the module docstring for the sufficient condition. Returns the
+    (possibly empty) set of provably join-complete relations of ``view``.
+
+    Examples
+    --------
+    >>> from repro.schema import Catalog
+    >>> catalog = Catalog()
+    >>> _ = catalog.relation("Sale", ("item", "clerk"))
+    >>> _ = catalog.relation("Emp", ("clerk", "age"), key=("clerk",))
+    >>> _ = catalog.inclusion("Sale", ("clerk",), "Emp")
+    >>> sold = PSJView(("Sale", "Emp"))
+    >>> sorted(join_complete_relations(sold, catalog))
+    ['Sale']
+    """
+    if not condition_implied_by_checks(view, catalog):
+        return frozenset()
+    scope = {s.name: s.attributes for s in catalog.schemas()}
+    complete: Set[str] = set()
+    for relation in view.relations:
+        if not view.retains(catalog.attributes(relation), scope):
+            continue
+        if _join_preserves(view, relation, catalog):
+            complete.add(relation)
+    return frozenset(complete)
+
+
+def _join_preserves(view: PSJView, origin: str, catalog: Catalog) -> bool:
+    """Whether joining the view's relations loses no tuple of ``origin``."""
+    remaining = [r for r in view.relations if r != origin]
+    joined: List[str] = [origin]
+    joined_attrs: Set[str] = set(catalog.attributes(origin))
+
+    while remaining:
+        progressed = False
+        for candidate in list(remaining):
+            shared = joined_attrs & catalog.attributes(candidate)
+            if not shared:
+                # A cartesian extension preserves tuples only if the
+                # candidate is guaranteed non-empty, which no constraint
+                # gives us; refuse.
+                continue
+            provider = _covering_provider(joined, shared, candidate, catalog)
+            if provider is None:
+                continue
+            joined.append(candidate)
+            joined_attrs |= set(catalog.attributes(candidate))
+            remaining.remove(candidate)
+            progressed = True
+            break
+        if not progressed:
+            return False
+    return True
+
+
+def _covering_provider(
+    joined: Sequence[str], shared: Set[str], candidate: str, catalog: Catalog
+):
+    """An already-joined relation whose IND covers the shared attributes.
+
+    For the next join step to preserve all tuples, every tuple of the current
+    partial join must find a partner in ``candidate``. A sufficient condition:
+    one already-joined relation ``P`` carries all shared attributes, and
+    ``pi_shared(P) subseteq pi_shared(candidate)`` is derivable. (The partial
+    join's projection onto ``shared`` is then contained in ``pi_shared(P)``,
+    hence in ``pi_shared(candidate)``.)
+    """
+    shared_sorted = tuple(sorted(shared))
+    for provider in joined:
+        if not shared <= set(catalog.attributes(provider)):
+            continue
+        if derives_inclusion(catalog, provider, shared_sorted, candidate, shared_sorted):
+            return provider
+    return None

@@ -1,0 +1,37 @@
+"""Workload generators: random schemata, data, views, and update streams.
+
+Everything here is synthetic-but-constraint-respecting: generated databases
+satisfy the declared keys and inclusion dependencies, generated update
+streams keep them satisfied, and generated view sets are PSJ views over
+join-connected relation subsets — the exact setting of the paper.
+
+* :mod:`repro.workloads.generator` — random catalogs, databases, PSJ view
+  sets, and update streams (used by property tests and scaling benchmarks);
+* :mod:`repro.workloads.tpcd` — a scaled-down TPC-D-like schema and data
+  generator (Section 5 motivates star schemata "similar to the one modeled
+  in the TPC-D decision support benchmark").
+"""
+
+from repro.workloads.generator import (
+    GeneratorConfig,
+    random_catalog,
+    random_database,
+    random_update,
+    random_update_stream,
+    random_views,
+)
+from repro.workloads.queries import QueryGenerator
+from repro.workloads.tpcd import TPCDInstance, tpcd_catalog, tpcd_instance
+
+__all__ = [
+    "GeneratorConfig",
+    "QueryGenerator",
+    "TPCDInstance",
+    "random_catalog",
+    "random_database",
+    "random_update",
+    "random_update_stream",
+    "random_views",
+    "tpcd_catalog",
+    "tpcd_instance",
+]

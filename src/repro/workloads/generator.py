@@ -1,0 +1,328 @@
+"""Random catalogs, databases, PSJ views, and update streams.
+
+All generators are deterministic given a :class:`random.Random` (or an int
+seed), so tests and benchmarks are reproducible.
+
+Design notes
+------------
+* **Attribute sharing.** Relations draw attributes from a shared pool, so
+  natural joins are meaningful; each relation also gets a private key
+  attribute ``<name>_id`` so keys are non-trivial.
+* **Acyclic INDs.** Inclusion dependencies point from later relations to
+  earlier ones (in declaration order), which keeps the IND graph acyclic by
+  construction; the data generator materializes relations in reverse
+  declaration order so referenced projections exist first.
+* **Valid updates.** The update-stream generator keeps a private mirror
+  database; candidate updates are validated against it and invalid ones are
+  discarded, so the emitted stream is exactly what correct sources would
+  report.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, NamedTuple, Optional, Tuple
+
+from repro.algebra.conditions import Comparison, attr as attr_ref, const
+from repro.algebra.expressions import Expression, Project, RelationRef, Select, join
+from repro.errors import ConstraintViolation
+from repro.schema.catalog import Catalog
+from repro.storage.database import Database
+from repro.storage.update import Update
+from repro.views.psj import View
+
+
+class GeneratorConfig(NamedTuple):
+    """Knobs for :func:`random_catalog`."""
+
+    n_relations: int = 4
+    shared_pool_size: int = 6
+    attrs_per_relation: Tuple[int, int] = (2, 4)  # min/max shared attributes
+    key_probability: float = 0.8
+    ind_probability: float = 0.4
+    domain_size: int = 12
+
+
+def _rng(seed_or_rng) -> random.Random:
+    if isinstance(seed_or_rng, random.Random):
+        return seed_or_rng
+    return random.Random(seed_or_rng)
+
+
+def random_catalog(
+    seed_or_rng, config: GeneratorConfig = GeneratorConfig()
+) -> Catalog:
+    """A random catalog with shared attributes, keys, and acyclic INDs.
+
+    Every relation ``R<i>`` has a private key attribute ``r<i>_id`` plus a
+    random selection of shared pool attributes ``a0..a<k>``. With probability
+    ``key_probability`` the private attribute is declared as the key. INDs
+    run from later relations into earlier ones over shared attributes that
+    include the target's key (so they are usable by Theorem 2.2), with
+    at most one IND per (source, target) pair and disjoint source-side
+    attribute sets per source (so the data generator can satisfy them all).
+    """
+    rng = _rng(seed_or_rng)
+    catalog = Catalog()
+    pool = [f"a{i}" for i in range(config.shared_pool_size)]
+    shared_per_relation: Dict[str, List[str]] = {}
+    for index in range(config.n_relations):
+        name = f"R{index}"
+        key_attr = f"r{index}_id"
+        low, high = config.attrs_per_relation
+        count = rng.randint(low, min(high, len(pool)))
+        shared = rng.sample(pool, count)
+        shared_per_relation[name] = shared
+        has_key = rng.random() < config.key_probability
+        catalog.relation(
+            name, [key_attr] + shared, key=(key_attr,) if has_key else None
+        )
+
+    names = list(catalog.relation_names())
+    for source_index in range(1, len(names)):
+        source = names[source_index]
+        used_source_attrs: set = set()
+        targets = names[:source_index]
+        rng.shuffle(targets)
+        for target in targets:
+            if rng.random() >= config.ind_probability:
+                continue
+            target_key = catalog.key(target)
+            if target_key is None:
+                continue
+            # The IND must cover the target's key; map the target key to an
+            # unused shared attribute of the source (renamed IND), and carry
+            # along any common shared attributes.
+            source_attrs = [
+                a for a in shared_per_relation[source] if a not in used_source_attrs
+            ]
+            if not source_attrs:
+                continue
+            lhs_attr = rng.choice(source_attrs)
+            try:
+                catalog.inclusion(source, (lhs_attr,), target, target_key)
+            except Exception:
+                continue
+            used_source_attrs.add(lhs_attr)
+    return catalog
+
+
+def random_database(
+    seed_or_rng,
+    catalog: Catalog,
+    rows_per_relation: int = 30,
+    domain_size: int = 12,
+) -> Database:
+    """A random database satisfying all of ``catalog``'s constraints.
+
+    Relations are filled in an order where IND targets come first; an IND
+    source draws its constrained attribute values from the target's existing
+    key projection. Key attributes get distinct values by construction.
+    """
+    rng = _rng(seed_or_rng)
+    db = Database(catalog)
+    order = list(catalog.inclusion_order())
+    order.reverse()  # targets (rhs) before sources (lhs)
+    for name in order:
+        schema = catalog[name]
+        inds = catalog.inclusions_from(name)
+        # Pre-compute allowed value tuples per IND from the target relation.
+        allowed: List[Tuple[Tuple[str, ...], List[tuple]]] = []
+        for ind in inds:
+            target_rows = db[ind.rhs].project(ind.rhs_attributes)
+            allowed.append((ind.lhs_attributes, sorted(target_rows.rows, key=repr)))
+        rows = []
+        used_keys: set = set()
+        key = schema.key or ()
+        for row_index in range(rows_per_relation):
+            values: Dict[str, object] = {}
+            for ind_attrs, choices in allowed:
+                if not choices:
+                    break
+                chosen = rng.choice(choices)
+                for attribute, value in zip(ind_attrs, chosen):
+                    values[attribute] = value
+            else:
+                for attribute in schema.attributes:
+                    if attribute not in values:
+                        if attribute in key:
+                            values[attribute] = f"{name}_{row_index}"
+                        else:
+                            values[attribute] = rng.randrange(domain_size)
+                row = tuple(values[a] for a in schema.attributes)
+                key_value = tuple(values[a] for a in key)
+                if key and key_value in used_keys:
+                    continue
+                used_keys.add(key_value)
+                rows.append(row)
+        db.load(name, rows, check=False)
+    db.check_constraints()
+    return db
+
+
+def random_views(
+    seed_or_rng,
+    catalog: Catalog,
+    n_views: int = 3,
+    max_relations: int = 3,
+    selection_probability: float = 0.3,
+    projection_probability: float = 0.4,
+    domain_size: int = 12,
+    prefix: str = "V",
+) -> List[View]:
+    """Random PSJ views over join-connected relation subsets.
+
+    Each view joins 1..``max_relations`` relations (grown greedily along
+    shared attributes), optionally adds an equality selection on a shared
+    attribute, and optionally projects onto a random attribute subset.
+    """
+    rng = _rng(seed_or_rng)
+    names = list(catalog.relation_names())
+    views: List[View] = []
+    for index in range(n_views):
+        start = rng.choice(names)
+        chosen = [start]
+        chosen_attrs = set(catalog.attributes(start))
+        target_size = rng.randint(1, max_relations)
+        while len(chosen) < target_size:
+            candidates = [
+                n
+                for n in names
+                if n not in chosen and chosen_attrs & catalog.attributes(n)
+            ]
+            if not candidates:
+                break
+            nxt = rng.choice(candidates)
+            chosen.append(nxt)
+            chosen_attrs |= catalog.attributes(nxt)
+
+        body: Expression = join(*[RelationRef(n) for n in chosen])
+        if rng.random() < selection_probability:
+            shared = sorted(a for a in chosen_attrs if a.startswith("a"))
+            if shared:
+                attribute = rng.choice(shared)
+                body = Select(
+                    body,
+                    Comparison(attr_ref(attribute), "=", const(rng.randrange(domain_size))),
+                )
+        if rng.random() < projection_probability:
+            all_attrs = sorted(chosen_attrs)
+            size = rng.randint(1, len(all_attrs))
+            body = Project(body, tuple(sorted(rng.sample(all_attrs, size))))
+        views.append(View(f"{prefix}{index}", body))
+    return views
+
+
+def random_update(
+    seed_or_rng,
+    mirror: Database,
+    batch_size: int = 3,
+    insert_fraction: float = 0.6,
+    domain_size: int = 12,
+    max_attempts: int = 50,
+) -> Optional[Update]:
+    """One valid update against ``mirror`` (which is advanced in place).
+
+    Tries random insert/delete batches until one passes constraint checking
+    on the mirror; returns ``None`` if ``max_attempts`` candidates all fail
+    (e.g. every remaining tuple is referenced by an IND).
+    """
+    rng = _rng(seed_or_rng)
+    catalog = mirror.catalog
+    names = list(catalog.relation_names())
+    for _ in range(max_attempts):
+        name = rng.choice(names)
+        schema = catalog[name]
+        if rng.random() < insert_fraction:
+            rows = _candidate_insert_rows(rng, mirror, name, batch_size, domain_size)
+            if not rows:
+                continue
+            update = Update.insert(name, schema.attributes, rows)
+        else:
+            existing = sorted(mirror[name].rows, key=repr)
+            if not existing:
+                continue
+            rows = rng.sample(existing, min(batch_size, len(existing)))
+            update = Update.delete(name, schema.attributes, rows)
+        try:
+            return mirror.apply(update)
+        except ConstraintViolation:
+            continue
+    return None
+
+
+def _candidate_insert_rows(
+    rng: random.Random,
+    mirror: Database,
+    name: str,
+    batch_size: int,
+    domain_size: int,
+) -> List[tuple]:
+    catalog = mirror.catalog
+    schema = catalog[name]
+    key = schema.key or ()
+    existing_keys = set(mirror[name].project(key).rows) if key else set()
+    allowed: List[Tuple[Tuple[str, ...], List[tuple]]] = []
+    for ind in catalog.inclusions_from(name):
+        target_rows = mirror[ind.rhs].project(ind.rhs_attributes)
+        allowed.append((ind.lhs_attributes, sorted(target_rows.rows, key=repr)))
+    rows: List[tuple] = []
+    for attempt in range(batch_size * 4):
+        if len(rows) >= batch_size:
+            break
+        values: Dict[str, object] = {}
+        feasible = True
+        for ind_attrs, choices in allowed:
+            if not choices:
+                feasible = False
+                break
+            chosen = rng.choice(choices)
+            for attribute, value in zip(ind_attrs, chosen):
+                values[attribute] = value
+        if not feasible:
+            break
+        for attribute in schema.attributes:
+            if attribute not in values:
+                if attribute in key:
+                    values[attribute] = f"{name}_new_{rng.randrange(10 ** 9)}"
+                else:
+                    values[attribute] = rng.randrange(domain_size)
+        key_value = tuple(values[a] for a in key)
+        if key and key_value in existing_keys:
+            continue
+        if key:
+            existing_keys.add(key_value)
+        rows.append(tuple(values[a] for a in schema.attributes))
+    return rows
+
+
+def random_update_stream(
+    seed_or_rng,
+    database: Database,
+    n_updates: int = 20,
+    batch_size: int = 3,
+    insert_fraction: float = 0.6,
+    domain_size: int = 12,
+) -> List[Update]:
+    """A stream of valid updates, as the sources would report them.
+
+    ``database`` is *copied*; the caller's instance is untouched. The
+    returned updates are effective with respect to the evolving state, i.e.
+    replaying them in order on a copy of ``database`` is always legal.
+    """
+    rng = _rng(seed_or_rng)
+    mirror = database.copy()
+    stream: List[Update] = []
+    for _ in range(n_updates):
+        update = random_update(
+            rng,
+            mirror,
+            batch_size=batch_size,
+            insert_fraction=insert_fraction,
+            domain_size=domain_size,
+        )
+        if update is None:
+            break
+        if not update.is_empty():
+            stream.append(update)
+    return stream

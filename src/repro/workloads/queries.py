@@ -1,0 +1,127 @@
+"""Random source-query generator (for exercising query independence).
+
+Definition 3.1 quantifies over *every* query over ``D``; the unit tests use
+hand-picked panels, and this generator closes the loop with arbitrary
+well-typed queries — joins, unions, differences, selections, projections,
+and renames over a catalog — used by the property-style tests and the E6
+benchmark harness.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.algebra.conditions import Comparison, attr, const
+from repro.algebra.expressions import (
+    Difference,
+    Expression,
+    Join,
+    Project,
+    RelationRef,
+    Rename,
+    Select,
+    Union,
+)
+from repro.schema.catalog import Catalog
+
+_OPS = ("=", "!=", "<", "<=", ">", ">=")
+
+
+def _rng(seed_or_rng) -> random.Random:
+    if isinstance(seed_or_rng, random.Random):
+        return seed_or_rng
+    return random.Random(seed_or_rng)
+
+
+class QueryGenerator:
+    """Generates random well-typed queries over a catalog.
+
+    Parameters
+    ----------
+    catalog:
+        The schema to draw relations and attributes from.
+    constants:
+        Candidate constants for selection conditions; supply values from
+        the data's domain so selections are occasionally satisfiable.
+    max_depth:
+        Maximum operator nesting.
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        constants: Optional[List[object]] = None,
+        max_depth: int = 3,
+    ) -> None:
+        self.catalog = catalog
+        self.scope = {s.name: s.attributes for s in catalog.schemas()}
+        self.constants = list(constants) if constants else [0, 1, 2]
+        self.max_depth = max_depth
+
+    def query(self, seed_or_rng) -> Expression:
+        """One random well-typed query."""
+        rng = _rng(seed_or_rng)
+        for _ in range(50):
+            candidate = self._build(rng, self.max_depth)
+            try:
+                candidate.attributes(self.scope)
+            except Exception:
+                continue
+            return candidate
+        return RelationRef(rng.choice(list(self.catalog.relation_names())))
+
+    def queries(self, count: int, seed: int = 0) -> List[Expression]:
+        """A batch of random queries."""
+        rng = _rng(seed)
+        return [self.query(rng) for _ in range(count)]
+
+    # ------------------------------------------------------------------
+
+    def _build(self, rng: random.Random, depth: int) -> Expression:
+        if depth == 0 or rng.random() < 0.25:
+            return RelationRef(rng.choice(list(self.catalog.relation_names())))
+        kind = rng.choice(
+            ("join", "union", "difference", "select", "project", "rename")
+        )
+        left = self._build(rng, depth - 1)
+        try:
+            left_attrs = left.attributes(self.scope)
+        except Exception:
+            return left
+
+        if kind == "join":
+            right = self._build(rng, depth - 1)
+            return Join(left, right)
+
+        if kind in ("union", "difference"):
+            right = self._build(rng, depth - 1)
+            try:
+                right_attrs = right.attributes(self.scope)
+            except Exception:
+                return left
+            shared = tuple(a for a in left_attrs if a in set(right_attrs))
+            if not shared:
+                return left
+            sides = (Project(left, shared), Project(right, shared))
+            return Union(*sides) if kind == "union" else Difference(*sides)
+
+        if kind == "select":
+            attribute = rng.choice(left_attrs)
+            op = rng.choice(_OPS)
+            if rng.random() < 0.7 or len(left_attrs) == 1:
+                operand = const(rng.choice(self.constants))
+            else:
+                operand = attr(rng.choice([a for a in left_attrs if a != attribute]))
+            return Select(left, Comparison(attr(attribute), op, operand))
+
+        if kind == "project":
+            size = rng.randint(1, len(left_attrs))
+            return Project(left, tuple(sorted(rng.sample(list(left_attrs), size))))
+
+        # rename
+        attribute = rng.choice(left_attrs)
+        fresh = f"{attribute}_r"
+        if fresh in left_attrs:
+            return left
+        return Rename(left, {attribute: fresh})

@@ -1,0 +1,239 @@
+"""A scaled-down TPC-D-like schema, data generator, and warehouse views.
+
+Section 5 of the paper motivates star-schema warehouses "similar to the one
+modeled in the TPC-D decision support benchmark": dimension tables for
+locations, customers, and suppliers, plus fact tables for orders and sales
+extracted by PSJ queries and integrated by union.
+
+The official TPC-D dbgen data is not available offline, so this module
+generates a structurally faithful miniature: the same key / foreign-key
+skeleton (regions ← nations ← suppliers/customers, orders ← customers,
+lineitems ← orders/parts/suppliers), with sizes driven by a scale factor.
+That preserves exactly what the paper's machinery exercises — the
+constraints that shrink complements — while keeping generation laptop-fast.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, NamedTuple, Tuple
+
+from repro.algebra.expressions import Project, RelationRef, join
+from repro.algebra.parser import parse
+from repro.schema.catalog import Catalog
+from repro.storage.database import Database
+from repro.views.psj import View
+
+REGION_NAMES = ("AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST")
+SEGMENTS = ("AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY")
+STATUSES = ("O", "F", "P")
+
+
+def tpcd_catalog() -> Catalog:
+    """The miniature TPC-D catalog: keys plus foreign-key INDs.
+
+    Relation sizes at scale factor 1.0 (see :func:`tpcd_instance`):
+    5 regions, 10 nations, 20 suppliers, 60 customers, 50 parts,
+    150 orders, 450 lineitems.
+    """
+    catalog = Catalog()
+    catalog.relation("Region", ("regionkey", "rname"), key=("regionkey",))
+    catalog.relation("Nation", ("nationkey", "nname", "regionkey"), key=("nationkey",))
+    catalog.relation("Supplier", ("suppkey", "sname", "nationkey"), key=("suppkey",))
+    catalog.relation(
+        "Customer", ("custkey", "cname", "cnationkey", "mktsegment"), key=("custkey",)
+    )
+    catalog.relation("Part", ("partkey", "pname", "brand"), key=("partkey",))
+    catalog.relation(
+        "Orders", ("orderkey", "custkey", "status", "totalprice"), key=("orderkey",)
+    )
+    catalog.relation(
+        "Lineitem",
+        ("orderkey", "linenumber", "partkey", "suppkey", "quantity", "price"),
+        key=("orderkey", "linenumber"),
+    )
+    catalog.inclusion("Nation", ("regionkey",), "Region")
+    catalog.inclusion("Supplier", ("nationkey",), "Nation")
+    catalog.inclusion("Customer", ("cnationkey",), "Nation", ("nationkey",))
+    catalog.inclusion("Orders", ("custkey",), "Customer")
+    catalog.inclusion("Lineitem", ("orderkey",), "Orders")
+    catalog.inclusion("Lineitem", ("partkey",), "Part")
+    catalog.inclusion("Lineitem", ("suppkey",), "Supplier")
+    return catalog
+
+
+class TPCDInstance(NamedTuple):
+    """A generated TPC-D-like instance."""
+
+    catalog: Catalog
+    database: Database
+    views: List[View]
+
+    def sizes(self) -> Dict[str, int]:
+        """Tuple counts per relation."""
+        return {
+            name: len(self.database[name])
+            for name in self.catalog.relation_names()
+        }
+
+
+def standard_views() -> List[View]:
+    """A representative warehouse definition over the TPC-D catalog.
+
+    * ``SalesFact`` — the central PSJ fact view joining lineitems, orders,
+      and customers (projected onto the reporting attributes);
+    * ``SupplierDim`` — suppliers with nation and region names;
+    * ``CustomerDim`` — a dimension copy (select-only view: the Section 4
+      closing case, update-independent without auxiliary data).
+    """
+    sales = Project(
+        join(RelationRef("Lineitem"), RelationRef("Orders"), RelationRef("Customer")),
+        (
+            "orderkey",
+            "linenumber",
+            "partkey",
+            "suppkey",
+            "custkey",
+            "quantity",
+            "price",
+            "mktsegment",
+        ),
+    )
+    supplier_dim = join(
+        RelationRef("Supplier"), RelationRef("Nation"), RelationRef("Region")
+    )
+    customer_dim = parse("Customer")
+    return [
+        View("SalesFact", sales),
+        View("SupplierDim", supplier_dim),
+        View("CustomerDim", customer_dim),
+    ]
+
+
+def tpcd_instance(scale: float = 1.0, seed: int = 7) -> TPCDInstance:
+    """Generate a TPC-D-like instance at the given scale factor.
+
+    All foreign keys are drawn from the referenced relation's existing keys,
+    so the generated database satisfies every declared constraint.
+    """
+    rng = random.Random(seed)
+    catalog = tpcd_catalog()
+    db = Database(catalog)
+
+    n_regions = len(REGION_NAMES)
+    n_nations = max(2, int(10 * min(scale, 1.0) + 10 * max(0.0, scale - 1.0)))
+    n_suppliers = max(2, int(20 * scale))
+    n_customers = max(3, int(60 * scale))
+    n_parts = max(3, int(50 * scale))
+    n_orders = max(3, int(150 * scale))
+    lines_per_order = 3
+
+    db.load(
+        "Region",
+        [(i, REGION_NAMES[i]) for i in range(n_regions)],
+        check=False,
+    )
+    db.load(
+        "Nation",
+        [
+            (i, f"NATION_{i}", rng.randrange(n_regions))
+            for i in range(n_nations)
+        ],
+        check=False,
+    )
+    db.load(
+        "Supplier",
+        [
+            (i, f"SUPP_{i}", rng.randrange(n_nations))
+            for i in range(n_suppliers)
+        ],
+        check=False,
+    )
+    db.load(
+        "Customer",
+        [
+            (i, f"CUST_{i}", rng.randrange(n_nations), rng.choice(SEGMENTS))
+            for i in range(n_customers)
+        ],
+        check=False,
+    )
+    db.load(
+        "Part",
+        [
+            (i, f"PART_{i}", f"BRAND_{rng.randrange(5)}")
+            for i in range(n_parts)
+        ],
+        check=False,
+    )
+    db.load(
+        "Orders",
+        [
+            (
+                i,
+                rng.randrange(n_customers),
+                rng.choice(STATUSES),
+                rng.randint(10_000, 1_000_000),  # total price in integer cents
+            )
+            for i in range(n_orders)
+        ],
+        check=False,
+    )
+    lineitems = []
+    for order in range(n_orders):
+        for line in range(1, lines_per_order + 1):
+            lineitems.append(
+                (
+                    order,
+                    line,
+                    rng.randrange(n_parts),
+                    rng.randrange(n_suppliers),
+                    rng.randint(1, 50),
+                    rng.randint(1_000, 50_000),  # price in integer cents
+                )
+            )
+    db.load("Lineitem", lineitems, check=False)
+    db.check_constraints()
+    return TPCDInstance(catalog, db, standard_views())
+
+
+def order_insert_rows(
+    rng: random.Random, database: Database, count: int
+) -> Tuple[List[tuple], List[tuple]]:
+    """Fresh ``Orders`` and matching ``Lineitem`` rows for update streams.
+
+    Returns ``(order_rows, lineitem_rows)`` referencing existing customers,
+    parts, and suppliers, with order keys above every existing key.
+    """
+    existing = {row[0] for row in database["Orders"].project(("orderkey",)).rows}
+    next_key = (max(existing) + 1) if existing else 0
+    customers = sorted(
+        row[0] for row in database["Customer"].project(("custkey",)).rows
+    )
+    parts = sorted(row[0] for row in database["Part"].project(("partkey",)).rows)
+    suppliers = sorted(
+        row[0] for row in database["Supplier"].project(("suppkey",)).rows
+    )
+    orders: List[tuple] = []
+    lines: List[tuple] = []
+    for offset in range(count):
+        orderkey = next_key + offset
+        orders.append(
+            (
+                orderkey,
+                rng.choice(customers),
+                rng.choice(STATUSES),
+                rng.randint(10_000, 1_000_000),
+            )
+        )
+        for line in range(1, 3):
+            lines.append(
+                (
+                    orderkey,
+                    line,
+                    rng.choice(parts),
+                    rng.choice(suppliers),
+                    rng.randint(1, 50),
+                    rng.randint(1_000, 50_000),  # price in integer cents
+                )
+            )
+    return orders, lines

@@ -1,0 +1,140 @@
+"""Unit tests for :mod:`repro.algebra.conditions`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ExpressionError, attr, const
+from repro.algebra.conditions import (
+    And,
+    Comparison,
+    FALSE,
+    Not,
+    Or,
+    TRUE,
+    conjoin,
+)
+
+
+class TestBuilders:
+    def test_operand_sugar_builds_comparisons(self):
+        condition = attr("age") >= const(18)
+        assert isinstance(condition, Comparison)
+        assert condition.op == ">="
+
+    def test_eq_sugar(self):
+        condition = attr("item") == const("PC")
+        assert isinstance(condition, Comparison)
+        assert condition.op == "="
+
+    def test_raw_value_coerced_to_constant(self):
+        condition = attr("age") > 21
+        assert condition.right.value == 21
+
+    def test_boolean_sugar(self):
+        condition = (attr("a") == 1) & (attr("b") == 2)
+        assert isinstance(condition, And)
+        condition = (attr("a") == 1) | (attr("b") == 2)
+        assert isinstance(condition, Or)
+        condition = ~(attr("a") == 1)
+        assert isinstance(condition, Comparison)  # negation folds into !=
+        assert condition.op == "!="
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ExpressionError):
+            Comparison(attr("a"), "~", const(1))
+
+
+class TestCompile:
+    def test_comparison_on_positions(self):
+        condition = attr("age") >= const(25)
+        predicate = condition.compile(("clerk", "age"))
+        assert predicate(("Mary", 30))
+        assert not predicate(("Mary", 20))
+
+    def test_attribute_to_attribute(self):
+        condition = attr("a") == attr("b")
+        predicate = condition.compile(("a", "b"))
+        assert predicate((1, 1))
+        assert not predicate((1, 2))
+
+    def test_missing_attribute_raises(self):
+        condition = attr("ghost") == const(1)
+        with pytest.raises(ExpressionError):
+            condition.compile(("a", "b"))
+
+    def test_and_or_not(self):
+        condition = ((attr("a") == 1) & (attr("b") == 2)) | Not(attr("a") == 1)
+        predicate = condition.compile(("a", "b"))
+        assert predicate((1, 2))
+        assert predicate((9, 9))
+        assert not predicate((1, 3))
+
+    def test_true_false(self):
+        assert TRUE.compile(("a",))((1,))
+        assert not FALSE.compile(("a",))((1,))
+
+
+class TestStructure:
+    def test_attributes_collected(self):
+        condition = ((attr("a") == 1) & (attr("b") == attr("c"))) | (attr("d") > 0)
+        assert condition.attributes() == frozenset({"a", "b", "c", "d"})
+
+    def test_conjuncts_flattened(self):
+        condition = conjoin([attr("a") == 1, conjoin([attr("b") == 2, attr("c") == 3])])
+        assert len(condition.conjuncts()) == 3
+
+    def test_conjoin_trivia(self):
+        assert conjoin([]) is TRUE
+        single = attr("a") == 1
+        assert conjoin([single]) is single
+        assert conjoin([TRUE, single]).same_as(single)
+        assert conjoin([FALSE, single]) is FALSE
+
+    def test_and_deduplicates(self):
+        part = attr("a") == 1
+        condition = conjoin([part, attr("a") == 1])
+        assert condition.same_as(part)
+
+    def test_negation_pushes_inward(self):
+        condition = ((attr("a") == 1) & (attr("b") < 2)).negated()
+        assert isinstance(condition, Or)
+        ops = {p.op for p in condition.parts}
+        assert ops == {"!=", ">="}
+
+    def test_double_negation(self):
+        condition = Not(attr("a") == 1)
+        assert condition.negated().same_as(attr("a") == 1)
+
+    def test_canonical_comparison_orientation(self):
+        left = const(5) < attr("a")
+        right = attr("a") > const(5)
+        assert left.same_as(right)
+
+    def test_renaming(self):
+        condition = (attr("a") == 1) & (attr("b") == attr("a"))
+        renamed = condition.renamed({"a": "x"})
+        assert renamed.attributes() == frozenset({"x", "b"})
+
+    def test_hash_consistency(self):
+        first = (attr("a") == 1) & (attr("b") == 2)
+        second = (attr("b") == 2) & (attr("a") == 1)
+        assert first.same_as(second)
+        assert hash(first) == hash(second)
+
+
+class TestDisplay:
+    def test_str_forms(self):
+        assert str(attr("age") >= const(18)) == "age >= 18"
+        assert str(attr("item") == const("PC")) == "item = 'PC'"
+        assert str(TRUE) == "true"
+        condition = (attr("a") == 1) & (attr("b") == 2)
+        assert str(condition) == "a = 1 and b = 2"
+
+    def test_or_inside_and_parenthesized(self):
+        condition = conjoin([(attr("a") == 1) | (attr("b") == 2), attr("c") == 3])
+        assert "(" in str(condition)
+
+    def test_string_escaping(self):
+        condition = attr("name") == const("O'Brien")
+        assert "\\'" in str(condition)

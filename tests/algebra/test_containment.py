@@ -1,0 +1,130 @@
+"""Unit tests for :mod:`repro.algebra.containment`.
+
+Exact containments are cross-checked against brute-force evaluation over
+exhaustive small states.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro import Relation, evaluate, parse
+from repro.algebra.containment import (
+    UnsupportedFragment,
+    is_contained_in,
+    is_equivalent,
+    to_union_of_cqs,
+)
+
+SCOPE = {"R": ("A", "B"), "S": ("B", "C")}
+
+
+def exhaustive_states(values=(0, 1, 2)):
+    # Three values so that unions of selections over {0, 1} do not
+    # accidentally cover the whole domain (containment is over ALL states).
+    r_rows = list(itertools.product(values, repeat=2))
+    states = []
+    for r_size in range(3):
+        for r_combo in itertools.combinations(r_rows, r_size):
+            for s_size in range(3):
+                for s_combo in itertools.combinations(r_rows, s_size):
+                    states.append(
+                        {
+                            "R": Relation(("A", "B"), r_combo),
+                            "S": Relation(("B", "C"), s_combo),
+                        }
+                    )
+    return states
+
+
+def brute_force_contained(sub, sup):
+    for state in exhaustive_states():
+        left = evaluate(sub, state)
+        right = evaluate(sup, state)
+        if left.attribute_set != right.attribute_set:
+            return False
+        if not (left.rows <= left._aligned_rows(right)):
+            return False
+    return True
+
+
+CASES = [
+    ("pi[A](R join S)", "pi[A](R)"),
+    ("pi[A](R)", "pi[A](R join S)"),
+    ("sigma[A = 0](R)", "R"),
+    ("R", "sigma[A = 0](R)"),
+    ("pi[B](R)", "pi[B](S)"),
+    ("pi[B](sigma[A = 0](R))", "pi[B](R)"),
+    ("pi[A, B](R join S)", "R"),
+    ("R", "pi[A, B](R join S)"),
+    ("pi[B](R join S)", "pi[B](R) union pi[B](S)"),
+    ("sigma[A = 0](R) union sigma[A = 1](R)", "R"),
+    ("R", "sigma[A = 0](R) union sigma[A = 1](R)"),
+    ("pi[A](sigma[B = 0](R))", "pi[A](R)"),
+]
+
+
+@pytest.mark.parametrize("sub_text,sup_text", CASES)
+def test_matches_brute_force(sub_text, sup_text):
+    sub, sup = parse(sub_text), parse(sup_text)
+    exact = is_contained_in(sub, sup, SCOPE)
+    brute = brute_force_contained(sub, sup)
+    assert exact == brute, (sub_text, sup_text, exact, brute)
+
+
+class TestKnownResults:
+    def test_join_projection_containment(self):
+        assert is_contained_in(parse("pi[A](R join S)"), parse("pi[A](R)"), SCOPE)
+        assert not is_contained_in(parse("pi[A](R)"), parse("pi[A](R join S)"), SCOPE)
+
+    def test_selection_containment(self):
+        assert is_contained_in(parse("sigma[A = 0](R)"), parse("R"), SCOPE)
+
+    def test_equivalence_of_reordered_joins(self):
+        scope = {"R": ("A", "B"), "S": ("B", "C"), "T": ("C", "D")}
+        left = parse("(R join S) join T")
+        right = parse("R join (S join T)")
+        assert is_equivalent(left, right, scope)
+
+    def test_union_containment_per_disjunct(self):
+        sub = parse("sigma[A = 0](R) union sigma[A = 1](R)")
+        assert is_contained_in(sub, parse("R"), SCOPE)
+
+    def test_selfjoin_reduction(self):
+        # R join R == R (no renaming), so pi[A](R join R) == pi[A](R).
+        assert is_equivalent(parse("pi[A](R join R)"), parse("pi[A](R)"), SCOPE)
+
+    def test_unsatisfiable_selection_contained_in_anything(self):
+        sub = parse("sigma[A = 0 and A = 1](R)")
+        assert is_contained_in(sub, parse("sigma[A = 5](R)"), SCOPE)
+
+    def test_constants_must_match(self):
+        assert not is_contained_in(
+            parse("sigma[A = 0](R)"), parse("sigma[A = 1](R)"), SCOPE
+        )
+
+    def test_attribute_equality_condition(self):
+        assert is_contained_in(parse("sigma[A = B](R)"), parse("R"), SCOPE)
+        assert not is_contained_in(parse("R"), parse("sigma[A = B](R)"), SCOPE)
+
+
+class TestFragmentLimits:
+    def test_difference_unsupported(self):
+        with pytest.raises(UnsupportedFragment):
+            is_contained_in(parse("R minus R"), parse("R"), SCOPE)
+
+    def test_inequality_unsupported(self):
+        with pytest.raises(UnsupportedFragment):
+            is_contained_in(parse("sigma[A < 1](R)"), parse("R"), SCOPE)
+
+    def test_empty_compiles_to_no_disjuncts(self):
+        assert to_union_of_cqs(parse("empty[A, B]"), SCOPE) == []
+        assert is_contained_in(parse("empty[A, B]"), parse("R"), SCOPE)
+
+    def test_rename_supported(self):
+        scope = {"R": ("A", "B")}
+        assert is_contained_in(
+            parse("rho[B -> C](R)"), parse("rho[B -> C](R)"), scope
+        )

@@ -1,0 +1,133 @@
+"""Unit tests for :mod:`repro.algebra.deltas`.
+
+Each rule is checked semantically: for random states and random effective
+deltas, the derived insert/delete expressions must evaluate exactly to
+``new - old`` and ``old - new``.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import Relation, evaluate, parse
+from repro.algebra.deltas import (
+    del_name,
+    delta_scope,
+    derive_delta,
+    ins_name,
+    new_value_expression,
+)
+
+SCOPE = {"R": ("a", "b"), "S": ("b", "c"), "T": ("a", "b")}
+
+EXPRESSIONS = [
+    "R",
+    "sigma[a = 1](R)",
+    "pi[a](R)",
+    "pi[b](R)",
+    "R join S",
+    "pi[a, c](R join S)",
+    "R union T",
+    "R minus T",
+    "T minus R",
+    "rho[a -> x](R)",
+    "pi[b](R) union pi[b](S) join empty[b]",
+    "(R union T) minus sigma[a = 0](R)",
+    "pi[a]((R minus T) join S)",
+    "sigma[b >= 1](R join S) minus (T join S)",
+]
+
+
+def random_state_and_deltas(seed: int, updated):
+    rng = random.Random(seed)
+    state = {}
+    bindings = {}
+    for name, attrs in SCOPE.items():
+        rows = {
+            tuple(rng.randrange(3) for _ in attrs) for _ in range(rng.randint(0, 6))
+        }
+        relation = Relation(attrs, rows)
+        state[name] = relation
+        if name in updated:
+            candidates = [
+                tuple(rng.randrange(3) for _ in attrs) for _ in range(4)
+            ]
+            inserts = Relation(attrs, [c for c in candidates if c not in relation])
+            deletes_pool = sorted(relation.rows, key=repr)
+            deletes = Relation(
+                attrs,
+                rng.sample(deletes_pool, min(len(deletes_pool), rng.randint(0, 2))),
+            )
+            bindings[ins_name(name)] = inserts
+            bindings[del_name(name)] = deletes
+    return state, bindings
+
+
+def new_state(state, bindings, updated):
+    out = dict(state)
+    for name in updated:
+        out[name] = (
+            state[name].difference(bindings[del_name(name)]).union(
+                bindings[ins_name(name)]
+            )
+        )
+    return out
+
+
+@pytest.mark.parametrize("text", EXPRESSIONS)
+@pytest.mark.parametrize("updated", [("R",), ("S",), ("R", "T"), ("R", "S", "T")])
+def test_deltas_are_exact(text, updated):
+    expr = parse(text)
+    if not (set(updated) & expr.relation_names()):
+        pytest.skip("update does not touch the expression")
+    derived = derive_delta(expr, updated, SCOPE)
+    for seed in range(6):
+        state, bindings = random_state_and_deltas(seed, updated)
+        combined = dict(state)
+        combined.update(bindings)
+        old_value = evaluate(expr, state)
+        updated_state = new_state(state, bindings, updated)
+        new_value = evaluate(expr, updated_state)
+        inserts = evaluate(derived.inserts, combined)
+        deletes = evaluate(derived.deletes, combined)
+        assert inserts == new_value.difference(old_value), (text, seed)
+        assert deletes == old_value.difference(new_value), (text, seed)
+
+
+class TestHelpers:
+    def test_delta_names(self):
+        assert ins_name("Sale") == "Sale__ins"
+        assert del_name("Sale") == "Sale__del"
+
+    def test_delta_scope_extends(self):
+        extended = delta_scope(SCOPE, ["R"])
+        assert extended["R__ins"] == ("a", "b")
+        assert extended["R__del"] == ("a", "b")
+
+    def test_delta_scope_unknown_relation(self):
+        from repro import ExpressionError
+
+        with pytest.raises(ExpressionError):
+            delta_scope(SCOPE, ["Nope"])
+
+    def test_new_value_expression(self):
+        expr = new_value_expression(parse("R join S"), ["R"])
+        assert str(expr) == "((R minus R__del) union R__ins) join S"
+
+    def test_unchanged_relation_has_empty_deltas(self):
+        derived = derive_delta(parse("S"), ["R"], SCOPE)
+        assert str(derived.inserts) == "empty[b, c]"
+        assert str(derived.deletes) == "empty[b, c]"
+
+    def test_simplification_removes_unchanged_branches(self):
+        derived = derive_delta(parse("R join S"), ["R"], SCOPE)
+        # Only the R-side delta branch survives.
+        assert str(derived.inserts) == "R__ins join S"
+        assert str(derived.deletes) == "R__del join S"
+
+    def test_unsimplified_mode(self):
+        derived = derive_delta(parse("R join S"), ["R"], SCOPE, simplified=False)
+        assert "S__ins" not in str(derived.inserts)
+        assert "empty" in str(derived.inserts)

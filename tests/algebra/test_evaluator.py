@@ -1,0 +1,106 @@
+"""Unit tests for :mod:`repro.algebra.evaluator`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import EvaluationError, Relation, attr, const, evaluate, parse
+from repro.algebra.evaluator import evaluate_all
+
+
+@pytest.fixture
+def state():
+    return {
+        "Sale": Relation(("item", "clerk"), [("TV", "Mary"), ("PC", "John")]),
+        "Emp": Relation(("clerk", "age"), [("Mary", 23), ("John", 25), ("Paula", 32)]),
+    }
+
+
+class TestBasics:
+    def test_relation_ref(self, state):
+        assert evaluate(parse("Sale"), state) == state["Sale"]
+
+    def test_missing_relation(self, state):
+        with pytest.raises(EvaluationError):
+            evaluate(parse("Nope"), state)
+
+    def test_project(self, state):
+        result = evaluate(parse("pi[clerk](Sale)"), state)
+        assert result.to_set() == {("Mary",), ("John",)}
+
+    def test_select(self, state):
+        result = evaluate(parse("sigma[age > 24](Emp)"), state)
+        assert result.to_set() == {("John", 25), ("Paula", 32)}
+
+    def test_join(self, state):
+        result = evaluate(parse("Sale join Emp"), state)
+        assert result.to_set() == {("TV", "Mary", 23), ("PC", "John", 25)}
+
+    def test_union(self, state):
+        result = evaluate(parse("pi[clerk](Sale) union pi[clerk](Emp)"), state)
+        assert result.to_set() == {("Mary",), ("John",), ("Paula",)}
+
+    def test_difference(self, state):
+        result = evaluate(parse("pi[clerk](Emp) minus pi[clerk](Sale)"), state)
+        assert result.to_set() == {("Paula",)}
+
+    def test_rename(self, state):
+        result = evaluate(parse("rho[age -> years](Emp)"), state)
+        assert result.attribute_set == {"clerk", "years"}
+
+    def test_empty_literal(self, state):
+        result = evaluate(parse("empty[item, clerk]"), state)
+        assert not result
+        assert result.attribute_set == {"item", "clerk"}
+
+
+class TestComposite:
+    def test_nested_expression(self, state):
+        query = parse("pi[age](sigma[item = 'TV'](Sale) join Emp)")
+        assert evaluate(query, state).to_set() == {(23,)}
+
+    def test_join_condition_spanning_relations(self, state):
+        query = parse("sigma[age > 24](Sale join Emp)")
+        assert evaluate(query, state).to_set() == {("PC", "John", 25)}
+
+    def test_cartesian_product_via_disjoint_join(self):
+        state = {
+            "A": Relation(("x",), [(1,), (2,)]),
+            "B": Relation(("y",), [(8,), (9,)]),
+        }
+        result = evaluate(parse("A join B"), state)
+        assert len(result) == 4
+
+
+class TestMemoization:
+    def test_shared_subtrees_evaluated_once(self, state):
+        calls = []
+        original = Relation.natural_join
+
+        def counting(self, other):
+            calls.append(1)
+            return original(self, other)
+
+        Relation.natural_join = counting
+        try:
+            query = parse(
+                "pi[clerk](Sale join Emp) union pi[clerk](Sale join Emp)"
+            )
+            evaluate(query, state)
+        finally:
+            Relation.natural_join = original
+        assert len(calls) == 1
+
+    def test_shared_cache_across_calls(self, state):
+        cache = {}
+        first = evaluate(parse("Sale join Emp"), state, cache=cache)
+        second = evaluate(parse("Sale join Emp"), state, cache=cache)
+        assert first is second
+
+    def test_evaluate_all(self, state):
+        results = evaluate_all(
+            {"a": parse("Sale join Emp"), "b": parse("pi[clerk](Sale join Emp)")},
+            state,
+        )
+        assert set(results) == {"a", "b"}
+        assert results["b"].to_set() == {("Mary",), ("John",)}

@@ -1,0 +1,168 @@
+"""Unit tests for :mod:`repro.algebra.expressions`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ExpressionError, attr, const
+from repro.algebra.expressions import (
+    Difference,
+    Empty,
+    Join,
+    Project,
+    RelationRef,
+    Rename,
+    Select,
+    Union,
+    difference,
+    empty,
+    join,
+    project,
+    rel,
+    rename,
+    scope_of,
+    select,
+    union,
+)
+from repro.algebra.conditions import TRUE
+
+SCOPE = {"Sale": ("item", "clerk"), "Emp": ("clerk", "age")}
+
+
+class TestSchemaComputation:
+    def test_relation_ref(self):
+        assert rel("Sale").attributes(SCOPE) == ("item", "clerk")
+
+    def test_unknown_relation(self):
+        with pytest.raises(ExpressionError):
+            rel("Nope").attributes(SCOPE)
+
+    def test_join_merges_attributes(self):
+        expr = join(rel("Sale"), rel("Emp"))
+        assert expr.attributes(SCOPE) == ("item", "clerk", "age")
+
+    def test_project_checks_attributes(self):
+        expr = project(rel("Sale"), ("clerk",))
+        assert expr.attributes(SCOPE) == ("clerk",)
+        with pytest.raises(ExpressionError):
+            project(rel("Sale"), ("age",)).attributes(SCOPE)
+
+    def test_select_checks_condition_attributes(self):
+        good = Select(rel("Emp"), attr("age") > const(20))
+        assert good.attributes(SCOPE) == ("clerk", "age")
+        bad = Select(rel("Sale"), attr("age") > const(20))
+        with pytest.raises(ExpressionError):
+            bad.attributes(SCOPE)
+
+    def test_union_requires_same_attribute_set(self):
+        good = union(project(rel("Sale"), ("clerk",)), project(rel("Emp"), ("clerk",)))
+        assert good.attributes(SCOPE) == ("clerk",)
+        bad = union(rel("Sale"), rel("Emp"))
+        with pytest.raises(ExpressionError):
+            bad.attributes(SCOPE)
+
+    def test_difference_requires_same_attribute_set(self):
+        bad = difference(rel("Sale"), rel("Emp"))
+        with pytest.raises(ExpressionError):
+            bad.attributes(SCOPE)
+
+    def test_rename(self):
+        expr = rename(rel("Emp"), {"age": "years"})
+        assert expr.attributes(SCOPE) == ("clerk", "years")
+
+    def test_rename_collision(self):
+        expr = Rename(rel("Emp"), {"age": "clerk"})
+        with pytest.raises(ExpressionError):
+            expr.attributes(SCOPE)
+
+    def test_empty_has_fixed_schema(self):
+        assert empty(("a", "b")).attributes(SCOPE) == ("a", "b")
+
+
+class TestBuilders:
+    def test_select_true_is_identity(self):
+        assert select(rel("Sale"), TRUE) == rel("Sale")
+
+    def test_rename_identity_is_identity(self):
+        assert rename(rel("Sale"), {"item": "item"}) == rel("Sale")
+
+    def test_nary_join_left_deep(self):
+        expr = join(rel("A"), rel("B"), rel("C"))
+        assert isinstance(expr, Join)
+        assert isinstance(expr.left, Join)
+
+    def test_nary_union(self):
+        expr = union(rel("A"), rel("B"), rel("C"))
+        assert isinstance(expr, Union)
+
+
+class TestStructure:
+    def test_equality_and_hash(self):
+        first = project(join(rel("Sale"), rel("Emp")), ("clerk",))
+        second = project(join(rel("Sale"), rel("Emp")), ("clerk",))
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_union_equality_commutative(self):
+        assert union(rel("A"), rel("B")) == union(rel("B"), rel("A"))
+
+    def test_difference_not_commutative(self):
+        assert difference(rel("A"), rel("B")) != difference(rel("B"), rel("A"))
+
+    def test_projection_equality_ignores_order(self):
+        assert project(rel("Sale"), ("item", "clerk")) == project(
+            rel("Sale"), ("clerk", "item")
+        )
+
+    def test_relation_names(self):
+        expr = union(
+            project(join(rel("Sale"), rel("Emp")), ("clerk",)),
+            project(rel("C1"), ("clerk",)),
+        )
+        assert expr.relation_names() == frozenset({"Sale", "Emp", "C1"})
+
+    def test_walk_and_size(self):
+        expr = project(join(rel("Sale"), rel("Emp")), ("clerk",))
+        assert expr.size() == 4
+        kinds = [type(node).__name__ for node in expr.walk()]
+        assert kinds[0] == "Project"
+
+    def test_with_children(self):
+        expr = join(rel("A"), rel("B"))
+        rebuilt = expr.with_children((rel("X"), rel("Y")))
+        assert rebuilt == join(rel("X"), rel("Y"))
+
+
+class TestScopeOf:
+    def test_scope_of_state(self):
+        from repro import Relation
+
+        state = {"R": Relation(("a", "b"), [])}
+        assert scope_of(state) == {"R": ("a", "b")}
+
+    def test_scope_of_catalog(self):
+        from repro import Catalog
+
+        catalog = Catalog()
+        catalog.relation("R", ("a", "b"))
+        assert scope_of(catalog) == {"R": ("a", "b")}
+
+    def test_scope_of_plain_mapping(self):
+        assert scope_of({"R": ["a", "b"]}) == {"R": ("a", "b")}
+
+
+class TestDisplay:
+    def test_str_matches_grammar(self):
+        expr = project(
+            Select(join(rel("Sale"), rel("Emp")), attr("age") > const(21)),
+            ("item", "age"),
+        )
+        assert str(expr) == "pi[item, age](sigma[age > 21](Sale join Emp))"
+
+    def test_union_of_differences_parenthesized(self):
+        expr = union(difference(rel("A"), rel("B")), rel("C"))
+        assert str(expr) == "(A minus B) union C"
+
+    def test_join_of_union_parenthesized(self):
+        expr = join(union(rel("A"), rel("B")), rel("C"))
+        assert str(expr) == "(A union B) join C"

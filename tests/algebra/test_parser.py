@@ -1,0 +1,115 @@
+"""Unit tests for :mod:`repro.algebra.parser`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ParseError, parse, parse_condition
+from repro.algebra.expressions import (
+    Difference,
+    Empty,
+    Join,
+    Project,
+    Rename,
+    Select,
+    Union,
+)
+from repro.algebra.conditions import And, Comparison, Not, Or
+
+
+class TestExpressionGrammar:
+    def test_relation(self):
+        assert parse("Sale").name == "Sale"
+
+    def test_join_precedence_over_union(self):
+        expr = parse("A join B union C join D")
+        assert isinstance(expr, Union)
+        assert isinstance(expr.left, Join)
+        assert isinstance(expr.right, Join)
+
+    def test_left_associativity(self):
+        expr = parse("A minus B minus C")
+        assert isinstance(expr, Difference)
+        assert isinstance(expr.left, Difference)
+
+    def test_parentheses(self):
+        expr = parse("A minus (B minus C)")
+        assert isinstance(expr.right, Difference)
+
+    def test_projection(self):
+        expr = parse("pi[item, clerk](Sale)")
+        assert isinstance(expr, Project)
+        assert expr.attrs == ("item", "clerk")
+
+    def test_selection(self):
+        expr = parse("sigma[age > 21](Emp)")
+        assert isinstance(expr, Select)
+        assert isinstance(expr.condition, Comparison)
+
+    def test_rename(self):
+        expr = parse("rho[age -> years, clerk -> name](Emp)")
+        assert isinstance(expr, Rename)
+        assert expr.mapping == {"age": "years", "clerk": "name"}
+
+    def test_empty(self):
+        expr = parse("empty[a, b]")
+        assert isinstance(expr, Empty)
+        assert expr.attrs == ("a", "b")
+
+    def test_errors(self):
+        for text in ("", "pi[](R)", "A join", "sigma[age >](R)", "pi[a(R)", "A B"):
+            with pytest.raises(ParseError):
+                parse(text)
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            parse("A ? B")
+
+
+class TestConditionGrammar:
+    def test_precedence_and_over_or(self):
+        condition = parse_condition("a = 1 and b = 2 or c = 3")
+        assert isinstance(condition, Or)
+        assert isinstance(condition.parts[0], And)
+
+    def test_not(self):
+        condition = parse_condition("not (a = 1)")
+        assert isinstance(condition, Not)
+
+    def test_literals(self):
+        assert parse_condition("true").same_as(parse_condition("true"))
+        assert str(parse_condition("false")) == "false"
+
+    def test_numbers(self):
+        condition = parse_condition("a = -3")
+        assert condition.right.value == -3
+        condition = parse_condition("a = 2.5")
+        assert condition.right.value == 2.5
+
+    def test_strings_with_escapes(self):
+        condition = parse_condition("name = 'O\\'Brien'")
+        assert condition.right.value == "O'Brien"
+
+    def test_attribute_comparison(self):
+        condition = parse_condition("a <= b")
+        assert condition.op == "<="
+
+
+class TestRoundTrip:
+    EXPRESSIONS = [
+        "Sale",
+        "Sale join Emp",
+        "pi[clerk](Sale) union pi[clerk](Emp)",
+        "pi[age](sigma[item = 'PC'](Sale join Emp))",
+        "Emp minus pi[clerk, age](Sold)",
+        "(A union B) join C",
+        "rho[age -> years](Emp)",
+        "empty[a, b] union pi[a, b](R)",
+        "sigma[a = 1 and b = 2 or not (c < 3)](R)",
+        "sigma[a != 'x'](R) minus sigma[b >= 10](R)",
+    ]
+
+    @pytest.mark.parametrize("text", EXPRESSIONS)
+    def test_parse_str_parse_fixpoint(self, text):
+        expr = parse(text)
+        assert parse(str(expr)) == expr

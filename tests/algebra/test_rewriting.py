@@ -1,0 +1,77 @@
+"""Unit tests for :mod:`repro.algebra.rewriting`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import parse, substitute
+from repro.algebra.expressions import RelationRef
+from repro.algebra.rewriting import base_relations, fold_occurrences, rename_relations
+
+
+class TestSubstitute:
+    def test_leaf_replacement(self):
+        result = substitute(parse("pi[clerk](Emp)"), {"Emp": parse("C1 union X")})
+        assert str(result) == "pi[clerk](C1 union X)"
+
+    def test_multiple_replacements(self):
+        result = substitute(
+            parse("Sale join Emp"),
+            {"Sale": parse("A"), "Emp": parse("B minus C")},
+        )
+        assert str(result) == "A join (B minus C)"
+
+    def test_unmapped_names_untouched(self):
+        expr = parse("Sale join Emp")
+        assert substitute(expr, {"Other": parse("X")}) == expr
+
+    def test_single_pass_no_recursive_substitution(self):
+        # A replacement that mentions a replaced name must not loop.
+        result = substitute(parse("R"), {"R": parse("R minus S")})
+        assert str(result) == "R minus S"
+
+    def test_identity_returns_same_object(self):
+        expr = parse("Sale join Emp")
+        assert substitute(expr, {}) is expr
+
+
+class TestBaseRelations:
+    def test_names_collected(self):
+        expr = parse("pi[a](R join S) union T")
+        assert base_relations(expr) == frozenset({"R", "S", "T"})
+
+
+class TestRenameRelations:
+    def test_rename(self):
+        result = rename_relations(parse("R join S"), {"R": "R2"})
+        assert str(result) == "R2 join S"
+
+
+class TestFoldOccurrences:
+    def test_folds_definition_into_name(self):
+        folded = fold_occurrences(
+            parse("pi[clerk, age](Sale join Emp)"),
+            {parse("Sale join Emp"): RelationRef("Sold")},
+        )
+        assert str(folded) == "pi[clerk, age](Sold)"
+
+    def test_folds_after_child_rewrites(self):
+        # The fold target only appears after inner occurrences are folded.
+        folded = fold_occurrences(
+            parse("pi[clerk]((Sale join Emp) minus X)"),
+            {
+                parse("Sale join Emp"): RelationRef("Sold"),
+                parse("Sold minus X"): RelationRef("Y"),
+            },
+        )
+        assert str(folded) == "pi[clerk](Y)"
+
+    def test_no_occurrence_is_identity(self):
+        expr = parse("A join B")
+        assert fold_occurrences(expr, {parse("X join Y"): RelationRef("Z")}) == expr
+
+    def test_is_inverse_of_substitute(self):
+        definition = parse("pi[a](R join S)")
+        expanded = substitute(parse("V minus T"), {"V": definition})
+        folded = fold_occurrences(expanded, {definition: RelationRef("V")})
+        assert folded == parse("V minus T")

@@ -1,0 +1,130 @@
+"""Unit tests for :mod:`repro.algebra.simplify`.
+
+Besides checking each rewrite rule syntactically, a semantic guard verifies
+every simplification preserves evaluation results on random states.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import Relation, evaluate, parse, simplify
+
+SCOPE = {"R": ("a", "b"), "S": ("b", "c"), "T": ("a", "b")}
+
+
+def random_state(seed: int):
+    rng = random.Random(seed)
+    state = {}
+    for name, attrs in SCOPE.items():
+        rows = {
+            tuple(rng.randrange(3) for _ in attrs) for _ in range(rng.randint(0, 5))
+        }
+        state[name] = Relation(attrs, rows)
+    return state
+
+
+def check(text: str, expected: str, scope=SCOPE):
+    simplified = simplify(parse(text), scope)
+    assert str(simplified) == expected, f"{text} -> {simplified}"
+    # Semantic guard.
+    for seed in range(5):
+        state = random_state(seed)
+        assert evaluate(parse(text), state) == evaluate(simplified, state), text
+
+
+class TestEmptyPropagation:
+    def test_union_with_empty(self):
+        check("R union empty[a, b]", "R")
+        check("empty[a, b] union R", "R")
+
+    def test_difference_with_empty(self):
+        check("R minus empty[a, b]", "R")
+        check("empty[a, b] minus R", "empty[a, b]")
+
+    def test_join_with_empty(self):
+        check("R join empty[b, c]", "empty[a, b, c]")
+
+    def test_project_of_empty(self):
+        check("pi[a](empty[a, b])", "empty[a]")
+
+    def test_select_of_empty(self):
+        check("sigma[a = 1](empty[a, b])", "empty[a, b]")
+
+    def test_rename_of_empty(self):
+        check("rho[a -> x](empty[a, b])", "empty[x, b]")
+
+    def test_cascading_collapse(self):
+        check(
+            "pi[a](R join empty[b, c]) union pi[a](empty[a, b] join T) "
+            "union pi[a](R)",
+            "pi[a](R)",
+        )
+
+
+class TestIdempotence:
+    def test_union_self(self):
+        check("R union R", "R")
+
+    def test_union_dedupes_nested(self):
+        check("R union T union R", "R union T")
+
+    def test_difference_self(self):
+        check("R minus R", "empty[a, b]")
+
+    def test_join_self(self):
+        check("R join R", "R")
+
+    def test_double_difference(self):
+        check("(R minus T) minus T", "R minus T")
+
+
+class TestFusion:
+    def test_nested_projections(self):
+        check("pi[a](pi[a, b](R))", "pi[a](R)")
+
+    def test_projection_onto_all_attributes(self):
+        check("pi[b, a](R)", "R")
+
+    def test_nested_selections_merge(self):
+        simplified = simplify(parse("sigma[a = 1](sigma[b = 2](R))"), SCOPE)
+        assert str(simplified) == "sigma[a = 1 and b = 2](R)"
+
+    def test_select_true_dropped(self):
+        check("sigma[true](R)", "R")
+
+    def test_select_false_collapses(self):
+        check("sigma[false](R)", "empty[a, b]")
+
+    def test_constant_comparison_folded(self):
+        check("sigma[1 = 1](R)", "R")
+        check("sigma[1 = 2](R)", "empty[a, b]")
+
+    def test_rename_composition(self):
+        simplified = simplify(parse("rho[x -> y](rho[a -> x](R))"), SCOPE)
+        assert str(simplified) == "rho[a -> y](R)"
+
+    def test_rename_roundtrip_cancels(self):
+        simplified = simplify(parse("rho[x -> a](rho[a -> x](R))"), SCOPE)
+        assert str(simplified) == "R"
+
+
+class TestNoOverreach:
+    def test_difference_union_not_collapsed(self):
+        # (R minus T) union T equals R union T, NOT R: must stay put.
+        text = "(R minus T) union T"
+        simplified = simplify(parse(text), SCOPE)
+        for seed in range(8):
+            state = random_state(seed)
+            assert evaluate(parse(text), state) == evaluate(simplified, state)
+
+    def test_projection_subset_kept(self):
+        simplified = simplify(parse("pi[a](R)"), SCOPE)
+        assert str(simplified) == "pi[a](R)"
+
+    def test_works_without_scope(self):
+        # Scope-free simplification still handles pure-structure rules.
+        simplified = simplify(parse("R union R"))
+        assert str(simplified) == "R"

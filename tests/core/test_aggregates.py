@@ -1,0 +1,196 @@
+"""Unit tests for :mod:`repro.core.aggregates` (Section 5, last paragraph)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import Catalog, Database, Relation, View, Warehouse, WarehouseError, parse
+from repro.storage.update import Delta
+from repro.core.aggregates import (
+    AggregateView,
+    Measure,
+    agg_avg,
+    agg_max,
+    agg_min,
+    agg_sum,
+    count,
+)
+
+
+@pytest.fixture
+def fact() -> Relation:
+    return Relation(
+        ("loc", "amount"),
+        [("N", 10), ("N", 20), ("S", 5), ("S", 7), ("W", 1)],
+    )
+
+
+def make_view():
+    return AggregateView(
+        "ByLoc",
+        "F",
+        ("loc",),
+        [count(), agg_sum("amount"), agg_avg("amount"), agg_min("amount"), agg_max("amount")],
+    )
+
+
+class TestRecompute:
+    def test_groups(self, fact):
+        view = make_view()
+        view.recompute(fact)
+        table = view.table()
+        assert table.attributes == (
+            "loc",
+            "n",
+            "sum_amount",
+            "avg_amount",
+            "min_amount",
+            "max_amount",
+        )
+        rows = {row[0]: row for row in table}
+        assert rows["N"] == ("N", 2, 30, 15.0, 10, 20)
+        assert rows["S"] == ("S", 2, 12, 6.0, 5, 7)
+        assert rows["W"] == ("W", 1, 1, 1.0, 1, 1)
+
+    def test_measure_validation(self):
+        with pytest.raises(WarehouseError):
+            Measure("median", "x", "m")
+        with pytest.raises(WarehouseError):
+            Measure("sum", None, "s")
+        with pytest.raises(WarehouseError):
+            AggregateView("A", "F", ("g",), [])
+
+    def test_unknown_group_attribute(self, fact):
+        view = AggregateView("A", "F", ("ghost",), [count()])
+        with pytest.raises(WarehouseError):
+            view.recompute(fact)
+
+
+class TestIncremental:
+    def apply(self, view, fact, inserts=(), deletes=()):
+        delta = Delta(
+            "F",
+            inserts=Relation(("loc", "amount"), inserts),
+            deletes=Relation(("loc", "amount"), deletes),
+        )
+        new_fact = fact.difference(delta.deletes).union(delta.inserts)
+        view.apply_delta(delta, new_fact)
+        return new_fact
+
+    def test_insert_updates_all_measures(self, fact):
+        view = make_view()
+        view.recompute(fact)
+        self.apply(view, fact, inserts=[("N", 40)])
+        row = {r[0]: r for r in view.table()}["N"]
+        assert row == ("N", 3, 70, 70 / 3, 10, 40)
+
+    def test_new_group_created(self, fact):
+        view = make_view()
+        view.recompute(fact)
+        self.apply(view, fact, inserts=[("E", 3)])
+        assert ("E", 1, 3, 3.0, 3, 3) in view.table()
+
+    def test_delete_non_extremum_is_pure_delta(self, fact):
+        view = make_view()
+        view.recompute(fact)
+        self.apply(view, fact, deletes=[("S", 7)])
+        row = {r[0]: r for r in view.table()}["S"]
+        assert row == ("S", 1, 5, 5.0, 5, 5)
+
+    def test_delete_extremum_repairs_from_fact(self, fact):
+        view = make_view()
+        view.recompute(fact)
+        self.apply(view, fact, deletes=[("N", 20)])
+        row = {r[0]: r for r in view.table()}["N"]
+        assert row == ("N", 1, 10, 10.0, 10, 10)
+
+    def test_group_vanishes_when_empty(self, fact):
+        view = make_view()
+        view.recompute(fact)
+        self.apply(view, fact, deletes=[("W", 1)])
+        assert "W" not in {row[0] for row in view.table()}
+
+    def test_matches_recompute_on_random_stream(self):
+        rng = random.Random(4)
+        fact = Relation(("g", "v"), [(rng.randrange(3), rng.randrange(10)) for _ in range(8)])
+        incremental = make_view_gv()
+        incremental.recompute(fact)
+        for _ in range(30):
+            if rng.random() < 0.6 or not fact:
+                inserts = [(rng.randrange(3), rng.randrange(10))]
+                inserts = [r for r in inserts if r not in fact]
+                deletes = []
+            else:
+                inserts = []
+                deletes = [rng.choice(sorted(fact.rows, key=repr))]
+            fact = self_apply(incremental, fact, inserts, deletes)
+            reference = make_view_gv()
+            reference.recompute(fact)
+            assert incremental.table() == reference.table()
+
+
+def make_view_gv():
+    return AggregateView(
+        "A", "F", ("g",), [count(), agg_sum("v"), agg_min("v"), agg_max("v")]
+    )
+
+
+def self_apply(view, fact, inserts, deletes):
+    delta = Delta(
+        "F",
+        inserts=Relation(("g", "v"), inserts),
+        deletes=Relation(("g", "v"), deletes),
+    )
+    new_fact = fact.difference(delta.deletes).union(delta.inserts)
+    view.apply_delta(delta, new_fact)
+    return new_fact
+
+
+class TestWarehouseIntegration:
+    @pytest.fixture
+    def setup(self):
+        catalog = Catalog()
+        catalog.relation("Orders", ("okey", "custkey", "price"), key=("okey",))
+        catalog.relation("Customer", ("custkey", "segment"), key=("custkey",))
+        catalog.inclusion("Orders", ("custkey",), "Customer")
+        db = Database(catalog)
+        db.load("Customer", [(1, "RETAIL"), (2, "CORP")])
+        db.load("Orders", [(10, 1, 100), (11, 2, 250), (12, 1, 50)])
+        views = [
+            View("Fact", parse("Orders join Customer")),
+            View("CustomerDim", parse("Customer")),
+        ]
+        wh = Warehouse.specify(catalog, views)
+        wh.initialize(db)
+        return catalog, db, wh
+
+    def test_attach_and_query(self, setup):
+        _, _, wh = setup
+        wh.attach_aggregate(
+            AggregateView("BySegment", "Fact", ("segment",), [count(), agg_sum("price")])
+        )
+        table = wh.aggregate("BySegment")
+        assert table.to_set() == {("RETAIL", 2, 150), ("CORP", 1, 250)}
+
+    def test_aggregate_follows_updates(self, setup):
+        _, db, wh = setup
+        wh.attach_aggregate(
+            AggregateView("BySegment", "Fact", ("segment",), [count(), agg_sum("price")])
+        )
+        wh.apply(db.insert("Orders", [(13, 2, 60)]))
+        table = wh.aggregate("BySegment")
+        assert ("CORP", 2, 310) in table
+        wh.apply(db.delete("Orders", [(10, 1, 100)]))
+        assert ("RETAIL", 1, 50) in wh.aggregate("BySegment")
+
+    def test_unknown_source_rejected(self, setup):
+        _, _, wh = setup
+        with pytest.raises(WarehouseError):
+            wh.attach_aggregate(AggregateView("A", "Ghost", ("x",), [count()]))
+
+    def test_unknown_aggregate_lookup(self, setup):
+        _, _, wh = setup
+        with pytest.raises(WarehouseError):
+            wh.aggregate("Nope")

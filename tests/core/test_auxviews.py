@@ -1,0 +1,163 @@
+"""Unit tests for :mod:`repro.core.auxviews` (the [18]-style baseline)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import Catalog, Relation, View, WarehouseError, complement_thm22, parse
+from repro.core.auxviews import auxiliary_views, verify_insert_maintenance
+from repro.core.independence import warehouse_state
+
+
+@pytest.fixture
+def catalog() -> Catalog:
+    catalog = Catalog()
+    catalog.relation("Sale", ("item", "clerk", "price"))
+    catalog.relation("Emp", ("clerk", "age", "dept"), key=("clerk",))
+    return catalog
+
+
+def random_state(seed: int):
+    rng = random.Random(seed)
+    sale = {
+        (f"item{rng.randrange(6)}", f"c{rng.randrange(4)}", rng.randrange(100))
+        for _ in range(rng.randint(0, 8))
+    }
+    emp = {}
+    for _ in range(rng.randint(0, 5)):
+        clerk = f"c{rng.randrange(4)}"
+        emp[clerk] = (clerk, rng.randint(20, 60), f"d{rng.randrange(2)}")
+    return {
+        "Sale": Relation(("item", "clerk", "price"), sale),
+        "Emp": Relation(("clerk", "age", "dept"), emp.values()),
+    }
+
+
+class TestConstruction:
+    def test_projection_keeps_needed_attributes_only(self, catalog):
+        view = View("V", parse("pi[item, age](Sale join Emp)"))
+        aux = auxiliary_views(catalog, view)
+        # Sale needs item (output), clerk (join) — not price.
+        assert str(aux.auxiliaries["Sale"]) == "pi[item, clerk](Sale)"
+        # Emp needs clerk (join), age (output) — not dept.
+        assert str(aux.auxiliaries["Emp"]) == "pi[clerk, age](Emp)"
+
+    def test_local_selection_pushed(self, catalog):
+        view = View("V", parse("pi[item, age](sigma[age > 30](Sale join Emp))"))
+        aux = auxiliary_views(catalog, view)
+        assert "sigma[age > 30]" in str(aux.auxiliaries["Emp"])
+        assert "sigma" not in str(aux.auxiliaries["Sale"])
+
+    def test_cross_relation_condition_not_pushed(self, catalog):
+        view = View("V", parse("sigma[price = age](Sale join Emp)"))
+        aux = auxiliary_views(catalog, view)
+        # price = age spans both relations: stays out of both auxiliaries.
+        assert "sigma" not in str(aux.auxiliaries["Sale"])
+        assert "sigma" not in str(aux.auxiliaries["Emp"])
+
+    def test_names(self, catalog):
+        view = View("V", parse("Sale join Emp"))
+        aux = auxiliary_views(catalog, view)
+        assert set(aux.names()) == {"A_V_Sale", "A_V_Emp"}
+
+    def test_unknown_relation_rejected(self, catalog):
+        view = View("V", parse("Sale join Emp"))
+        aux = auxiliary_views(catalog, view)
+        with pytest.raises(WarehouseError):
+            aux.insert_delta_expression("Ghost")
+
+
+class TestInsertMaintenance:
+    @pytest.mark.parametrize(
+        "definition",
+        [
+            "Sale join Emp",
+            "pi[item, age](Sale join Emp)",
+            "pi[item, clerk](sigma[age > 30](Sale join Emp))",
+            "pi[clerk](sigma[price >= 50 and age > 25](Sale join Emp))",
+        ],
+    )
+    @pytest.mark.parametrize("target", ["Sale", "Emp"])
+    def test_identity_on_random_states(self, catalog, definition, target):
+        view = View("V", parse(definition))
+        aux = auxiliary_views(catalog, view)
+        rng = random.Random(0)
+        for seed in range(8):
+            state = random_state(seed)
+            attrs = catalog[target].attributes
+            rows = [
+                tuple(
+                    f"item{rng.randrange(6)}"
+                    if a == "item"
+                    else f"c{rng.randrange(4)}"
+                    if a == "clerk"
+                    else f"d{rng.randrange(2)}"
+                    if a == "dept"
+                    else rng.randrange(100)
+                    for a in attrs
+                )
+                for _ in range(2)
+            ]
+            inserted = Relation(attrs, rows)
+            assert verify_insert_maintenance(aux, state, target, inserted), (
+                definition,
+                target,
+                seed,
+            )
+
+    def test_delta_expression_references_no_base_relation(self, catalog):
+        view = View("V", parse("pi[item, age](Sale join Emp)"))
+        aux = auxiliary_views(catalog, view)
+        delta = aux.insert_delta_expression("Sale")
+        assert delta.relation_names() == frozenset({"Sale__ins", "A_V_Emp"})
+
+
+class TestStorageComparison:
+    """The paper's Section 1 comparison, quantified."""
+
+    def test_aux_views_smaller_without_constraints(self, catalog):
+        # Projection makes [18]-style auxiliaries smaller than the full
+        # complement when no constraints prune anything.
+        view = View("V", parse("pi[item, age](Sale join Emp)"))
+        aux = auxiliary_views(catalog, view)
+        spec = complement_thm22(catalog, [view])
+        state = random_state(3)
+        aux_rows = aux.storage_rows(state)
+        image = warehouse_state(spec, state)
+        complement_rows = sum(
+            len(image[name]) for name in spec.complement_names()
+        )
+        # Auxiliaries duplicate (projected) relations; the complement stores
+        # full-width leftovers. Both are data-dependent; assert the tuple
+        # counts at least here, where every Sale/Emp tuple goes into an aux.
+        assert aux_rows >= 0 and complement_rows >= 0  # both well-defined
+        total_aux_width = sum(
+            len(expr.attributes({s.name: s.attributes for s in catalog.schemas()}))
+            for expr in aux.auxiliaries.values()
+        )
+        assert total_aux_width < sum(
+            len(s.attributes) for s in catalog.schemas()
+        )  # narrower, by construction
+
+    def test_complement_wins_with_constraints(self):
+        # With referential integrity, the complement of Sale vanishes while
+        # the aux route still stores a (projected) copy of both relations.
+        catalog = Catalog()
+        catalog.relation("Sale", ("item", "clerk"))
+        catalog.relation("Emp", ("clerk", "age"), key=("clerk",))
+        catalog.inclusion("Sale", ("clerk",), "Emp")
+        view = View("Sold", parse("Sale join Emp"))
+        aux = auxiliary_views(catalog, view)
+        spec = complement_thm22(catalog, [view])
+
+        state = {
+            "Sale": Relation(("item", "clerk"), [("TV", "Mary"), ("PC", "John")]),
+            "Emp": Relation(("clerk", "age"), [("Mary", 23), ("John", 25)]),
+        }
+        aux_rows = aux.storage_rows(state)
+        image = warehouse_state(spec, state)
+        complement_rows = sum(len(image[name]) for name in spec.complement_names())
+        assert complement_rows < aux_rows
+        assert complement_rows == 0  # everyone sells here; C_Emp empty too

@@ -1,0 +1,188 @@
+"""Unit tests for :mod:`repro.core.complement`."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import (
+    Catalog,
+    Relation,
+    View,
+    WarehouseError,
+    complement_prop22,
+    complement_thm22,
+    parse,
+    specify,
+)
+from repro.core.independence import verify_complement
+
+
+@pytest.fixture
+def catalog() -> Catalog:
+    catalog = Catalog()
+    catalog.relation("Sale", ("item", "clerk"))
+    catalog.relation("Emp", ("clerk", "age"), key=("clerk",))
+    return catalog
+
+
+@pytest.fixture
+def views():
+    return [View("Sold", parse("Sale join Emp"))]
+
+
+def random_state(catalog, seed):
+    rng = random.Random(seed)
+    state = {}
+    for schema in catalog.schemas():
+        rows = set()
+        for _ in range(rng.randint(0, 6)):
+            row = []
+            for attr in schema.attributes:
+                row.append(rng.randrange(4))
+            rows.add(tuple(row))
+        if schema.key is not None:
+            # Keep one row per key value.
+            seen = {}
+            positions = [schema.attributes.index(a) for a in schema.key]
+            for row in sorted(rows, key=repr):
+                seen[tuple(row[p] for p in positions)] = row
+            rows = set(seen.values())
+        state[schema.name] = Relation(schema.attributes, rows)
+    return state
+
+
+class TestSpecStructure:
+    def test_names(self, catalog, views):
+        spec = complement_thm22(catalog, views)
+        assert spec.view_names() == ("Sold",)
+        assert set(spec.complement_names()) == {"C_Sale", "C_Emp"}
+        assert set(spec.warehouse_names()) == {"Sold", "C_Sale", "C_Emp"}
+
+    def test_warehouse_scope(self, catalog, views):
+        spec = complement_thm22(catalog, views)
+        scope = spec.warehouse_scope()
+        assert scope["Sold"] == ("item", "clerk", "age")
+        assert scope["C_Emp"] == ("clerk", "age")
+
+    def test_definitions_over_sources_reference_only_bases(self, catalog, views):
+        spec = complement_thm22(catalog, views)
+        for name, definition in spec.definitions_over_sources().items():
+            assert definition.relation_names() <= {"Sale", "Emp"}, name
+
+    def test_inverses_reference_only_warehouse(self, catalog, views):
+        spec = complement_thm22(catalog, views)
+        allowed = set(spec.warehouse_names())
+        for relation, inverse in spec.inverses.items():
+            assert inverse.relation_names() <= allowed, relation
+
+    def test_complement_name_collision_avoided(self, catalog):
+        views = [View("C_Sale", parse("Sale"))]  # steal the natural name
+        spec = complement_thm22(catalog, views)
+        assert spec.complements["Sale"].name != "C_Sale"
+
+    def test_describe_mentions_everything(self, catalog, views):
+        spec = complement_thm22(catalog, views)
+        text = spec.describe()
+        assert "Sold" in text and "C_Emp" in text and "Equation 4" in text
+
+    def test_inverse_for_unknown_relation(self, catalog, views):
+        spec = complement_thm22(catalog, views)
+        with pytest.raises(WarehouseError):
+            spec.inverse_for("Nope")
+
+
+class TestValidation:
+    def test_duplicate_view_names_rejected(self, catalog):
+        views = [View("V", parse("Sale")), View("V", parse("Emp"))]
+        with pytest.raises(WarehouseError):
+            complement_thm22(catalog, views)
+
+    def test_view_name_colliding_with_base_rejected(self, catalog):
+        with pytest.raises(WarehouseError):
+            complement_thm22(catalog, [View("Sale", parse("Emp"))])
+
+    def test_non_psj_view_rejected(self, catalog):
+        views = [View("U", parse("pi[clerk](Sale) union pi[clerk](Emp)"))]
+        with pytest.raises(Exception):
+            complement_thm22(catalog, views)
+
+    def test_unknown_relation_rejected(self, catalog):
+        with pytest.raises(Exception):
+            complement_thm22(catalog, [View("V", parse("Ghost"))])
+
+    def test_specify_dispatch(self, catalog, views):
+        assert specify(catalog, views, method="prop22").method == "prop22"
+        assert specify(catalog, views, method="thm22").method == "thm22"
+        with pytest.raises(WarehouseError):
+            specify(catalog, views, method="nope")
+
+
+class TestCorrectness:
+    """Reconstruction is exact on random constraint-satisfying states."""
+
+    def test_prop22_reconstructs(self, catalog, views):
+        spec = complement_prop22(catalog, views)
+        for seed in range(10):
+            state = random_state(catalog, seed)
+            ok, problems = verify_complement(spec, state)
+            assert ok, (seed, problems)
+
+    def test_thm22_reconstructs(self, catalog, views):
+        spec = complement_thm22(catalog, views)
+        for seed in range(10):
+            state = random_state(catalog, seed)
+            ok, problems = verify_complement(spec, state)
+            assert ok, (seed, problems)
+
+    def test_ablation_flags(self, catalog, views):
+        no_constraints = complement_thm22(
+            catalog, views, use_keys=False, use_inds=False, prune_empty=False
+        )
+        baseline = complement_prop22(catalog, views)
+        for relation in ("Sale", "Emp"):
+            assert str(no_constraints.complements[relation].definition) == str(
+                baseline.complements[relation].definition
+            )
+
+    def test_multiple_views_share_hat(self, catalog):
+        views = [
+            View("Sold", parse("Sale join Emp")),
+            View("EmpCopy", parse("Emp")),
+        ]
+        spec = complement_thm22(catalog, views)
+        # EmpCopy makes C_Emp provably empty.
+        assert spec.complements["Emp"].provably_empty
+        for seed in range(10):
+            state = random_state(catalog, seed)
+            ok, problems = verify_complement(spec, state)
+            assert ok, (seed, problems)
+
+
+class TestKeyCoverReconstruction:
+    """Key-based covers must never fabricate tuples (extension-join safety)."""
+
+    def test_projections_with_key_reconstruct_exactly(self):
+        catalog = Catalog()
+        catalog.relation("R", ("k", "x", "y"), key=("k",))
+        views = [View("VX", parse("pi[k, x](R)")), View("VY", parse("pi[k, y](R)"))]
+        spec = complement_thm22(catalog, views)
+        assert spec.complements["R"].provably_empty
+        for seed in range(10):
+            state = random_state(catalog, seed)
+            ok, problems = verify_complement(spec, state)
+            assert ok, (seed, problems)
+
+    def test_without_key_projections_do_not_reconstruct(self):
+        catalog = Catalog()
+        catalog.relation("R", ("k", "x", "y"))  # no key!
+        views = [View("VX", parse("pi[k, x](R)")), View("VY", parse("pi[k, y](R)"))]
+        spec = complement_thm22(catalog, views)
+        # Joining the projections is lossy without the key: the complement
+        # must stay (and reconstruction must still be exact thanks to it).
+        assert not spec.complements["R"].provably_empty
+        for seed in range(10):
+            state = random_state(catalog, seed)
+            ok, problems = verify_complement(spec, state)
+            assert ok, (seed, problems)

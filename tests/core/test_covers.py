@@ -1,0 +1,130 @@
+"""Unit tests for :mod:`repro.core.covers`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Catalog, View, parse
+from repro.core.covers import (
+    CoverElement,
+    enumerate_covers,
+    ind_key_views,
+    ind_views,
+    key_views,
+)
+
+
+@pytest.fixture
+def catalog() -> Catalog:
+    catalog = Catalog()
+    catalog.relation("R", ("A", "B", "C"), key=("A",))
+    catalog.relation("S", ("A", "D"), key=("A",))
+    catalog.relation("NoKey", ("A", "E"))
+    catalog.inclusion("S", ("A",), "R")
+    return catalog
+
+
+class TestKeyViews:
+    def test_views_retaining_key(self, catalog):
+        views = [
+            View("V1", parse("pi[A, B](R)")),
+            View("V2", parse("pi[B, C](R)")),  # drops the key
+            View("V3", parse("R join S")),
+        ]
+        elements = key_views(catalog, views, "R")
+        assert {e.label for e in elements} == {"V1", "V3"}
+
+    def test_relevant_attributes_intersected(self, catalog):
+        views = [View("V3", parse("R join S"))]
+        (element,) = key_views(catalog, views, "R")
+        assert element.attributes == frozenset({"A", "B", "C"})
+
+    def test_no_key_means_no_elements(self, catalog):
+        views = [View("V", parse("NoKey"))]
+        assert key_views(catalog, views, "NoKey") == []
+
+    def test_view_not_involving_relation_skipped(self, catalog):
+        views = [View("V", parse("S"))]
+        assert key_views(catalog, views, "R") == []
+
+
+class TestIndViews:
+    def test_pseudo_view_built(self, catalog):
+        elements = ind_views(catalog, "R")
+        assert len(elements) == 1
+        element = elements[0]
+        assert element.kind == "ind"
+        assert str(element.expression) == "pi[A](S)"
+        assert element.attributes == frozenset({"A"})
+
+    def test_ind_not_covering_key_skipped(self):
+        catalog = Catalog()
+        catalog.relation("R", ("A", "B"), key=("A",))
+        catalog.relation("S", ("B", "C"))
+        catalog.inclusion("S", ("B",), "R", ("B",))  # misses the key A
+        assert ind_views(catalog, "R") == []
+
+    def test_renamed_ind_wrapped_in_rho(self):
+        catalog = Catalog()
+        catalog.relation("Customer", ("custkey", "name"), key=("custkey",))
+        catalog.relation("Orders", ("okey", "cust"), key=("okey",))
+        catalog.inclusion("Orders", ("cust",), "Customer", ("custkey",))
+        (element,) = ind_views(catalog, "Customer")
+        assert "rho" in str(element.expression)
+        assert element.attributes == frozenset({"custkey"})
+
+    def test_combined(self, catalog):
+        views = [View("V1", parse("pi[A, B](R)"))]
+        elements = ind_key_views(catalog, views, "R")
+        assert {e.kind for e in elements} == {"view", "ind"}
+
+
+def element(label: str, attrs) -> CoverElement:
+    from repro.algebra.expressions import RelationRef
+
+    return CoverElement("view", label, RelationRef(label), frozenset(attrs))
+
+
+class TestEnumerateCovers:
+    def test_single_element_cover(self):
+        covers = enumerate_covers([element("V", "ABC")], frozenset("ABC"))
+        assert len(covers) == 1
+
+    def test_minimality(self):
+        covers = enumerate_covers(
+            [element("Full", "ABC"), element("P1", "AB"), element("P2", "AC")],
+            frozenset("ABC"),
+        )
+        labels = {frozenset(e.label for e in cover) for cover in covers}
+        # {Full, P1} is not minimal (Full alone covers); {P1, P2} is.
+        assert labels == {frozenset({"Full"}), frozenset({"P1", "P2"})}
+
+    def test_no_cover_when_attribute_unreachable(self):
+        covers = enumerate_covers([element("P1", "AB")], frozenset("ABC"))
+        assert covers == []
+
+    def test_empty_target_not_used(self):
+        # Degenerate: an empty target is covered by the empty set; the
+        # enumerator starts at size 1, so no cover of size 0 is reported,
+        # matching the paper (covers are non-empty view sets).
+        covers = enumerate_covers([element("P1", "AB")], frozenset())
+        assert [tuple(e.label for e in c) for c in covers] == [("P1",)]
+
+    def test_superset_covers_pruned(self):
+        covers = enumerate_covers(
+            [element("X", "AB"), element("Y", "BC"), element("Z", "CD")],
+            frozenset("ABCD"),
+        )
+        labels = {frozenset(e.label for e in cover) for cover in covers}
+        # {X, Z} already covers ABCD, so {X, Y, Z} is not minimal.
+        assert labels == {frozenset({"X", "Z"})}
+
+    def test_multiple_minimal_covers_of_same_size(self):
+        covers = enumerate_covers(
+            [element("X", "AB"), element("Y", "CD"), element("P", "AC"),
+             element("Q", "BD")],
+            frozenset("ABCD"),
+        )
+        labels = {frozenset(e.label for e in cover) for cover in covers}
+        # Exactly the 2-element combinations that cover ABCD.
+        assert labels == {frozenset({"X", "Y"}), frozenset({"P", "Q"})}

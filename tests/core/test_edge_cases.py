@@ -1,0 +1,167 @@
+"""Edge cases across the core pipeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    Catalog,
+    Database,
+    Relation,
+    Update,
+    View,
+    Warehouse,
+    complement_prop22,
+    complement_thm22,
+    parse,
+)
+from repro.core.independence import verify_complement, warehouse_state
+
+
+class TestDegenerateWarehouses:
+    def test_empty_database(self, figure1_catalog, sold_view):
+        wh = Warehouse.specify(figure1_catalog, [sold_view])
+        wh.initialize(Database(figure1_catalog))
+        assert wh.storage_rows() == 0
+        assert wh.answer("Sale").rows == frozenset()
+        wh.insert("Emp", [("Mary", 23)])
+        assert wh.reconstruct("Emp").to_set() == {("Mary", 23)}
+
+    def test_relation_not_covered_by_any_view(self):
+        catalog = Catalog()
+        catalog.relation("A", ("x",))
+        catalog.relation("B", ("y",))
+        spec = complement_prop22(catalog, [View("VA", parse("A"))])
+        # B appears in no view: its complement is B itself.
+        assert str(spec.inverses["B"]) == "C_B"
+        state = {"A": Relation(("x",), [(1,)]), "B": Relation(("y",), [(2,)])}
+        ok, problems = verify_complement(spec, state)
+        assert ok, problems
+
+    def test_no_views_at_all(self):
+        catalog = Catalog()
+        catalog.relation("A", ("x",))
+        spec = complement_thm22(catalog, [])
+        # Degenerates to the trivial complement.
+        assert str(spec.inverses["A"]) == "C_A"
+        state = {"A": Relation(("x",), [(1,), (2,)])}
+        ok, problems = verify_complement(spec, state)
+        assert ok, problems
+
+    def test_single_relation_single_copy_view(self):
+        catalog = Catalog()
+        catalog.relation("A", ("x", "y"))
+        spec = complement_thm22(catalog, [View("Copy", parse("A"))])
+        assert spec.complements["A"].provably_empty
+        assert str(spec.inverses["A"]) == "Copy"
+
+    def test_thm22_without_constraints_equals_prop22(self, example21_catalog):
+        views = [View("V1", parse("R join S join T"))]
+        thm = complement_thm22(
+            example21_catalog, views, prune_empty=False
+        )
+        prop = complement_prop22(example21_catalog, views)
+        for relation in ("R", "S", "T"):
+            assert str(thm.complements[relation].definition) == str(
+                prop.complements[relation].definition
+            )
+            assert str(thm.inverses[relation]) == str(prop.inverses[relation])
+
+
+class TestCompositeKeys:
+    def test_two_attribute_key_cover(self):
+        catalog = Catalog()
+        catalog.relation("L", ("ok", "ln", "p", "q"), key=("ok", "ln"))
+        views = [
+            View("VP", parse("pi[ok, ln, p](L)")),
+            View("VQ", parse("pi[ok, ln, q](L)")),
+        ]
+        spec = complement_thm22(catalog, views)
+        # The composite-key join VP |x| VQ is lossless: complement empty.
+        assert spec.complements["L"].provably_empty
+        state = {
+            "L": Relation(("ok", "ln", "p", "q"), [(1, 1, "a", "b"), (1, 2, "c", "d")])
+        }
+        ok, problems = verify_complement(spec, state)
+        assert ok, problems
+
+    def test_view_retaining_half_the_key_is_useless(self):
+        catalog = Catalog()
+        catalog.relation("L", ("ok", "ln", "p"), key=("ok", "ln"))
+        views = [View("VP", parse("pi[ok, p](L)"))]  # drops ln: no key
+        spec = complement_thm22(catalog, views)
+        assert not spec.complements["L"].provably_empty
+        state = {"L": Relation(("ok", "ln", "p"), [(1, 1, "a"), (1, 2, "a")])}
+        ok, problems = verify_complement(spec, state)
+        assert ok, problems
+
+
+class TestUpdateEdges:
+    def test_empty_update_is_noop(self, figure1_catalog, figure1_database, sold_view):
+        wh = Warehouse.specify(figure1_catalog, [sold_view])
+        wh.initialize(figure1_database)
+        before = dict(wh.state)
+        applied = wh.apply(Update([]))
+        assert applied == {}
+        assert wh.state == before
+
+    def test_update_with_insert_equal_delete(self, figure1_catalog, figure1_database, sold_view):
+        wh = Warehouse.specify(figure1_catalog, [sold_view])
+        wh.initialize(figure1_database)
+        before = dict(wh.state)
+        update = Update.modify(
+            "Sale", ("item", "clerk"), [("TV set", "Mary")], [("TV set", "Mary")]
+        )
+        figure1_database.apply(update)
+        wh.apply(update)
+        assert wh.state == before
+
+    def test_reinitialization_resets(self, figure1_catalog, figure1_database, sold_view):
+        wh = Warehouse.specify(figure1_catalog, [sold_view])
+        wh.initialize(figure1_database)
+        wh.insert("Emp", [("Zoe", 40)])
+        # Re-extract from the (unchanged) sources: the Zoe row disappears.
+        wh.initialize(figure1_database)
+        assert wh.state == warehouse_state(wh.spec, figure1_database.state())
+
+    def test_duplicate_inserts_in_one_update(self, figure1_catalog, figure1_database, sold_view):
+        wh = Warehouse.specify(figure1_catalog, [sold_view])
+        wh.initialize(figure1_database)
+        update = Update.insert(
+            "Sale",
+            ("item", "clerk"),
+            [("Radio", "Mary"), ("Radio", "Mary")],  # duplicate rows
+        )
+        figure1_database.apply(update)
+        wh.apply(update)
+        assert wh.state == warehouse_state(wh.spec, figure1_database.state())
+
+
+class TestConditionViews:
+    def test_selection_with_disjunction(self):
+        catalog = Catalog()
+        catalog.relation("R", ("a", "b"))
+        views = [View("V", parse("sigma[a = 1 or a = 2](R)"))]
+        spec = complement_thm22(catalog, views)
+        state = {"R": Relation(("a", "b"), [(1, 1), (2, 2), (3, 3)])}
+        ok, problems = verify_complement(spec, state)
+        assert ok, problems
+
+    def test_selection_with_negation(self):
+        catalog = Catalog()
+        catalog.relation("R", ("a", "b"))
+        views = [View("V", parse("sigma[not (a = 1)](R)"))]
+        spec = complement_thm22(catalog, views)
+        state = {"R": Relation(("a", "b"), [(1, 1), (2, 2)])}
+        ok, problems = verify_complement(spec, state)
+        assert ok, problems
+
+    def test_attribute_to_attribute_condition(self):
+        catalog = Catalog()
+        catalog.relation("R", ("a", "b"))
+        views = [View("V", parse("sigma[a = b](R)"))]
+        spec = complement_thm22(catalog, views)
+        state = {"R": Relation(("a", "b"), [(1, 1), (1, 2)])}
+        ok, problems = verify_complement(spec, state)
+        assert ok, problems
+        assert str(spec.complements["R"].definition) == "R minus V"

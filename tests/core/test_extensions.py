@@ -1,0 +1,231 @@
+"""Targeted coverage: renamed-IND covers, modify updates, warehouse audit."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import (
+    Catalog,
+    Database,
+    Relation,
+    Update,
+    View,
+    Warehouse,
+    complement_thm22,
+    parse,
+)
+from repro.core.covers import enumerate_covers, ind_key_views
+from repro.core.independence import verify_complement, warehouse_state
+
+
+class TestRenamedIndCoversEndToEnd:
+    """A multi-attribute renamed IND whose pseudo-view joins a real cover.
+
+    Schema: R(A, B, C) with key A; S(X, Y, Z) with key X;
+    IND  S[X, Y] ⊆ R[A, B]  (renamed, two attributes).
+    Views: V4 = pi_AC(R)  and  VS = S (a copy).
+
+    The cover {rho[X->A, Y->B](pi[X, Y](S)), V4} reconstructs R completely
+    only where S provides (A, B) pairs; the complement holds the rest.
+    """
+
+    def make_catalog(self) -> Catalog:
+        catalog = Catalog()
+        catalog.relation("R", ("A", "B", "C"), key=("A",))
+        catalog.relation("S", ("X", "Y", "Z"), key=("X",))
+        catalog.inclusion("S", ("X", "Y"), "R", ("A", "B"))
+        return catalog
+
+    def make_views(self):
+        return [View("V4", parse("pi[A, C](R)")), View("VS", parse("S"))]
+
+    def test_pseudo_view_in_cover(self):
+        catalog = self.make_catalog()
+        views = self.make_views()
+        elements = ind_key_views(catalog, views, "R")
+        covers = enumerate_covers(elements, frozenset(catalog.attributes("R")))
+        labels = {frozenset(e.label for e in cover) for cover in covers}
+        pseudo_label = next(
+            e.label for e in elements if e.kind == "ind"
+        )
+        assert frozenset({pseudo_label, "V4"}) in labels
+
+    def test_inverse_substitutes_renamed_pseudo_view(self):
+        catalog = self.make_catalog()
+        spec = complement_thm22(catalog, self.make_views())
+        inverse = str(spec.inverses["R"])
+        assert "rho[X -> A, Y -> B]" in inverse
+        assert "VS" in inverse  # S replaced by its warehouse representation
+        assert "S" not in inverse.replace("VS", "")  # no bare base reference
+
+    def random_valid_state(self, seed: int):
+        rng = random.Random(seed)
+        r_rows = {
+            f"a{i}": (f"a{i}", rng.randrange(3), rng.randrange(3))
+            for i in range(rng.randint(0, 6))
+        }
+        r = list(r_rows.values())
+        s = []
+        for index, (a, b, _c) in enumerate(rng.sample(r, rng.randint(0, len(r)))):
+            s.append((a, b, rng.randrange(5)))
+        # Key X = first column; values a<i> are distinct already.
+        return {
+            "R": Relation(("A", "B", "C"), r),
+            "S": Relation(("X", "Y", "Z"), s),
+        }
+
+    def test_reconstruction_exact_on_random_states(self):
+        catalog = self.make_catalog()
+        spec = complement_thm22(catalog, self.make_views())
+        for seed in range(15):
+            state = self.random_valid_state(seed)
+            ok, problems = verify_complement(spec, state)
+            assert ok, (seed, problems)
+
+    def test_complement_smaller_than_without_ind(self):
+        with_ind = complement_thm22(self.make_catalog(), self.make_views())
+        catalog_no_ind = Catalog()
+        catalog_no_ind.relation("R", ("A", "B", "C"), key=("A",))
+        catalog_no_ind.relation("S", ("X", "Y", "Z"), key=("X",))
+        without_ind = complement_thm22(catalog_no_ind, self.make_views())
+        state = self.random_valid_state(3)
+        rows_with = sum(
+            len(rel)
+            for name, rel in warehouse_state(with_ind, state).items()
+            if name in with_ind.complement_names()
+        )
+        rows_without = sum(
+            len(rel)
+            for name, rel in warehouse_state(without_ind, state).items()
+            if name in without_ind.complement_names()
+        )
+        assert rows_with <= rows_without
+
+
+class TestModifyUpdates:
+    @pytest.fixture
+    def setting(self, figure1_catalog, figure1_database, sold_view):
+        wh = Warehouse.specify(figure1_catalog, [sold_view])
+        wh.initialize(figure1_database)
+        return figure1_database, wh
+
+    def test_modify_is_delete_plus_insert(self):
+        update = Update.modify(
+            "Emp", ("clerk", "age"), [("Mary", 23)], [("Mary", 24)]
+        )
+        delta = update.delta_for("Emp")
+        assert delta.deletes.to_set() == {("Mary", 23)}
+        assert delta.inserts.to_set() == {("Mary", 24)}
+
+    def test_modification_maintained(self, setting):
+        db, wh = setting
+        update = Update.modify(
+            "Emp", ("clerk", "age"), [("Mary", 23)], [("Mary", 24)]
+        )
+        db.apply(update)
+        wh.apply(update)
+        assert wh.state == warehouse_state(wh.spec, db.state())
+        assert ("TV set", "Mary", 24) in wh.relation("Sold")
+
+
+class TestWarehouseAudit:
+    def test_clean_warehouse_audits_clean(
+        self, figure1_catalog_ri, sold_view
+    ):
+        db = Database(figure1_catalog_ri)
+        db.load("Emp", [("Mary", 23)])
+        db.load("Sale", [("TV", "Mary")])
+        wh = Warehouse.specify(figure1_catalog_ri, [sold_view])
+        wh.initialize(db)
+        assert wh.audit() == []
+
+    def test_lost_notification_detected(self, figure1_catalog_ri, sold_view):
+        db = Database(figure1_catalog_ri)
+        db.load("Emp", [("Mary", 23), ("Paula", 32)])
+        db.load("Sale", [("TV", "Mary")])
+        # prune_empty=False keeps C_Sale stored, so the dangling insert is
+        # representable (and detectable); with pruning, a constraint-
+        # violating update cannot even be represented — see the note below.
+        wh = Warehouse.specify(
+            figure1_catalog_ri, [sold_view], prune_empty=False
+        )
+        wh.initialize(db)
+
+        # Two updates happen at the sources; the second notification is
+        # "lost" — the warehouse only sees the first... then applying the
+        # dependent one out of context leaves a dangling reference.
+        first = db.insert("Emp", [("Zoe", 40)])
+        second = db.insert("Sale", [("Radio", "Zoe")])
+        wh.apply(second)  # the Emp insert never arrived
+        violations = wh.audit()
+        assert violations
+        assert any("inclusion" in v for v in violations)
+
+    def test_pruned_warehouse_silently_drops_unrepresentable_update(
+        self, figure1_catalog_ri, sold_view
+    ):
+        # With C_Sale pruned (provably empty under RI), a constraint-
+        # violating dangling insert cannot be represented at all: the
+        # warehouse state space only encodes RI-consistent databases. The
+        # update is silently a no-op and the audit stays clean — pruning
+        # trades fault *detectability* for storage, which is sound exactly
+        # because correct sources never emit such updates.
+        db = Database(figure1_catalog_ri)
+        db.load("Emp", [("Mary", 23)])
+        db.load("Sale", [("TV", "Mary")])
+        wh = Warehouse.specify(figure1_catalog_ri, [sold_view])
+        wh.initialize(db)
+        bad = Update.insert("Sale", ("item", "clerk"), [("Radio", "Ghost")])
+        wh.apply(bad)
+        assert wh.audit() == []
+        assert ("Radio", "Ghost") not in wh.reconstruct("Sale")
+
+
+class TestCheckImplication:
+    def test_implied_single_conjunct(self):
+        from repro import parse_condition
+        from repro.views.analysis import condition_implied_by_checks
+        from repro.views.psj import PSJView
+        from repro.algebra.conditions import Comparison, attr, const
+
+        catalog = Catalog()
+        catalog.relation("O", ("loc", "k"), key=("k",))
+        catalog.add_check("O", parse_condition("loc = 'N'"))
+        view = PSJView(("O",), condition=Comparison(attr("loc"), "=", const("N")))
+        assert condition_implied_by_checks(view, catalog)
+
+    def test_different_constant_not_implied(self):
+        from repro import parse_condition
+        from repro.views.analysis import condition_implied_by_checks
+        from repro.views.psj import PSJView
+        from repro.algebra.conditions import Comparison, attr, const
+
+        catalog = Catalog()
+        catalog.relation("O", ("loc", "k"), key=("k",))
+        catalog.add_check("O", parse_condition("loc = 'N'"))
+        view = PSJView(("O",), condition=Comparison(attr("loc"), "=", const("S")))
+        assert not condition_implied_by_checks(view, catalog)
+
+    def test_conjunction_partially_implied(self):
+        from repro import parse_condition
+        from repro.views.analysis import condition_implied_by_checks
+        from repro.views.psj import PSJView
+
+        catalog = Catalog()
+        catalog.relation("O", ("loc", "k"), key=("k",))
+        catalog.add_check("O", parse_condition("loc = 'N'"))
+        view = PSJView(("O",), condition=parse_condition("loc = 'N' and k = 1"))
+        assert not condition_implied_by_checks(view, catalog)
+
+    def test_multi_conjunct_checks(self):
+        from repro import parse_condition
+        from repro.views.analysis import condition_implied_by_checks
+        from repro.views.psj import PSJView
+
+        catalog = Catalog()
+        catalog.relation("O", ("loc", "tier", "k"), key=("k",))
+        catalog.add_check("O", parse_condition("loc = 'N' and tier = 1"))
+        view = PSJView(("O",), condition=parse_condition("tier = 1"))
+        assert condition_implied_by_checks(view, catalog)

@@ -1,0 +1,74 @@
+"""Last-mile coverage: full-recompute aggregates, spec aliases, misc."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Catalog, Database, View, Warehouse, parse
+from repro.core.aggregates import AggregateView, agg_sum, count
+
+
+@pytest.fixture
+def setting():
+    catalog = Catalog()
+    catalog.relation("Orders", ("okey", "seg", "price"), key=("okey",))
+    db = Database(catalog)
+    db.load("Orders", [(1, "A", 10), (2, "B", 20), (3, "A", 5)])
+    wh = Warehouse.specify(catalog, [View("Fact", parse("Orders"))])
+    wh.initialize(db)
+    wh.attach_aggregate(
+        AggregateView("BySeg", "Fact", ("seg",), [count(), agg_sum("price")])
+    )
+    return db, wh
+
+
+class TestApplyFullWithAggregates:
+    def test_recompute_path_refreshes_aggregates(self, setting):
+        db, wh = setting
+        update = db.insert("Orders", [(4, "B", 100)])
+        wh.apply_full(update)
+        assert ("B", 2, 120) in wh.aggregate("BySeg")
+
+    def test_incremental_and_full_agree_on_aggregates(self, setting):
+        db, wh = setting
+        other = Warehouse.specify(db.catalog, [View("Fact", parse("Orders"))])
+        other.initialize(
+            {
+                "Orders": db["Orders"].difference(
+                    db["Orders"].select(lambda r: False)
+                )
+            }
+        )
+        other.attach_aggregate(
+            AggregateView("BySeg", "Fact", ("seg",), [count(), agg_sum("price")])
+        )
+        update = db.insert("Orders", [(4, "B", 100), (5, "C", 7)])
+        wh.apply(update)
+        other.apply_full(update)
+        assert wh.aggregate("BySeg") == other.aggregate("BySeg")
+
+
+class TestSpecAliases:
+    def test_storage_expressions_alias(self, setting):
+        _, wh = setting
+        assert wh.spec.storage_expressions() == wh.spec.definitions_over_sources()
+
+
+class TestCliProp22:
+    def test_spec_method_prop22(self, tmp_path, capsys):
+        import json
+
+        from repro.__main__ import main
+
+        data = {
+            "relations": [
+                {"name": "Sale", "attributes": ["item", "clerk"]},
+                {"name": "Emp", "attributes": ["clerk", "age"], "key": ["clerk"]},
+            ],
+            "views": [{"name": "Sold", "definition": "Sale join Emp"}],
+        }
+        path = tmp_path / "schema.json"
+        path.write_text(json.dumps(data))
+        assert main(["spec", str(path), "--method", "prop22"]) == 0
+        out = capsys.readouterr().out
+        assert "method: prop22" in out

@@ -1,0 +1,122 @@
+"""Unit tests for :mod:`repro.core.hybrid` (Section 6's trade-off)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    Catalog,
+    Database,
+    View,
+    Warehouse,
+    WarehouseError,
+    evaluate,
+    parse,
+    specify,
+)
+from repro.core.hybrid import HybridWarehouse
+
+
+@pytest.fixture
+def setting():
+    catalog = Catalog()
+    catalog.relation("Sale", ("item", "clerk"))
+    catalog.relation("Emp", ("clerk", "age"), key=("clerk",))
+    db = Database(catalog)
+    db.load("Emp", [("Mary", 23), ("John", 25), ("Paula", 32)])
+    db.load("Sale", [("TV", "Mary"), ("PC", "John")])
+    spec = specify(catalog, [View("Sold", parse("Sale join Emp"))])
+    return catalog, db, spec
+
+
+def make_hybrid(db, spec, virtual):
+    return HybridWarehouse(spec, virtual, source_access=lambda name: db[name])
+
+
+class TestConstruction:
+    def test_unknown_virtual_rejected(self, setting):
+        _, db, spec = setting
+        with pytest.raises(WarehouseError):
+            make_hybrid(db, spec, ["Nope"])
+
+    def test_virtual_complement_not_stored(self, setting):
+        _, db, spec = setting
+        hybrid = make_hybrid(db, spec, ["C_Emp"])
+        hybrid.initialize(db)
+        assert "C_Emp" not in hybrid.state
+        assert "C_Sale" in hybrid.state
+
+    def test_storage_strictly_smaller(self, setting):
+        _, db, spec = setting
+        full = Warehouse(spec)
+        full.initialize(db)
+        hybrid = make_hybrid(db, spec, ["C_Emp"])
+        hybrid.initialize(db)
+        assert hybrid.storage_rows() < full.storage_rows()
+
+
+class TestOperations:
+    def test_answers_match_full_warehouse(self, setting):
+        _, db, spec = setting
+        hybrid = make_hybrid(db, spec, ["C_Emp"])
+        hybrid.initialize(db)
+        query = "pi[clerk](Sale) union pi[clerk](Emp)"
+        assert hybrid.answer(query) == evaluate(parse(query), db.state())
+
+    def test_source_queries_counted(self, setting):
+        _, db, spec = setting
+        hybrid = make_hybrid(db, spec, ["C_Emp"])
+        hybrid.initialize(db)
+        assert hybrid.source_queries == 0
+        hybrid.answer("pi[clerk](Emp)")  # needs C_Emp -> touches sources
+        assert hybrid.source_queries > 0
+
+    def test_queries_avoiding_virtual_stay_free(self, setting):
+        _, db, spec = setting
+        hybrid = make_hybrid(db, spec, ["C_Emp"])
+        hybrid.initialize(db)
+        hybrid.answer("Sale")  # Sale's inverse uses C_Sale + Sold only
+        assert hybrid.source_queries == 0
+
+    def test_updates_maintained_correctly(self, setting):
+        _, db, spec = setting
+        hybrid = make_hybrid(db, spec, ["C_Emp"])
+        hybrid.initialize(db)
+        full = Warehouse(spec)
+        full.initialize(db)
+
+        update = db.insert("Sale", [("Radio", "Paula")])
+        hybrid.apply(update)
+        full.apply(update)
+        for name in hybrid.state:
+            assert hybrid.state[name] == full.state[name], name
+        assert hybrid.reconstruct("Emp") == db["Emp"]
+
+    def test_update_stream_tracks_sources(self, setting):
+        _, db, spec = setting
+        hybrid = make_hybrid(db, spec, ["C_Emp"])
+        hybrid.initialize(db)
+        for update in (
+            db.insert("Emp", [("Zoe", 40)]),
+            db.insert("Sale", [("Mixer", "Zoe")]),
+            db.delete("Sale", [("TV", "Mary")]),
+            db.delete("Emp", [("Paula", 32)]),
+        ):
+            hybrid.apply(update)
+        assert hybrid.relation("Sold") == evaluate(
+            parse("Sale join Emp"), db.state()
+        )
+        assert hybrid.reconstruct("Sale") == db["Sale"]
+
+    def test_no_virtual_behaves_like_plain_warehouse(self, setting):
+        _, db, spec = setting
+        hybrid = make_hybrid(db, spec, [])
+        hybrid.initialize(db)
+        update = db.insert("Sale", [("Radio", "Paula")])
+        hybrid.apply(update)
+        assert hybrid.source_queries == 0
+        full = Warehouse(spec)
+        full.initialize(db.copy())
+        # db already has the update; rebuild from scratch for comparison.
+        full.initialize(db)
+        assert hybrid.state == full.state

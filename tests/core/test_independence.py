@@ -1,0 +1,128 @@
+"""Unit tests for :mod:`repro.core.independence`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Catalog, Relation, View, complement_prop22, parse
+from repro.core.independence import (
+    enumerate_states,
+    is_complement,
+    reconstructed_state,
+    verify_complement,
+    verify_one_to_one,
+    warehouse_state,
+)
+
+
+@pytest.fixture
+def catalog() -> Catalog:
+    catalog = Catalog()
+    catalog.relation("R", ("a", "b"), key=("a",))
+    catalog.relation("S", ("b", "c"))
+    return catalog
+
+
+@pytest.fixture
+def spec(catalog):
+    return complement_prop22(catalog, [View("V", parse("R join S"))])
+
+
+class TestMappings:
+    def test_warehouse_state_evaluates_all_stored(self, spec):
+        state = {
+            "R": Relation(("a", "b"), [(1, 2)]),
+            "S": Relation(("b", "c"), [(2, 3)]),
+        }
+        image = warehouse_state(spec, state)
+        assert set(image) == {"V", "C_R", "C_S"}
+        assert image["V"].to_set() == {(1, 2, 3)}
+
+    def test_roundtrip(self, spec):
+        state = {
+            "R": Relation(("a", "b"), [(1, 2), (4, 5)]),
+            "S": Relation(("b", "c"), [(2, 3)]),
+        }
+        rebuilt = reconstructed_state(spec, warehouse_state(spec, state))
+        assert rebuilt["R"] == state["R"]
+        assert rebuilt["S"] == state["S"]
+
+    def test_verify_complement_reports_mismatch(self, catalog):
+        # A deliberately broken spec: inverse claims R == V's projection.
+        from repro.core.complement import ComplementView, WarehouseSpec
+
+        broken = WarehouseSpec(
+            catalog,
+            [View("V", parse("R join S"))],
+            complements={},
+            inverses={"R": parse("pi[a, b](V)"), "S": parse("pi[b, c](V)")},
+            method="broken",
+        )
+        state = {
+            "R": Relation(("a", "b"), [(1, 2)]),
+            "S": Relation(("b", "c"), []),
+        }
+        ok, problems = verify_complement(broken, state)
+        assert not ok
+        assert any("R" in p and "missing" in p for p in problems)
+
+
+class TestEnumerateStates:
+    DOMAINS = {"a": [0, 1], "b": [0], "c": [0]}
+
+    def test_counts_without_constraints(self):
+        catalog = Catalog()
+        catalog.relation("S", ("b", "c"))
+        states = list(enumerate_states(catalog, self.DOMAINS))
+        # S has one possible row (0,0): states are {} and {(0,0)}.
+        assert len(states) == 2
+
+    def test_key_filtering(self, catalog):
+        states = list(enumerate_states(catalog, self.DOMAINS))
+        # R rows possible: (0,0), (1,0); all subsets respect key a.
+        # S rows possible: (0,0). Total 4 * 2 = 8 states, none invalid.
+        assert len(states) == 8
+
+    def test_key_violations_filtered(self):
+        catalog = Catalog()
+        catalog.relation("R", ("a", "b"), key=("a",))
+        states = list(
+            enumerate_states(catalog, {"a": [0], "b": [0, 1]})
+        )
+        # Rows (0,0) and (0,1) share the key: the 2-row state is invalid.
+        assert len(states) == 3
+
+    def test_invalid_states_kept_when_requested(self):
+        catalog = Catalog()
+        catalog.relation("R", ("a", "b"), key=("a",))
+        states = list(
+            enumerate_states(
+                catalog, {"a": [0], "b": [0, 1]}, only_valid=False
+            )
+        )
+        assert len(states) == 4
+
+    def test_missing_domain_raises(self, catalog):
+        with pytest.raises(KeyError):
+            list(enumerate_states(catalog, {"a": [0]}))
+
+    def test_max_rows_cap(self):
+        catalog = Catalog()
+        catalog.relation("R", ("a",))
+        states = list(
+            enumerate_states(
+                catalog, {"a": [0, 1, 2]}, max_rows_per_relation=1
+            )
+        )
+        # Empty plus three singletons.
+        assert len(states) == 4
+
+
+class TestOneToOne:
+    def test_injective_with_complement(self, catalog, spec):
+        states = list(
+            enumerate_states(catalog, {"a": [0, 1], "b": [0], "c": [0]})
+        )
+        ok, witness = verify_one_to_one(spec, states)
+        assert ok, witness
+        assert is_complement(spec, states)

@@ -1,0 +1,111 @@
+"""Unit tests for :mod:`repro.core.minimality`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    Catalog,
+    Relation,
+    View,
+    complement_prop22,
+    complement_thm22,
+    parse,
+    rel,
+)
+from repro.core.minimality import (
+    Comparison,
+    compare_view_sets,
+    is_minimal_certificate,
+    smaller_on_states,
+    total_rows,
+)
+
+SCOPE = {"R": ("a", "b"), "S": ("b", "c")}
+
+
+def states():
+    return [
+        {
+            "R": Relation(("a", "b"), [(1, 2), (3, 4)]),
+            "S": Relation(("b", "c"), [(2, 5)]),
+        },
+        {
+            "R": Relation(("a", "b"), []),
+            "S": Relation(("b", "c"), [(9, 9)]),
+        },
+        {
+            "R": Relation(("a", "b"), [(0, 0)]),
+            "S": Relation(("b", "c"), [(0, 0), (1, 1)]),
+        },
+    ]
+
+
+class TestOrdering:
+    def test_exact_containment_used_when_available(self):
+        # pi_a(R join S) <= pi_a(R) holds exactly; no states needed.
+        assert smaller_on_states(
+            [parse("pi[a](R join S)")], [parse("pi[a](R)")], [], scope=SCOPE
+        )
+
+    def test_exact_non_containment(self):
+        assert not smaller_on_states(
+            [parse("pi[a](R)")], [parse("pi[a](R join S)")], [], scope=SCOPE
+        )
+
+    def test_state_fallback_for_difference(self):
+        # Difference is outside the CQ fragment: states decide.
+        assert smaller_on_states(
+            [parse("R minus R")], [parse("R")], states(), scope=SCOPE
+        )
+
+    def test_matching_finds_permutation(self):
+        candidates = [parse("pi[a](R)"), parse("pi[b](S)")]
+        references = [parse("pi[b](S)"), parse("pi[a](R)")]
+        assert smaller_on_states(candidates, references, states(), scope=SCOPE)
+
+    def test_size_mismatch(self):
+        assert not smaller_on_states([parse("R")], [], states(), scope=SCOPE)
+
+    def test_comparison_properties(self):
+        comparison = Comparison(le=True, ge=False)
+        assert comparison.strictly_smaller
+        assert not comparison.equivalent
+        assert Comparison(True, True).equivalent
+        assert Comparison(False, False).incomparable
+
+    def test_compare_view_sets(self):
+        result = compare_view_sets(
+            [parse("sigma[a = 1](R)")], [parse("R")], states(), scope=SCOPE
+        )
+        assert result.strictly_smaller
+
+
+class TestCertificates:
+    def test_sj_views_no_constraints(self):
+        catalog = Catalog()
+        catalog.relation("R", ("a", "b"))
+        catalog.relation("S", ("b", "c"))
+        spec = complement_prop22(catalog, [View("V", parse("R join S"))])
+        certificate = is_minimal_certificate(spec)
+        assert certificate.certified and certificate.theorem == "Theorem 2.1"
+
+    def test_thm22_qualified_minimality(self):
+        catalog = Catalog()
+        catalog.relation("R", ("a", "b"), key=("a",))
+        catalog.relation("S", ("b", "c"))
+        spec = complement_thm22(catalog, [View("V", parse("R join S"))])
+        certificate = is_minimal_certificate(spec)
+        assert certificate.certified and certificate.theorem == "Theorem 2.2"
+
+    def test_psj_prop22_not_certified(self):
+        catalog = Catalog()
+        catalog.relation("R", ("a", "b", "c"))
+        spec = complement_prop22(catalog, [View("V", parse("pi[a, b](R)"))])
+        assert not is_minimal_certificate(spec).certified
+
+
+class TestTotalRows:
+    def test_counts(self):
+        exprs = [parse("R"), parse("pi[b](S)")]
+        assert total_rows(exprs, states()[0]) == 3

@@ -1,0 +1,114 @@
+"""E8 — Unit tests for :mod:`repro.core.selfmaint` (Section 4 closing case)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Catalog, Relation, View, evaluate, parse
+from repro.algebra.deltas import del_name, ins_name
+from repro.core.selfmaint import (
+    is_select_only_update_independent,
+    self_maintainable_without_complement,
+    self_maintenance_analysis,
+)
+
+
+@pytest.fixture
+def catalog() -> Catalog:
+    catalog = Catalog()
+    catalog.relation("R", ("a", "b"))
+    catalog.relation("S", ("b", "c"))
+    return catalog
+
+
+class TestSelectOnly:
+    def test_selection_view_is_update_independent(self, catalog):
+        view = View("W", parse("sigma[a = 1](R)"))
+        assert is_select_only_update_independent(view, catalog)
+
+    def test_projection_view_is_not(self, catalog):
+        view = View("W", parse("pi[a](R)"))
+        assert not is_select_only_update_independent(view, catalog)
+
+    def test_join_view_is_not(self, catalog):
+        view = View("W", parse("R join S"))
+        assert not is_select_only_update_independent(view, catalog)
+
+    def test_copy_view_is(self, catalog):
+        assert is_select_only_update_independent(View("W", parse("R")), catalog)
+
+    def test_non_psj_view_is_not(self, catalog):
+        view = View("W", parse("pi[b](R) union pi[b](S)"))
+        assert not is_select_only_update_independent(view, catalog)
+
+    def test_paper_calculation(self, catalog):
+        # w' = sigma(r ∪ Δr) = w ∪ sigma(Δr): verify numerically.
+        state = {"R": Relation(("a", "b"), [(1, 1), (2, 2)])}
+        sigma = parse("sigma[a = 1](R)")
+        w = evaluate(sigma, state)
+        delta = Relation(("a", "b"), [(1, 9), (3, 3)])
+        new_state = {"R": state["R"].union(delta)}
+        w_new = evaluate(sigma, new_state)
+        assert w_new == w.union(evaluate(sigma, {"R": delta}))
+
+
+class TestSyntacticCheck:
+    def test_select_only_views_pass(self, catalog):
+        views = [View("W", parse("sigma[a = 1](R)"))]
+        verdict = self_maintainable_without_complement(catalog, views, ["R"])
+        assert verdict == {"W": True}
+
+    def test_join_view_fails_for_inserts(self, catalog):
+        views = [View("V", parse("R join S"))]
+        verdict = self_maintainable_without_complement(
+            catalog, views, ["R"], insert_only=True
+        )
+        assert verdict == {"V": False}
+
+    def test_join_view_with_copies_passes(self, catalog):
+        # Materializing copies of both sides makes the join maintainable.
+        views = [
+            View("V", parse("R join S")),
+            View("CopyR", parse("R")),
+            View("CopyS", parse("S")),
+        ]
+        verdict = self_maintainable_without_complement(catalog, views, ["R", "S"])
+        assert verdict["V"] is True
+
+    def test_projection_deletes_need_base(self, catalog):
+        views = [View("P", parse("pi[a](R)"))]
+        inserts = self_maintainable_without_complement(
+            catalog, views, ["R"], insert_only=True
+        )
+        deletes = self_maintainable_without_complement(
+            catalog, views, ["R"], delete_only=True
+        )
+        # pi inserts fold into the view itself (pi(R) is materialized);
+        # deletes need the new value of pi(R), which folds as well.
+        assert inserts["P"] is True
+        assert deletes["P"] is False
+
+    def test_update_to_unrelated_relation_trivially_ok(self, catalog):
+        views = [View("W", parse("sigma[a = 1](R)"))]
+        verdict = self_maintainable_without_complement(catalog, views, ["S"])
+        assert verdict == {"W": True}
+
+
+class TestAnalysisReport:
+    def test_pure_selection_warehouse(self, catalog):
+        views = [View("W", parse("sigma[a = 1](R)"))]
+        report = self_maintenance_analysis(catalog, views)
+        assert report.select_only_views == ("W",)
+        assert not report.needs_complement
+
+    def test_join_warehouse_needs_complement(self, catalog):
+        views = [View("V", parse("R join S"))]
+        report = self_maintenance_analysis(catalog, views)
+        assert report.needs_complement
+        assert report.select_only_views == ()
+
+    def test_describe(self, catalog):
+        report = self_maintenance_analysis(
+            catalog, [View("W", parse("sigma[a = 1](R)"))]
+        )
+        assert "select-only" in report.describe()

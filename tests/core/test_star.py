@@ -1,0 +1,140 @@
+"""E9 — Unit tests for :mod:`repro.core.star` (Section 5 star schemata)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Catalog, Database, Relation, View, Warehouse, evaluate, parse
+from repro.core.independence import verify_complement, warehouse_state
+from repro.core.star import FactTable, star_specify
+
+
+@pytest.fixture
+def catalog() -> Catalog:
+    """Two per-location order sources plus a shared customer dimension.
+
+    The check constraints pin each source's origin attribute — the Section 5
+    invariant that makes the fact table's member selections no-ops.
+    """
+    from repro import parse_condition
+
+    catalog = Catalog()
+    catalog.relation("Customer", ("custkey", "segment"), key=("custkey",))
+    catalog.relation("OrdersN", ("loc", "okey", "custkey", "price"), key=("okey",))
+    catalog.relation("OrdersS", ("loc", "okey", "custkey", "price"), key=("okey",))
+    catalog.inclusion("OrdersN", ("custkey",), "Customer")
+    catalog.inclusion("OrdersS", ("custkey",), "Customer")
+    catalog.add_check("OrdersN", parse_condition("loc = 'N'"))
+    catalog.add_check("OrdersS", parse_condition("loc = 'S'"))
+    return catalog
+
+
+@pytest.fixture
+def fact(catalog) -> FactTable:
+    return FactTable(
+        "Sales",
+        "loc",
+        {
+            "N": parse("OrdersN join Customer"),
+            "S": parse("OrdersS join Customer"),
+        },
+    )
+
+
+@pytest.fixture
+def db(catalog) -> Database:
+    db = Database(catalog)
+    db.load("Customer", [(1, "RETAIL"), (2, "CORP"), (3, "RETAIL")])
+    db.load("OrdersN", [("N", 10, 1, 100.0), ("N", 11, 2, 250.0)])
+    db.load("OrdersS", [("S", 20, 1, 75.0)])
+    return db
+
+
+class TestFactTable:
+    def test_members_wrapped_in_origin_selection(self, fact):
+        member = fact.members["N"]
+        assert "loc = 'N'" in str(member)
+
+    def test_union_definition(self, fact):
+        definition = fact.union_definition()
+        assert definition.relation_names() == frozenset(
+            {"OrdersN", "OrdersS", "Customer"}
+        )
+
+    def test_member_selections_target_fact(self, fact):
+        selections = fact.member_selections()
+        assert set(selections) == {"Sales__at_N", "Sales__at_S"}
+        assert str(selections["Sales__at_N"]) == "sigma[loc = 'N'](Sales)"
+
+    def test_empty_members_rejected(self):
+        from repro import WarehouseError
+
+        with pytest.raises(WarehouseError):
+            FactTable("F", "loc", {})
+
+
+class TestStarSpec:
+    def test_stored_relations(self, catalog, fact):
+        spec = star_specify(catalog, [fact], [View("CustomerDim", parse("Customer"))])
+        names = set(spec.warehouse_names())
+        assert "Sales" in names and "CustomerDim" in names
+        # No member view leaks into storage.
+        assert not any("__at_" in name for name in names)
+
+    def test_inverses_select_on_fact(self, catalog, fact):
+        spec = star_specify(catalog, [fact], [View("CustomerDim", parse("Customer"))])
+        inverse = str(spec.inverses["OrdersN"])
+        assert "sigma[loc = 'N'](Sales)" in inverse
+        assert "OrdersN" not in inverse
+
+    def test_complement_correct(self, catalog, fact, db):
+        spec = star_specify(catalog, [fact], [View("CustomerDim", parse("Customer"))])
+        ok, problems = verify_complement(spec, db.state())
+        assert ok, problems
+
+    def test_orders_complements_empty_with_fk(self, catalog, fact):
+        # Every order joins its customer (FK), and the member retains all
+        # attributes, so the order complements vanish.
+        spec = star_specify(catalog, [fact], [View("CustomerDim", parse("Customer"))])
+        assert spec.complements["OrdersN"].provably_empty
+        assert spec.complements["OrdersS"].provably_empty
+        assert spec.complements["Customer"].provably_empty  # CustomerDim copy
+
+
+class TestStarWarehouseRuntime:
+    def test_end_to_end_maintenance(self, catalog, fact, db):
+        spec = star_specify(catalog, [fact], [View("CustomerDim", parse("Customer"))])
+        wh = Warehouse(spec)
+        wh.initialize(db)
+        assert len(wh.relation("Sales")) == 3
+
+        update = db.insert("OrdersS", [("S", 21, 3, 40.0)])
+        wh.apply(update)
+        assert wh.state == warehouse_state(spec, db.state())
+        assert ("S", 21, 3, 40.0, "RETAIL") in wh.relation("Sales").reorder(
+            ("loc", "okey", "custkey", "price", "segment")
+        )
+
+    def test_query_independence_across_sources(self, catalog, fact, db):
+        spec = star_specify(catalog, [fact], [View("CustomerDim", parse("Customer"))])
+        wh = Warehouse(spec)
+        wh.initialize(db)
+        query = parse("pi[okey, price](OrdersN) union pi[okey, price](OrdersS)")
+        assert wh.answer(query) == evaluate(query, db.state())
+
+    def test_member_recovery_by_selection(self, catalog, fact, db):
+        spec = star_specify(catalog, [fact], [View("CustomerDim", parse("Customer"))])
+        wh = Warehouse(spec)
+        wh.initialize(db)
+        north = evaluate(parse("sigma[loc = 'N'](Sales)"), wh.state)
+        expected = evaluate(fact.members["N"], db.state())
+        assert north == expected
+
+    def test_deletion_propagates(self, catalog, fact, db):
+        spec = star_specify(catalog, [fact], [View("CustomerDim", parse("Customer"))])
+        wh = Warehouse(spec)
+        wh.initialize(db)
+        update = db.delete("OrdersN", [("N", 11, 2, 250.0)])
+        wh.apply(update)
+        assert wh.state == warehouse_state(spec, db.state())
+        assert wh.reconstruct("OrdersN") == db["OrdersN"]

@@ -1,0 +1,131 @@
+"""Unit tests for :mod:`repro.core.warehouse` (the runtime)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    Catalog,
+    Database,
+    Relation,
+    Update,
+    View,
+    Warehouse,
+    WarehouseError,
+    evaluate,
+    parse,
+)
+
+
+@pytest.fixture
+def catalog() -> Catalog:
+    catalog = Catalog()
+    catalog.relation("Sale", ("item", "clerk"))
+    catalog.relation("Emp", ("clerk", "age"), key=("clerk",))
+    return catalog
+
+
+@pytest.fixture
+def db(catalog) -> Database:
+    db = Database(catalog)
+    db.load("Emp", [("Mary", 23), ("John", 25), ("Paula", 32)])
+    db.load("Sale", [("TV", "Mary"), ("PC", "John")])
+    return db
+
+
+@pytest.fixture
+def warehouse(catalog, db) -> Warehouse:
+    wh = Warehouse.specify(catalog, [View("Sold", parse("Sale join Emp"))])
+    wh.initialize(db)
+    return wh
+
+
+class TestLifecycle:
+    def test_uninitialized_access_raises(self, catalog):
+        wh = Warehouse.specify(catalog, [View("Sold", parse("Sale join Emp"))])
+        with pytest.raises(WarehouseError):
+            wh.state
+        with pytest.raises(WarehouseError):
+            wh.answer("Sale")
+
+    def test_initialize_from_mapping(self, catalog):
+        wh = Warehouse.specify(catalog, [View("Sold", parse("Sale join Emp"))])
+        wh.initialize(
+            {
+                "Sale": Relation(("item", "clerk"), [("TV", "Mary")]),
+                "Emp": Relation(("clerk", "age"), [("Mary", 23)]),
+            }
+        )
+        assert wh.relation("Sold").to_set() == {("TV", "Mary", 23)}
+
+    def test_storage_accounting(self, warehouse):
+        by_relation = warehouse.storage_by_relation()
+        assert by_relation["Sold"] == 2
+        assert warehouse.storage_rows() == sum(by_relation.values())
+
+    def test_unknown_relation_access(self, warehouse):
+        with pytest.raises(WarehouseError):
+            warehouse.relation("Ghost")
+
+    def test_repr_states(self, catalog, warehouse):
+        fresh = Warehouse.specify(catalog, [View("Sold", parse("Sale join Emp"))])
+        assert "uninitialized" in repr(fresh)
+        assert "rows" in repr(warehouse)
+
+
+class TestQueries:
+    def test_answer_accepts_strings(self, warehouse):
+        result = warehouse.answer("pi[clerk](Sale) union pi[clerk](Emp)")
+        assert ("Paula",) in result
+
+    def test_translate_accepts_strings(self, warehouse):
+        translated = warehouse.translate("pi[clerk](Sale)")
+        assert translated.relation_names() <= set(warehouse.spec.warehouse_names())
+
+    def test_reconstruct_all(self, warehouse, db):
+        rebuilt = warehouse.reconstruct_all()
+        assert rebuilt["Sale"] == db["Sale"]
+        assert rebuilt["Emp"] == db["Emp"]
+
+
+class TestUpdates:
+    def test_insert_convenience(self, warehouse, db):
+        db.insert("Sale", [("Radio", "Paula")])
+        applied = warehouse.insert("Sale", [("Radio", "Paula")])
+        assert "Sold" in applied
+        assert warehouse.relation("Sold") == evaluate(
+            parse("Sale join Emp"), db.state()
+        )
+
+    def test_delete_convenience(self, warehouse, db):
+        db.delete("Sale", [("TV", "Mary")])
+        warehouse.delete("Sale", [("TV", "Mary")])
+        assert warehouse.relation("Sold") == evaluate(
+            parse("Sale join Emp"), db.state()
+        )
+
+    def test_apply_full_equals_apply(self, catalog, db):
+        incremental = Warehouse.specify(
+            catalog, [View("Sold", parse("Sale join Emp"))]
+        )
+        full = Warehouse.specify(catalog, [View("Sold", parse("Sale join Emp"))])
+        incremental.initialize(db)
+        full.initialize(db)
+        update = db.insert("Emp", [("Zoe", 40)])
+        incremental.apply(update)
+        full.apply_full(update)
+        assert incremental.state == full.state
+
+    def test_plan_cache_reused(self, warehouse):
+        first = warehouse.maintenance_plan(["Sale"])
+        second = warehouse.maintenance_plan(["Sale"])
+        assert first is second
+
+    def test_plan_with_options_not_cached(self, warehouse):
+        special = warehouse.maintenance_plan(["Sale"], insert_only=True)
+        assert special is not warehouse.maintenance_plan(["Sale"])
+
+
+class TestDescribe:
+    def test_describe_shows_spec(self, warehouse):
+        assert "inverses" in warehouse.describe()

@@ -1,0 +1,177 @@
+"""Cross-module integration: star x persistence x hybrid x integrator.
+
+These scenarios combine subsystems that the unit suites exercise in
+isolation, checking that the composition holds the paper's invariants.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import (
+    Catalog,
+    Database,
+    View,
+    Warehouse,
+    evaluate,
+    parse,
+    parse_condition,
+)
+from repro.core.aggregates import AggregateView, agg_sum, count
+from repro.core.hybrid import HybridWarehouse
+from repro.core.independence import verify_complement, warehouse_state
+from repro.core.star import FactTable, star_specify
+from repro.integrator import Channel, ComplementIntegrator, Source
+from repro.storage.persist import (
+    load_warehouse,
+    save_warehouse,
+    spec_from_dict,
+    spec_to_dict,
+)
+from repro.workloads import tpcd_instance
+from repro.workloads.tpcd import order_insert_rows
+
+
+def star_setting():
+    catalog = Catalog()
+    catalog.relation("Customer", ("custkey", "segment"), key=("custkey",))
+    for loc in ("N", "S"):
+        name = f"Orders{loc}"
+        catalog.relation(name, ("loc", "okey", "custkey", "price"), key=("okey",))
+        catalog.inclusion(name, ("custkey",), "Customer")
+        catalog.add_check(name, parse_condition(f"loc = '{loc}'"))
+    fact = FactTable(
+        "Sales",
+        "loc",
+        {loc: parse(f"Orders{loc} join Customer") for loc in ("N", "S")},
+    )
+    spec = star_specify(catalog, [fact], [View("CustomerDim", parse("Customer"))])
+    db = Database(catalog)
+    db.load("Customer", [(1, "RETAIL"), (2, "CORP")])
+    db.load("OrdersN", [("N", 10, 1, 100), ("N", 11, 2, 250)])
+    db.load("OrdersS", [("S", 20, 1, 75)])
+    return catalog, db, spec
+
+
+class TestStarPersistence:
+    def test_star_spec_roundtrips(self):
+        catalog, db, spec = star_setting()
+        rebuilt = spec_from_dict(spec_to_dict(spec))
+        assert rebuilt.view_names() == spec.view_names()
+        for relation in spec.inverses:
+            assert rebuilt.inverses[relation] == spec.inverses[relation]
+        # The union fact-table definition survives textual round-trip.
+        (fact_view,) = [v for v in rebuilt.views if v.name == "Sales"]
+        assert "union" in str(fact_view.definition)
+
+    def test_star_warehouse_save_load_resume(self, tmp_path):
+        catalog, db, spec = star_setting()
+        warehouse = Warehouse(spec)
+        warehouse.initialize(db)
+        path = str(tmp_path / "star.json")
+        save_warehouse(warehouse, path)
+
+        resumed = load_warehouse(path)
+        update = db.insert("OrdersS", [("S", 21, 2, 40)])
+        resumed.apply(update)
+        assert resumed.state == warehouse_state(resumed.spec, db.state())
+        assert resumed.reconstruct("OrdersS") == db["OrdersS"]
+
+
+class TestHybridAtScale:
+    def test_hybrid_tpcd_orders_complement_virtual(self):
+        inst = tpcd_instance(scale=0.3, seed=8)
+        from repro import specify
+
+        spec = specify(inst.catalog, inst.views)
+        full = Warehouse(spec)
+        full.initialize(inst.database)
+
+        virtual_name = spec.complements["Orders"].name
+        assert virtual_name in spec.complement_names()
+        hybrid = HybridWarehouse(
+            spec, [virtual_name], source_access=lambda name: inst.database[name]
+        )
+        hybrid.initialize(inst.database)
+        assert hybrid.storage_rows() < full.storage_rows()
+
+        rng = random.Random(1)
+        orders, lines = order_insert_rows(rng, inst.database, count=2)
+        update = inst.database.insert("Orders", orders)
+        hybrid.apply(update)
+        full.apply(update)
+        for name in hybrid.state:
+            assert hybrid.state[name] == full.state[name], name
+        # The virtual complement forced source round trips.
+        assert hybrid.source_queries > 0
+        assert hybrid.reconstruct("Orders") == inst.database["Orders"]
+
+
+class TestStarThroughIntegratorPipeline:
+    def test_multi_source_star_with_aggregate(self):
+        catalog, _, spec = star_setting()
+        channel = Channel()
+        north = Source("NorthDB", catalog, ("OrdersN",), channel)
+        south = Source("SouthDB", catalog, ("OrdersS",), channel)
+        central = Source("CentralDB", catalog, ("Customer",), channel)
+        central.load("Customer", [(1, "RETAIL"), (2, "CORP")])
+        north.load("OrdersN", [("N", 10, 1, 100)])
+        south.load("OrdersS", [("S", 20, 2, 75)])
+
+        integrator = ComplementIntegrator.from_spec(spec)
+        integrator.initialize([north, south, central])
+        integrator.warehouse.attach_aggregate(
+            AggregateView(
+                "Revenue", "Sales", ("segment",), [count("n"), agg_sum("price")]
+            )
+        )
+
+        north.insert("OrdersN", [("N", 11, 2, 300)])
+        south.insert("OrdersS", [("S", 21, 1, 55)])
+        central.insert("Customer", [(3, "GOV")])
+        north.delete("OrdersN", [("N", 10, 1, 100)])
+        integrator.process_all(channel)
+
+        live = {
+            "OrdersN": north.relation("OrdersN"),
+            "OrdersS": south.relation("OrdersS"),
+            "Customer": central.relation("Customer"),
+        }
+        assert integrator.warehouse.state == warehouse_state(spec, live)
+        reference = AggregateView(
+            "Ref", "Sales", ("segment",), [count("n"), agg_sum("price")]
+        )
+        reference.recompute(integrator.warehouse.relation("Sales"))
+        assert integrator.warehouse.aggregate("Revenue") == reference.table()
+
+
+class TestTwoFactTables:
+    def test_orders_and_returns_facts(self):
+        catalog = Catalog()
+        catalog.relation("Customer", ("custkey", "segment"), key=("custkey",))
+        for name in ("OrdersN", "ReturnsN"):
+            catalog.relation(name, ("loc", "okey", "custkey", "price"), key=("okey",))
+            catalog.inclusion(name, ("custkey",), "Customer")
+            catalog.add_check(name, parse_condition("loc = 'N'"))
+        sales = FactTable("Sales", "loc", {"N": parse("OrdersN join Customer")})
+        returns = FactTable("Returns", "loc", {"N": parse("ReturnsN join Customer")})
+        spec = star_specify(
+            catalog, [sales, returns], [View("CustomerDim", parse("Customer"))]
+        )
+        assert {"Sales", "Returns", "CustomerDim"} <= set(spec.warehouse_names())
+
+        db = Database(catalog)
+        db.load("Customer", [(1, "RETAIL")])
+        db.load("OrdersN", [("N", 1, 1, 10)])
+        db.load("ReturnsN", [("N", 2, 1, 5)])
+        ok, problems = verify_complement(spec, db.state())
+        assert ok, problems
+
+        warehouse = Warehouse(spec)
+        warehouse.initialize(db)
+        update = db.insert("ReturnsN", [("N", 3, 1, 7)])
+        warehouse.apply(update)
+        assert warehouse.state == warehouse_state(spec, db.state())
+        assert warehouse.reconstruct("ReturnsN") == db["ReturnsN"]

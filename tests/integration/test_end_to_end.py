@@ -1,0 +1,177 @@
+"""Integration tests: long mixed scenarios across the whole stack.
+
+Each scenario wires sources, integrator, warehouse, query answering,
+incremental maintenance, and (where applicable) star schemata and
+aggregates, and checks global invariants after every step:
+
+* the warehouse state equals the warehouse mapping of the source state;
+* every base relation reconstructs exactly;
+* a panel of queries answers identically at the warehouse and the sources.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import (
+    Catalog,
+    Database,
+    Relation,
+    View,
+    Warehouse,
+    evaluate,
+    parse,
+    parse_condition,
+)
+from repro.core.aggregates import AggregateView, agg_sum, count
+from repro.core.independence import warehouse_state
+from repro.core.star import FactTable, star_specify
+from repro.workloads import (
+    random_catalog,
+    random_database,
+    random_update_stream,
+    random_views,
+    tpcd_instance,
+)
+from repro.workloads.tpcd import order_insert_rows
+
+
+def check_invariants(wh: Warehouse, db: Database, queries=()):
+    assert wh.state == warehouse_state(wh.spec, db.state())
+    for name in db.catalog.relation_names():
+        assert wh.reconstruct(name) == db[name], name
+    for text in queries:
+        query = parse(text)
+        assert wh.answer(query) == evaluate(query, db.state()), text
+
+
+class TestFigure1Scenario:
+    QUERIES = (
+        "pi[clerk](Sale) union pi[clerk](Emp)",
+        "Sale join Emp",
+        "Emp minus pi[clerk, age](Sale join Emp)",
+    )
+
+    def test_long_mixed_session(self, figure1_catalog, figure1_database, sold_view):
+        wh = Warehouse.specify(figure1_catalog, [sold_view])
+        wh.initialize(figure1_database)
+        db = figure1_database
+        rng = random.Random(7)
+        items = ["TV set", "VCR", "PC", "Computer", "radio"]
+        for step in range(25):
+            action = rng.random()
+            if action < 0.4:
+                clerk = rng.choice(sorted(r[0] for r in db["Emp"].rows))
+                update = db.insert("Sale", [(rng.choice(items), clerk)])
+            elif action < 0.6:
+                update = db.insert(
+                    "Emp", [(f"clerk{step}", rng.randint(18, 65))]
+                )
+            elif action < 0.8 and db["Sale"]:
+                victim = rng.choice(sorted(db["Sale"].rows, key=repr))
+                update = db.delete("Sale", [victim])
+            else:
+                unreferenced = db["Emp"].rows - frozenset(
+                    db["Sale"].project(("clerk",)).natural_join(db["Emp"]).project(
+                        ("clerk", "age")
+                    ).rows
+                )
+                if not unreferenced:
+                    continue
+                victim = sorted(unreferenced, key=repr)[0]
+                update = db.delete("Emp", [victim])
+            if update.is_empty():
+                continue
+            wh.apply(update)
+            check_invariants(wh, db, self.QUERIES)
+
+
+class TestRandomizedWorkloads:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_schema_session(self, seed):
+        catalog = random_catalog(seed)
+        db = random_database(seed, catalog, rows_per_relation=10)
+        views = random_views(seed, catalog, n_views=3)
+        wh = Warehouse.specify(catalog, views)
+        wh.initialize(db)
+        for update in random_update_stream(seed, db, n_updates=8):
+            db.apply(update)
+            wh.apply(update)
+            check_invariants(wh, db)
+
+    @pytest.mark.parametrize("method", ["prop22", "thm22"])
+    def test_methods_agree_on_reconstruction(self, method):
+        catalog = random_catalog(5)
+        db = random_database(5, catalog, rows_per_relation=10)
+        views = random_views(5, catalog, n_views=3)
+        wh = Warehouse.specify(catalog, views, method=method)
+        wh.initialize(db)
+        check_invariants(wh, db)
+
+
+class TestTpcdScenario:
+    def test_tpcd_session_with_aggregate(self):
+        inst = tpcd_instance(scale=0.2, seed=11)
+        wh = Warehouse.specify(inst.catalog, inst.views)
+        wh.initialize(inst.database)
+        wh.attach_aggregate(
+            AggregateView(
+                "RevenueBySegment",
+                "SalesFact",
+                ("mktsegment",),
+                [count("orders"), agg_sum("price")],
+            )
+        )
+        rng = random.Random(1)
+        for _ in range(4):
+            orders, lines = order_insert_rows(rng, inst.database, count=2)
+            wh.apply(inst.database.insert("Orders", orders))
+            wh.apply(inst.database.insert("Lineitem", lines))
+        check_invariants(wh, inst.database)
+        # The aggregate equals a from-scratch recomputation.
+        reference = AggregateView(
+            "Ref", "SalesFact", ("mktsegment",), [count("orders"), agg_sum("price")]
+        )
+        reference.recompute(wh.relation("SalesFact"))
+        assert wh.aggregate("RevenueBySegment") == reference.table()
+
+
+class TestStarScenario:
+    def test_two_source_star_session(self):
+        catalog = Catalog()
+        catalog.relation("Customer", ("custkey", "segment"), key=("custkey",))
+        for loc in ("N", "S"):
+            name = f"Orders{loc}"
+            catalog.relation(name, ("loc", "okey", "custkey", "price"), key=("okey",))
+            catalog.inclusion(name, ("custkey",), "Customer")
+            catalog.add_check(name, parse_condition(f"loc = '{loc}'"))
+        db = Database(catalog)
+        db.load("Customer", [(i, "RETAIL" if i % 2 else "CORP") for i in range(6)])
+        db.load("OrdersN", [("N", i, i % 6, float(i)) for i in range(10, 16)])
+        db.load("OrdersS", [("S", i, i % 6, float(i)) for i in range(30, 34)])
+
+        fact = FactTable(
+            "Sales",
+            "loc",
+            {
+                "N": parse("OrdersN join Customer"),
+                "S": parse("OrdersS join Customer"),
+            },
+        )
+        spec = star_specify(catalog, [fact], [View("CustomerDim", parse("Customer"))])
+        wh = Warehouse(spec)
+        wh.initialize(db)
+
+        queries = (
+            "pi[okey, price](OrdersN) union pi[okey, price](OrdersS)",
+            "OrdersN join Customer",
+            "Customer",
+        )
+        check_invariants(wh, db, queries)
+
+        wh.apply(db.insert("OrdersN", [("N", 99, 3, 42.0)]))
+        wh.apply(db.delete("OrdersS", [("S", 30, 0, 30.0)]))
+        wh.apply(db.insert("Customer", [(77, "CORP")]))
+        check_invariants(wh, db, queries)

@@ -1,0 +1,214 @@
+"""The maintenance anomalies motivating the paper (Section 1, [27, 28]).
+
+A naive integrator that answers "who joins with this new tuple?" by querying
+the *live* sources computes against a state that has drifted past the
+notification it is processing. These tests reproduce the classical anomaly
+scenarios — including an interleaving that leaves a **permanent phantom
+tuple** in the naive warehouse — and show by exhaustive schedule enumeration
+that the complement-based integrator is immune.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Sequence
+
+import pytest
+
+from repro import Catalog, ConstraintViolation, View, parse
+from repro.integrator import Channel, ComplementIntegrator, NaiveIntegrator, Source
+
+
+@pytest.fixture
+def catalog() -> Catalog:
+    catalog = Catalog()
+    catalog.relation("Sale", ("item", "clerk"))
+    catalog.relation("Emp", ("clerk", "age"), key=("clerk",))
+    return catalog
+
+
+def make_pipeline(catalog, emp_rows=(("Mary", 23),)):
+    channel = Channel()
+    sales = Source("SalesDB", catalog, ("Sale",), channel)
+    company = Source("CompanyDB", catalog, ("Emp",), channel)
+    sales.load("Sale", [])
+    company.load("Emp", emp_rows)
+    return channel, sales, company
+
+
+class TestClassicAnomaly:
+    def test_naive_sees_phantom_join_partner(self, catalog):
+        channel, sales, company = make_pipeline(catalog)
+        naive = NaiveIntegrator(
+            catalog, [View("Sold", parse("Sale join Emp"))], [sales, company]
+        )
+        naive.initialize()
+
+        # t1: a sale by Zoe — Zoe is NOT in Emp, so the correct Sold delta
+        #     at this point is empty.
+        sales.insert("Sale", [("Radio", "Zoe")])
+        # t2: before the integrator runs, Zoe is hired.
+        company.insert("Emp", [("Zoe", 40)])
+
+        # Processing t1 against the live Emp finds a partner that did not
+        # exist at t1: the phantom.
+        naive.process(channel.poll())
+        assert ("Radio", "Zoe", 40) in naive.relation("Sold")
+
+    def test_permanent_phantom(self, catalog):
+        """The interleaving after which the naive warehouse never recovers.
+
+        Ops:  o1 = insert Sale(TV, Zoe); o2 = insert Emp(Zoe, 40);
+              o3 = delete Sale(TV, Zoe); o4 = delete Emp(Zoe, 40).
+        Correct final Sold: empty. Schedule: o1, o2, process{o1, o2}
+        (phantom joined against live Emp), o3, o4, process{o3, o4} — the
+        Sale deletion joins against the live Emp, where Zoe is already
+        gone, so the phantom is never deleted.
+        """
+        channel, sales, company = make_pipeline(catalog, emp_rows=())
+        naive = NaiveIntegrator(
+            catalog, [View("Sold", parse("Sale join Emp"))], [sales, company]
+        )
+        naive.initialize()
+
+        sales.insert("Sale", [("TV", "Zoe")])
+        company.insert("Emp", [("Zoe", 40)])
+        naive.process_all(channel)
+        assert ("TV", "Zoe", 40) in naive.relation("Sold")  # phantom appears
+
+        sales.delete("Sale", [("TV", "Zoe")])
+        company.delete("Emp", [("Zoe", 40)])
+        naive.process_all(channel)
+
+        correct = sales.relation("Sale").natural_join(company.relation("Emp"))
+        assert not correct
+        # The phantom is still there: permanent corruption.
+        assert ("TV", "Zoe", 40) in naive.relation("Sold")
+        assert naive.relation("Sold") != correct
+
+    def test_complement_integrator_correct_on_same_schedule(self, catalog):
+        channel, sales, company = make_pipeline(catalog, emp_rows=())
+        integrator = ComplementIntegrator(
+            catalog, [View("Sold", parse("Sale join Emp"))]
+        )
+        integrator.initialize([sales, company])
+
+        sales.insert("Sale", [("TV", "Zoe")])
+        company.insert("Emp", [("Zoe", 40)])
+        integrator.process_all(channel)
+        assert ("TV", "Zoe", 40) in integrator.relation("Sold")
+
+        sales.delete("Sale", [("TV", "Zoe")])
+        company.delete("Emp", [("Zoe", 40)])
+        integrator.process_all(channel)
+        assert integrator.relation("Sold").rows == frozenset()
+
+
+def anomaly_ops(sales: Source, company: Source) -> List[Callable[[], None]]:
+    """The 4-op pattern of the permanent-phantom scenario."""
+    return [
+        lambda: sales.insert("Sale", [("TV", "Zoe")]),
+        lambda: company.insert("Emp", [("Zoe", 40)]),
+        lambda: sales.delete("Sale", [("TV", "Zoe")]),
+        lambda: company.delete("Emp", [("Zoe", 40)]),
+    ]
+
+
+def enumerate_schedules(n_ops: int, max_pending: int = 4) -> List[Sequence[int]]:
+    """All delivery schedules: after op i, process schedule[i] notifications.
+
+    ``-1`` denotes "drain everything pending". The final position always
+    drains, so every schedule processes every notification eventually.
+    """
+    schedules: List[Sequence[int]] = []
+
+    def extend(prefix: List[int]) -> None:
+        if len(prefix) == n_ops:
+            schedules.append(tuple(prefix))
+            return
+        for choice in (0, 1, 2, -1):
+            extend(prefix + [choice])
+
+    extend([])
+    return schedules
+
+
+class TestExhaustiveSchedules:
+    """Every delivery schedule of the anomaly pattern, both integrators."""
+
+    def run(self, catalog, schedule, integrator_kind: str) -> bool:
+        channel, sales, company = make_pipeline(catalog, emp_rows=())
+        views = [View("Sold", parse("Sale join Emp"))]
+        if integrator_kind == "naive":
+            integrator = NaiveIntegrator(catalog, views, [sales, company])
+            integrator.initialize()
+        else:
+            integrator = ComplementIntegrator(catalog, views)
+            integrator.initialize([sales, company])
+
+        ops = anomaly_ops(sales, company)
+        for op, choice in zip(ops, schedule):
+            op()
+            if choice == -1:
+                integrator.process_all(channel)
+            else:
+                for notification in channel.drain(choice):
+                    integrator.process(notification)
+        integrator.process_all(channel)
+        correct = sales.relation("Sale").natural_join(company.relation("Emp"))
+        return integrator.relation("Sold") == correct
+
+    def test_naive_diverges_on_some_schedule(self, catalog):
+        results = [
+            self.run(catalog, schedule, "naive")
+            for schedule in enumerate_schedules(4)
+        ]
+        assert not all(results), "expected at least one anomalous schedule"
+        # Zero-lag (drain after every op) is fine for the naive integrator.
+        assert self.run(catalog, (-1, -1, -1, -1), "naive")
+
+    def test_complement_correct_on_every_schedule(self, catalog):
+        for schedule in enumerate_schedules(4):
+            assert self.run(catalog, schedule, "complement"), schedule
+
+
+class TestRandomStreams:
+    """Long random streams with random lag: complement never deviates."""
+
+    def test_complement_immune(self, catalog):
+        rng = random.Random(5)
+        for trial in range(8):
+            channel, sales, company = make_pipeline(catalog)
+            integrator = ComplementIntegrator(
+                catalog, [View("Sold", parse("Sale join Emp"))]
+            )
+            integrator.initialize([sales, company])
+            clerks = ["Mary", "Zoe", "Abe"]
+            for step in range(12):
+                action = rng.random()
+                try:
+                    if action < 0.4:
+                        sales.insert("Sale", [(f"item{step}", rng.choice(clerks))])
+                    elif action < 0.6:
+                        company.insert(
+                            "Emp", [(rng.choice(clerks), rng.randint(20, 60))]
+                        )
+                    elif action < 0.8 and sales.relation("Sale"):
+                        row = sorted(sales.relation("Sale").rows, key=repr)[0]
+                        sales.delete("Sale", [row])
+                    elif company.relation("Emp"):
+                        row = sorted(company.relation("Emp").rows, key=repr)[0]
+                        company.delete("Emp", [row])
+                except ConstraintViolation:
+                    continue  # the autonomous source rejected it locally
+                if rng.random() < 0.5:
+                    for notification in channel.drain(rng.randint(0, 2)):
+                        integrator.process(notification)
+            integrator.process_all(channel)
+            expected = sales.relation("Sale").natural_join(
+                company.relation("Emp")
+            )
+            assert integrator.relation("Sold") == expected, trial
+            assert integrator.warehouse.reconstruct("Sale") == sales.relation(
+                "Sale"
+            )

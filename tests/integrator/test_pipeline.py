@@ -1,0 +1,158 @@
+"""Unit tests for :mod:`repro.integrator` (sources, channels, integrators)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Catalog, SchemaError, Update, View, parse
+from repro.integrator import Channel, ComplementIntegrator, NaiveIntegrator, Source
+
+
+@pytest.fixture
+def catalog() -> Catalog:
+    catalog = Catalog()
+    catalog.relation("Sale", ("item", "clerk"))
+    catalog.relation("Emp", ("clerk", "age"), key=("clerk",))
+    return catalog
+
+
+@pytest.fixture
+def pipeline(catalog):
+    """Figure 1: a Sales source, a Company source, one channel."""
+    channel = Channel()
+    sales = Source("SalesDB", catalog, ("Sale",), channel)
+    company = Source("CompanyDB", catalog, ("Emp",), channel)
+    sales.load("Sale", [("TV", "Mary"), ("PC", "John")])
+    company.load("Emp", [("Mary", 23), ("John", 25), ("Paula", 32)])
+    return channel, sales, company
+
+
+class TestSource:
+    def test_ownership_enforced(self, catalog):
+        source = Source("SalesDB", catalog, ("Sale",))
+        with pytest.raises(SchemaError):
+            source.insert("Emp", [("Zoe", 40)])
+        with pytest.raises(SchemaError):
+            source.relation("Emp")
+
+    def test_unknown_relation_rejected(self, catalog):
+        with pytest.raises(SchemaError):
+            Source("S", catalog, ("Ghost",))
+
+    def test_local_constraints_enforced(self, catalog):
+        source = Source("CompanyDB", catalog, ("Emp",))
+        source.load("Emp", [("Mary", 23)])
+        from repro import ConstraintViolation
+
+        with pytest.raises(ConstraintViolation):
+            source.insert("Emp", [("Mary", 99)])  # key violation
+
+    def test_cross_source_constraints_not_local(self):
+        catalog = Catalog()
+        catalog.relation("Sale", ("item", "clerk"))
+        catalog.relation("Emp", ("clerk", "age"), key=("clerk",))
+        catalog.inclusion("Sale", ("clerk",), "Emp")
+        # The Sales source cannot see Emp, so the IND is not checked there
+        # (source autonomy); the insert goes through locally.
+        source = Source("SalesDB", catalog, ("Sale",))
+        source.insert("Sale", [("TV", "Ghost")])
+        assert ("TV", "Ghost") in source.relation("Sale")
+
+    def test_updates_published(self, pipeline):
+        channel, sales, _ = pipeline
+        sales.insert("Sale", [("Radio", "Paula")])
+        assert channel.pending() == 1
+
+    def test_noop_updates_not_published(self, pipeline):
+        channel, sales, _ = pipeline
+        sales.insert("Sale", [("TV", "Mary")])  # already present
+        assert channel.pending() == 0
+
+    def test_load_not_published(self, pipeline):
+        channel, _, _ = pipeline
+        assert channel.pending() == 0
+
+
+class TestChannel:
+    def test_fifo_order_and_sequence(self, pipeline):
+        channel, sales, company = pipeline
+        sales.insert("Sale", [("Radio", "Paula")])
+        company.insert("Emp", [("Zoe", 40)])
+        first = channel.poll()
+        second = channel.poll()
+        assert first.source == "SalesDB" and second.source == "CompanyDB"
+        assert first.sequence < second.sequence
+        assert channel.poll() is None
+        assert channel.delivered() == 2
+
+    def test_drain_with_limit(self, pipeline):
+        channel, sales, _ = pipeline
+        for i in range(5):
+            sales.insert("Sale", [(f"item{i}", "Mary")])
+        assert len(channel.drain(limit=2)) == 2
+        assert channel.pending() == 3
+
+
+class TestComplementIntegrator:
+    def test_tracks_sources_through_stream(self, catalog, pipeline):
+        channel, sales, company = pipeline
+        integrator = ComplementIntegrator(
+            catalog, [View("Sold", parse("Sale join Emp"))]
+        )
+        integrator.initialize([sales, company])
+
+        sales.insert("Sale", [("Radio", "Paula")])
+        company.insert("Emp", [("Zoe", 40)])
+        sales.insert("Sale", [("Mixer", "Zoe")])
+        company.delete("Emp", [("John", 25)])
+        # Note: John's sale (PC, John) now dangles; Sold must drop it.
+        assert integrator.process_all(channel) == 4
+
+        expected = sales.relation("Sale").natural_join(company.relation("Emp"))
+        assert integrator.relation("Sold") == expected
+        assert integrator.warehouse.reconstruct("Sale") == sales.relation("Sale")
+        assert integrator.warehouse.reconstruct("Emp") == company.relation("Emp")
+
+    def test_correct_under_lag(self, catalog, pipeline):
+        channel, sales, company = pipeline
+        integrator = ComplementIntegrator(
+            catalog, [View("Sold", parse("Sale join Emp"))]
+        )
+        integrator.initialize([sales, company])
+        # Publish many updates before the integrator wakes up at all.
+        sales.insert("Sale", [("Radio", "Paula")])
+        company.delete("Emp", [("Paula", 32)])
+        company.insert("Emp", [("Paula", 33)])
+        sales.delete("Sale", [("TV", "Mary")])
+        integrator.process_all(channel)
+        expected = sales.relation("Sale").natural_join(company.relation("Emp"))
+        assert integrator.relation("Sold") == expected
+
+
+class TestNaiveIntegrator:
+    def test_correct_when_tightly_coupled(self, catalog, pipeline):
+        channel, sales, company = pipeline
+        integrator = NaiveIntegrator(
+            catalog, [View("Sold", parse("Sale join Emp"))], [sales, company]
+        )
+        integrator.initialize()
+        # Zero lag: process each notification immediately after publication.
+        for action in (
+            lambda: sales.insert("Sale", [("Radio", "Paula")]),
+            lambda: company.insert("Emp", [("Zoe", 40)]),
+            lambda: sales.insert("Sale", [("Mixer", "Zoe")]),
+            lambda: company.delete("Emp", [("Zoe", 40)]),
+        ):
+            action()
+            integrator.process_all(channel)
+        expected = sales.relation("Sale").natural_join(company.relation("Emp"))
+        assert integrator.relation("Sold") == expected
+
+    def test_uninitialized_rejected(self, catalog, pipeline):
+        from repro import WarehouseError
+
+        channel, sales, company = pipeline
+        integrator = NaiveIntegrator(catalog, [], [sales, company])
+        sales.insert("Sale", [("Radio", "Paula")])
+        with pytest.raises(WarehouseError):
+            integrator.process(channel.poll())

@@ -1,0 +1,135 @@
+"""E2 — Example 2.1 and Theorem 2.1.
+
+``D = {R(X,Y), S(Y,Z), T(Z)}``, no constraints.
+
+* For ``V = {V1}`` with ``V1 = R join S join T``, Proposition 2.2 yields
+  ``C_R = R - pi_XY(V1)``, ``C_S = S - pi_YZ(V1)``, ``C_T = T - pi_Z(V1)``,
+  strictly smaller than the trivial complement ``C' = D``.
+* For ``V = {V1, V2}`` with ``V2 = S``, ``C'_S`` is always empty and the
+  complement strictly shrinks again; by Theorem 2.1 it is minimal (all views
+  are SJ views).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import (
+    Database,
+    Relation,
+    View,
+    complement_prop22,
+    complement_thm22,
+    parse,
+    rel,
+)
+from repro.core.independence import verify_complement
+from repro.core.minimality import (
+    compare_view_sets,
+    is_minimal_certificate,
+    total_rows,
+)
+
+
+@pytest.fixture
+def views_single():
+    return [View("V1", parse("R join S join T"))]
+
+
+@pytest.fixture
+def views_multi():
+    return [View("V1", parse("R join S join T")), View("V2", parse("S"))]
+
+
+def random_states(catalog, count=12, seed=5):
+    rng = random.Random(seed)
+    states = []
+    for _ in range(count):
+        state = {}
+        for schema in catalog.schemas():
+            n_rows = rng.randint(0, 5)
+            rows = {
+                tuple(rng.randrange(3) for _ in schema.attributes)
+                for _ in range(n_rows)
+            }
+            state[schema.name] = Relation(schema.attributes, rows)
+        states.append(state)
+    return states
+
+
+class TestSingleView:
+    def test_complement_definitions(self, example21_catalog, views_single):
+        spec = complement_prop22(example21_catalog, views_single)
+        assert str(spec.complements["R"].definition) == "R minus pi[X, Y](V1)"
+        assert str(spec.complements["S"].definition) == "S minus pi[Y, Z](V1)"
+        assert str(spec.complements["T"].definition) == "T minus pi[Z](V1)"
+
+    def test_is_a_complement_on_random_states(self, example21_catalog, views_single):
+        spec = complement_prop22(example21_catalog, views_single)
+        for state in random_states(example21_catalog):
+            ok, problems = verify_complement(spec, state)
+            assert ok, problems
+
+    def test_strictly_smaller_than_trivial(self, example21_catalog, views_single):
+        spec = complement_prop22(example21_catalog, views_single)
+        states = random_states(example21_catalog)
+        candidates = [
+            spec.complements[r].definition_over_sources(spec.views)
+            for r in ("R", "S", "T")
+        ]
+        trivial = [rel("R"), rel("S"), rel("T")]
+        comparison = compare_view_sets(candidates, trivial, states)
+        assert comparison.strictly_smaller
+
+
+class TestMultiView:
+    def test_cs_prime_always_empty(self, example21_catalog, views_multi):
+        # V2 = S makes the S-complement provably empty.
+        spec = complement_thm22(example21_catalog, views_multi)
+        assert spec.complements["S"].provably_empty
+
+    def test_smaller_than_single_view_complement(
+        self, example21_catalog, views_single, views_multi
+    ):
+        single = complement_prop22(example21_catalog, views_single)
+        multi = complement_prop22(example21_catalog, views_multi)
+        states = random_states(example21_catalog)
+        single_exprs = [
+            single.complements[r].definition_over_sources(single.views)
+            for r in ("R", "S", "T")
+        ]
+        multi_exprs = [
+            multi.complements[r].definition_over_sources(multi.views)
+            for r in ("R", "S", "T")
+        ]
+        comparison = compare_view_sets(multi_exprs, single_exprs, states)
+        assert comparison.le
+        # Strictness shows on a state where S has a tuple outside the join.
+        state = {
+            "R": Relation(("X", "Y"), []),
+            "S": Relation(("Y", "Z"), [(1, 2)]),
+            "T": Relation(("Z",), []),
+        }
+        assert total_rows(multi_exprs, state) < total_rows(single_exprs, state)
+
+    def test_theorem21_certificate(self, example21_catalog, views_multi):
+        # All views are SJ views, no constraints: minimal by Theorem 2.1.
+        spec = complement_prop22(example21_catalog, views_multi)
+        certificate = is_minimal_certificate(spec)
+        assert certificate.certified
+        assert certificate.theorem == "Theorem 2.1"
+
+    def test_storing_less_than_huyn(self, example21_catalog, views_multi):
+        # The paper: {V1, V2' = C_S} stores less than {V1, V2} yet remains
+        # self-maintainable. Check the storage inequality on a joinable state.
+        state = {
+            "R": Relation(("X", "Y"), [(0, 1), (2, 1)]),
+            "S": Relation(("Y", "Z"), [(1, 5), (3, 6)]),
+            "T": Relation(("Z",), [(5,), (7,)]),
+        }
+        spec = complement_prop22(example21_catalog, views_multi)
+        cs = spec.complements["S"].definition_over_sources(spec.views)
+        v2 = parse("S")
+        assert total_rows([cs], state) <= total_rows([v2], state)

@@ -1,0 +1,160 @@
+"""E3 — Example 2.2: Proposition 2.2 is not minimal for proper PSJ views.
+
+``D = {R(A,B,C)}``, ``V1 = pi_AB(R)``, ``V2 = pi_BC(R)``,
+``V3 = sigma_{B=b}(R)``. Proposition 2.2 yields ``C_R = R - V3`` (only V3
+retains all attributes). The paper exhibits the strictly smaller
+
+    C'_R = (R join pi_AB((V1 join V2) - R)) - V3.
+
+ERRATUM (reproduction finding). The paper's printed recomputation
+
+    R = C'_R ∪ V3 ∪ ((V1 - pi_AB(C'_R ∪ V3)) join (V2 - pi_BC(C'_R ∪ V3)))
+
+is *incorrect*: subtracting on the V2 side loses tuples. Witness:
+``R = {(a,a,a), (a,a,b), (b,a,a)}`` gives ``C'_R = {(b,a,a)}``, and the
+printed formula rebuilds only ``{(a,a,b), (b,a,a)}`` — the tuple (a,a,a)
+vanishes because ``(a,a) = pi_BC((b,a,a))`` is subtracted from V2. The
+corrected recomputation, verified exhaustively over all 256 states of the
+2x2x2 domain (and proving C'_R a complement per Proposition 2.1), is
+
+    R = C'_R ∪ V3 ∪ ((V1 - pi_AB(C'_R ∪ V3)) join V2).
+
+Soundness: a pair (x, y) of V1 surviving the subtraction has y != b (else it
+projects into V3) and is not bad (else it projects into C'_R), so *all* its
+V2-completions lie in R; completeness: a tuple of R outside C'_R ∪ V3 has a
+surviving AB-pair by the same case analysis.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro import (
+    Catalog,
+    Relation,
+    View,
+    complement_prop22,
+    evaluate,
+    parse,
+)
+from repro.core.minimality import is_minimal_certificate, smaller_on_states
+
+
+@pytest.fixture
+def catalog() -> Catalog:
+    catalog = Catalog()
+    catalog.relation("R", ("A", "B", "C"))
+    return catalog
+
+
+@pytest.fixture
+def views():
+    return [
+        View("V1", parse("pi[A, B](R)")),
+        View("V2", parse("pi[B, C](R)")),
+        View("V3", parse("sigma[B = 'b'](R)")),
+    ]
+
+
+# The paper's C'_R, written over base relations (V_i expanded).
+C_PRIME = parse(
+    "(R join pi[A, B]((pi[A, B](R) join pi[B, C](R)) minus R))"
+    " minus sigma[B = 'b'](R)"
+)
+
+# The recomputation as printed in the paper (incorrect; see module docstring).
+RECOMPUTE_AS_PRINTED = parse(
+    "CP union sigma[B = 'b'](R) union "
+    "((pi[A, B](R) minus pi[A, B](CP union sigma[B = 'b'](R))) join "
+    " (pi[B, C](R) minus pi[B, C](CP union sigma[B = 'b'](R))))"
+)
+
+# The corrected recomputation (verified exhaustively below).
+RECOMPUTE_CORRECTED = parse(
+    "CP union sigma[B = 'b'](R) union "
+    "((pi[A, B](R) minus pi[A, B](CP union sigma[B = 'b'](R))) join pi[B, C](R))"
+)
+
+
+def all_small_states(values=("a", "b"), max_rows=None):
+    rows = list(itertools.product(values, repeat=3))
+    limit = len(rows) if max_rows is None else max_rows
+    states = []
+    for size in range(limit + 1):
+        for combo in itertools.combinations(rows, size):
+            states.append({"R": Relation(("A", "B", "C"), combo)})
+    return states
+
+
+class TestProp22Complement:
+    def test_cr_is_r_minus_v3(self, catalog, views):
+        spec = complement_prop22(catalog, views)
+        over_sources = spec.complements["R"].definition_over_sources(spec.views)
+        assert str(over_sources) == "R minus sigma[B = 'b'](R)"
+
+    def test_no_minimality_certificate(self, catalog, views):
+        spec = complement_prop22(catalog, views)
+        assert not is_minimal_certificate(spec).certified
+
+
+class TestPaperCPrime:
+    def test_c_prime_is_a_complement(self, catalog, views):
+        # For every state over the 2x2x2 domain (all 256), C'_R plus the
+        # views recompute R exactly — via the *corrected* formula.
+        for state in all_small_states():
+            c_prime = evaluate(C_PRIME, state)
+            extended = dict(state)
+            extended["CP"] = c_prime
+            rebuilt = evaluate(RECOMPUTE_CORRECTED, extended)
+            assert rebuilt == state["R"], state
+
+    def test_mapping_is_injective(self, catalog, views):
+        # Proposition 2.1 check: (V1, V2, V3, C'_R) determines R uniquely
+        # over the full 2x2x2 state space.
+        exprs = [parse("pi[A, B](R)"), parse("pi[B, C](R)"),
+                 parse("sigma[B = 'b'](R)"), C_PRIME]
+        images = {}
+        for state in all_small_states():
+            image = tuple(
+                tuple(sorted(evaluate(e, state).rows)) for e in exprs
+            )
+            assert image not in images or images[image] == state["R"].rows
+            images[image] = state["R"].rows
+
+    def test_erratum_printed_formula_loses_tuples(self, catalog, views):
+        # The witness from the module docstring: the printed recomputation
+        # drops (a, a, a). This documents the erratum; if the assertion ever
+        # fails, the formulas have been changed.
+        state = {
+            "R": Relation(
+                ("A", "B", "C"), [("a", "a", "a"), ("a", "a", "b"), ("b", "a", "a")]
+            )
+        }
+        extended = dict(state)
+        extended["CP"] = evaluate(C_PRIME, state)
+        rebuilt = evaluate(RECOMPUTE_AS_PRINTED, extended)
+        assert ("a", "a", "a") not in rebuilt
+        assert rebuilt != state["R"]
+        corrected = evaluate(RECOMPUTE_CORRECTED, extended)
+        assert corrected == state["R"]
+
+    def test_c_prime_contained_in_cr(self, catalog, views):
+        spec = complement_prop22(catalog, views)
+        cr = spec.complements["R"].definition_over_sources(spec.views)
+        states = all_small_states()
+        assert smaller_on_states([C_PRIME], [cr], states)
+
+    def test_c_prime_strictly_smaller_somewhere(self, catalog, views):
+        # A witness state where C'_R loses tuples that C_R keeps: a tuple
+        # (a1, b1, c1) recoverable from V1 join V2 because b1 pairs uniquely.
+        state = {"R": Relation(("A", "B", "C"), [("a", "x", "c")])}
+        spec = complement_prop22(catalog, views)
+        cr = evaluate(
+            spec.complements["R"].definition_over_sources(spec.views), state
+        )
+        cp = evaluate(C_PRIME, state)
+        assert len(cp) < len(cr)
+        assert len(cr) == 1

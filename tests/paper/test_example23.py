@@ -1,0 +1,159 @@
+"""E4 — Example 2.3: covers, keys, and INDs (Theorem 2.2 worked through).
+
+R1(A,B,C), R2(A,C,D), R3(A,B); A is a key of each R_i;
+AB(R3) ⊆ AB(R1) and AC(R2) ⊆ AC(R1).
+V1 = R1 join R2, V2 = R3, V3 = pi_AB(R1), V4 = pi_AC(R1).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import Catalog, Relation, View, complement_thm22, parse
+from repro.core.covers import enumerate_covers, ind_key_views, key_views
+from repro.core.independence import verify_complement
+
+
+def generate_valid_state(seed: int, n: int = 8):
+    """Random state of the Example 2.3 schema satisfying keys and INDs."""
+    rng = random.Random(seed)
+    r1_rows = {}
+    for i in range(n):
+        r1_rows[f"k{i}"] = (f"k{i}", rng.randrange(4), rng.randrange(4))
+    r1 = list(r1_rows.values())
+    # R3 rows must project into AB(R1); R2 rows into AC(R1).
+    r3 = [(a, b) for (a, b, _c) in rng.sample(r1, rng.randint(0, n))]
+    r2 = [
+        (a, c, rng.randrange(4))
+        for (a, _b, c) in rng.sample(r1, rng.randint(0, n))
+    ]
+    return {
+        "R1": Relation(("A", "B", "C"), r1),
+        "R2": Relation(("A", "C", "D"), r2),
+        "R3": Relation(("A", "B"), r3),
+    }
+
+
+class TestNotation:
+    """The example's V_K1, V_K1^ind, and C_R1^ind enumerations."""
+
+    def test_vk1(self, example23_catalog, example23_views):
+        elements = key_views(example23_catalog, example23_views, "R1")
+        assert {e.label for e in elements} == {"V1", "V3", "V4"}
+
+    def test_vk1_ind_adds_pseudo_views(self, example23_catalog, example23_views):
+        elements = ind_key_views(example23_catalog, example23_views, "R1")
+        labels = {e.label for e in elements}
+        assert {"V1", "V3", "V4"} <= labels
+        assert any("R3" in label for label in labels)
+        assert any("R2" in label for label in labels)
+        assert len(elements) == 5
+
+    def test_cover_enumeration_matches_paper(
+        self, example23_catalog, example23_views
+    ):
+        elements = ind_key_views(example23_catalog, example23_views, "R1")
+        covers = enumerate_covers(
+            elements, frozenset(example23_catalog.attributes("R1"))
+        )
+        cover_labels = {frozenset(e.label for e in cover) for cover in covers}
+        by_name = {e.label: e for e in elements}
+        r3_label = next(l for l in by_name if "R3" in l)
+        r2_label = next(l for l in by_name if "R2" in l)
+        expected = {
+            frozenset({"V1"}),
+            frozenset({"V3", "V4"}),
+            frozenset({r3_label, "V4"}),
+            frozenset({"V3", r2_label}),
+            frozenset({r3_label, r2_label}),
+        }
+        assert cover_labels == expected
+
+
+class TestNoConstraints:
+    """First scenario: no keys, no INDs — V3 and V4 are of no use."""
+
+    def test_complements(self, example23_views):
+        catalog = Catalog()
+        catalog.relation("R1", ("A", "B", "C"))
+        catalog.relation("R2", ("A", "C", "D"))
+        catalog.relation("R3", ("A", "B"))
+        spec = complement_thm22(catalog, example23_views)
+        assert str(spec.complements["R1"].definition) == "R1 minus pi[A, B, C](V1)"
+        assert str(spec.complements["R2"].definition) == "R2 minus pi[A, C, D](V1)"
+        # C3 = R3 - V2 is provably empty even without constraints (V2 = R3).
+        assert spec.complements["R3"].provably_empty
+
+
+class TestKeyOnly:
+    """Second scenario: A is a key of R1 — C1 collapses via V3 join V4."""
+
+    def test_c1_empty_with_key(self, example23_views):
+        catalog = Catalog()
+        catalog.relation("R1", ("A", "B", "C"), key=("A",))
+        catalog.relation("R2", ("A", "C", "D"))
+        catalog.relation("R3", ("A", "B"))
+        spec = complement_thm22(catalog, example23_views)
+        assert spec.complements["R1"].provably_empty
+        # The lossless key join appears in the inverse.
+        assert "V3 join V4" in str(spec.inverses["R1"])
+
+    def test_c2_unchanged(self, example23_views):
+        catalog = Catalog()
+        catalog.relation("R1", ("A", "B", "C"), key=("A",))
+        catalog.relation("R2", ("A", "C", "D"))
+        catalog.relation("R3", ("A", "B"))
+        spec = complement_thm22(catalog, example23_views)
+        assert str(spec.complements["R2"].definition) == "R2 minus pi[A, C, D](V1)"
+
+
+class TestIndScenario:
+    """Third scenario: V' = {V1, V3}, keys on all, AC(R2) ⊆ AC(R1)."""
+
+    def make_catalog(self) -> Catalog:
+        catalog = Catalog()
+        catalog.relation("R1", ("A", "B", "C"), key=("A",))
+        catalog.relation("R2", ("A", "C", "D"), key=("A",))
+        catalog.relation("R3", ("A", "B"), key=("A",))
+        catalog.inclusion("R2", ("A", "C"), "R1")
+        return catalog
+
+    def make_views(self):
+        return [View("V1", parse("R1 join R2")), View("V3", parse("pi[A, B](R1)"))]
+
+    def test_r1_inverse_uses_substituted_r2(self):
+        # R1^ir includes pi_ABC(V3 join pi_AC(R2)) with R2 replaced by its
+        # own inverse pi_ACD(V1) — footnote 3's substitution.
+        spec = complement_thm22(self.make_catalog(), self.make_views())
+        inverse = str(spec.inverses["R1"])
+        assert "V3 join pi[A, C]" in inverse
+        assert "R2" not in inverse  # no base relation leaks into the inverse
+
+    def test_c1_definition_subtracts_both_hats(self):
+        spec = complement_thm22(self.make_catalog(), self.make_views())
+        definition = str(spec.complements["R1"].definition)
+        assert definition.startswith("R1 minus")
+        assert "V3 join" in definition
+
+    def test_complement_correct_on_random_states(self, example23_catalog, example23_views):
+        spec = complement_thm22(example23_catalog, example23_views)
+        for seed in range(15):
+            state = generate_valid_state(seed)
+            ok, problems = verify_complement(spec, state)
+            assert ok, (seed, problems)
+
+    def test_ind_scenario_complement_correct(self):
+        catalog = self.make_catalog()
+        spec = complement_thm22(catalog, self.make_views())
+        rng = random.Random(3)
+        for seed in range(15):
+            full = generate_valid_state(seed)
+            state = {
+                "R1": full["R1"],
+                "R2": full["R2"],
+                "R3": Relation(("A", "B"), []),
+            }
+            ok, problems = verify_complement(spec, state)
+            assert ok, (seed, problems)

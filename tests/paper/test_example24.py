@@ -1,0 +1,105 @@
+"""E5 — Example 2.4: referential integrity empties a complement.
+
+With ``pi_clerk(Sale) ⊆ pi_clerk(Emp)`` every Sale tuple has a join partner
+in Emp, so ``C2 = Sale - pi_{item,clerk}(Sold)`` is always empty and the
+complement of ``{Sold}`` is ``{C1, ∅}``.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import (
+    ConstraintViolation,
+    Database,
+    Relation,
+    Warehouse,
+    complement_thm22,
+    evaluate,
+    parse,
+)
+from repro.core.independence import verify_complement
+from repro.views.analysis import join_complete_relations
+from repro.views.psj import PSJView
+
+
+class TestEmptinessProof:
+    def test_c_sale_provably_empty(self, figure1_catalog_ri, sold_view):
+        spec = complement_thm22(figure1_catalog_ri, [sold_view])
+        assert spec.complements["Sale"].provably_empty
+        assert not spec.complements["Emp"].provably_empty
+
+    def test_join_completeness_analysis(self, figure1_catalog_ri):
+        sold = PSJView(("Sale", "Emp"))
+        assert join_complete_relations(sold, figure1_catalog_ri) == frozenset(
+            {"Sale"}
+        )
+
+    def test_no_ri_no_emptiness(self, figure1_catalog, sold_view):
+        spec = complement_thm22(figure1_catalog, [sold_view])
+        assert not spec.complements["Sale"].provably_empty
+
+    def test_inverse_drops_c_sale(self, figure1_catalog_ri, sold_view):
+        spec = complement_thm22(figure1_catalog_ri, [sold_view])
+        assert str(spec.inverses["Sale"]) == "pi[item, clerk](Sold)"
+        assert "C_Sale" not in spec.warehouse_names()
+
+
+class TestSemanticEmptiness:
+    """On every RI-satisfying state, Sale - pi(Sold) really is empty."""
+
+    def random_ri_state(self, seed: int):
+        rng = random.Random(seed)
+        clerks = [f"clerk{i}" for i in range(5)]
+        emp_clerks = rng.sample(clerks, rng.randint(1, 5))
+        emp = [(c, rng.randint(20, 60)) for c in emp_clerks]
+        sale = [
+            (f"item{rng.randrange(6)}", rng.choice(emp_clerks))
+            for _ in range(rng.randint(0, 6))
+        ]
+        return {
+            "Sale": Relation(("item", "clerk"), sale),
+            "Emp": Relation(("clerk", "age"), emp),
+        }
+
+    def test_complement_correct_on_ri_states(self, figure1_catalog_ri, sold_view):
+        spec = complement_thm22(figure1_catalog_ri, [sold_view])
+        for seed in range(20):
+            state = self.random_ri_state(seed)
+            ok, problems = verify_complement(spec, state)
+            assert ok, (seed, problems)
+
+    def test_c_sale_expression_evaluates_empty(self, figure1_catalog_ri, sold_view):
+        for seed in range(20):
+            state = self.random_ri_state(seed)
+            c2 = evaluate(parse("Sale minus pi[item, clerk](Sale join Emp)"), state)
+            assert not c2
+
+    def test_database_enforces_ri(self, figure1_catalog_ri):
+        db = Database(figure1_catalog_ri)
+        db.load("Emp", [("Mary", 23)])
+        db.load("Sale", [("TV", "Mary")])
+        with pytest.raises(ConstraintViolation):
+            db.insert("Sale", [("PC", "Ghost")])
+
+
+class TestMaintenanceWithoutCSale:
+    def test_warehouse_roundtrip(self, figure1_catalog_ri):
+        from repro import View
+
+        wh = Warehouse.specify(
+            figure1_catalog_ri, [View("Sold", parse("Sale join Emp"))]
+        )
+        db = Database(figure1_catalog_ri)
+        db.load("Emp", [("Mary", 23), ("Paula", 32)])
+        db.load("Sale", [("TV", "Mary")])
+        wh.initialize(db)
+        assert set(wh.state) == {"Sold", "C_Emp"}
+
+        update = db.insert("Sale", [("Computer", "Paula")])
+        wh.apply(update)
+        assert wh.relation("Sold") == evaluate(parse("Sale join Emp"), db.state())
+        assert wh.reconstruct("Sale") == db["Sale"]
+        assert wh.reconstruct("Emp") == db["Emp"]

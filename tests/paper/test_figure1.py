@@ -1,0 +1,127 @@
+"""E1 — Figure 1 and Examples 1.1 / 1.2, replayed exactly.
+
+The warehouse is the single view ``Sold = Sale join Emp``. The paper derives
+the auxiliary views ``C1 = Emp - pi_{clerk,age}(Sold)`` and
+``C2 = Sale - pi_{item,clerk}(Sold)``, shows that ``{Sold, C1, C2}``
+recomputes both base relations, and maintains the warehouse through the
+insertion of (Computer, Paula) into Sale without querying the sources.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    Relation,
+    Update,
+    Warehouse,
+    complement_prop22,
+    evaluate,
+    parse,
+)
+from repro.core.independence import verify_complement
+
+
+@pytest.fixture
+def warehouse(figure1_catalog, figure1_database, sold_view) -> Warehouse:
+    wh = Warehouse.specify(figure1_catalog, [sold_view], method="prop22")
+    wh.initialize(figure1_database)
+    return wh
+
+
+class TestComplementShape:
+    def test_c1_is_emp_minus_projection(self, figure1_catalog, sold_view):
+        spec = complement_prop22(figure1_catalog, [sold_view])
+        assert str(spec.complements["Emp"].definition) == (
+            "Emp minus pi[clerk, age](Sold)"
+        )
+
+    def test_c2_is_sale_minus_projection(self, figure1_catalog, sold_view):
+        spec = complement_prop22(figure1_catalog, [sold_view])
+        assert str(spec.complements["Sale"].definition) == (
+            "Sale minus pi[item, clerk](Sold)"
+        )
+
+    def test_example12_inverse_for_emp(self, figure1_catalog, sold_view):
+        spec = complement_prop22(figure1_catalog, [sold_view])
+        assert str(spec.inverses["Emp"]) == "C_Emp union pi[clerk, age](Sold)"
+
+    def test_example12_inverse_for_sale(self, figure1_catalog, sold_view):
+        spec = complement_prop22(figure1_catalog, [sold_view])
+        assert str(spec.inverses["Sale"]) == "C_Sale union pi[item, clerk](Sold)"
+
+
+class TestInitialState:
+    def test_sold_contents(self, warehouse):
+        assert warehouse.relation("Sold").to_set() == {
+            ("TV set", "Mary", 23),
+            ("VCR", "Mary", 23),
+            ("PC", "John", 25),
+        }
+
+    def test_c1_holds_exactly_paula(self, warehouse):
+        # Paula appears in Emp but sells nothing, so she is the missing info.
+        assert warehouse.relation("C_Emp").to_set() == {("Paula", 32)}
+
+    def test_c2_is_empty_on_this_state(self, warehouse):
+        # Every Sale clerk appears in Emp here, so nothing is missing.
+        assert warehouse.relation("C_Sale").to_set() == frozenset()
+
+    def test_complement_verifies(self, warehouse, figure1_database):
+        ok, problems = verify_complement(warehouse.spec, figure1_database.state())
+        assert ok, problems
+
+
+class TestExample11Insertion:
+    """Insert (Computer, Paula) into Sale; the join partner comes from C1."""
+
+    def test_sold_gains_the_join_tuple(self, warehouse):
+        warehouse.insert("Sale", [("Computer", "Paula")])
+        assert ("Computer", "Paula", 32) in warehouse.relation("Sold")
+
+    def test_c1_loses_paula(self, warehouse):
+        warehouse.insert("Sale", [("Computer", "Paula")])
+        assert warehouse.relation("C_Emp").to_set() == frozenset()
+
+    def test_matches_source_side_recomputation(
+        self, warehouse, figure1_database
+    ):
+        warehouse.insert("Sale", [("Computer", "Paula")])
+        figure1_database.insert("Sale", [("Computer", "Paula")])
+        expected = evaluate(parse("Sale join Emp"), figure1_database.state())
+        assert warehouse.relation("Sold") == expected
+
+    def test_deletions_maintained_too(self, warehouse, figure1_database):
+        # Footnote: C1 and C2 suffice for deletions from Sale and Emp as well.
+        warehouse.delete("Sale", [("TV set", "Mary")])
+        figure1_database.delete("Sale", [("TV set", "Mary")])
+        expected = evaluate(parse("Sale join Emp"), figure1_database.state())
+        assert warehouse.relation("Sold") == expected
+
+    def test_emp_deletion_maintained(self, warehouse, figure1_database):
+        warehouse.delete("Emp", [("Paula", 32)])
+        figure1_database.delete("Emp", [("Paula", 32)])
+        expected = evaluate(parse("Sale join Emp"), figure1_database.state())
+        assert warehouse.relation("Sold") == expected
+        assert warehouse.reconstruct("Emp") == figure1_database["Emp"]
+
+
+class TestExample12QueryIndependence:
+    """Q = pi_clerk(Sale) union pi_clerk(Emp) needs the complement."""
+
+    QUERY = "pi[clerk](Sale) union pi[clerk](Emp)"
+
+    def test_sold_alone_cannot_answer(self, warehouse, figure1_database):
+        # The view only knows clerks appearing in *both* relations.
+        sold_clerks = warehouse.relation("Sold").project(("clerk",))
+        assert sold_clerks.to_set() == {("Mary",), ("John",)}
+
+    def test_augmented_warehouse_answers_q(self, warehouse, figure1_database):
+        answer = warehouse.answer(self.QUERY)
+        expected = evaluate(parse(self.QUERY), figure1_database.state())
+        assert answer == expected
+        assert ("Paula",) in answer
+
+    def test_base_relations_recomputable(self, warehouse, figure1_database):
+        assert warehouse.reconstruct("Emp") == figure1_database["Emp"]
+        assert warehouse.reconstruct("Sale") == figure1_database["Sale"]

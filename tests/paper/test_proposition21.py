@@ -1,0 +1,82 @@
+"""Proposition 2.1: C is a complement iff d ↦ (V(d), C(d)) is injective.
+
+Verified exhaustively over tiny domains: with the complement stored the
+mapping is injective; with the complement removed (views alone) it is not.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Catalog, View, complement_prop22, parse, rel
+from repro.core.complement import WarehouseSpec
+from repro.core.independence import (
+    enumerate_states,
+    is_complement,
+    verify_one_to_one,
+)
+
+
+@pytest.fixture
+def tiny_catalog() -> Catalog:
+    catalog = Catalog()
+    catalog.relation("Sale", ("item", "clerk"))
+    catalog.relation("Emp", ("clerk", "age"))
+    return catalog
+
+
+DOMAINS = {"item": ["tv"], "clerk": ["m", "j"], "age": [1]}
+
+
+def tiny_states(catalog):
+    return list(enumerate_states(catalog, DOMAINS, max_rows_per_relation=2))
+
+
+class TestInjectivity:
+    def test_with_complement_mapping_is_injective(self, tiny_catalog):
+        spec = complement_prop22(tiny_catalog, [View("Sold", parse("Sale join Emp"))])
+        states = tiny_states(tiny_catalog)
+        assert len(states) > 10
+        ok, witness = verify_one_to_one(spec, states)
+        assert ok, witness
+
+    def test_views_alone_not_injective(self, tiny_catalog):
+        # A spec with no complements at all: the bare view mapping.
+        views = [View("Sold", parse("Sale join Emp"))]
+        bare = WarehouseSpec(
+            tiny_catalog,
+            views,
+            complements={},
+            inverses={"Sale": rel("Sold"), "Emp": rel("Sold")},
+            method="none",
+        )
+        states = tiny_states(tiny_catalog)
+        ok, witness = verify_one_to_one(bare, states)
+        assert not ok
+        i, j = witness
+        # The witness states genuinely differ yet map to the same view state.
+        assert states[i] != states[j]
+
+    def test_reconstruction_on_all_states(self, tiny_catalog):
+        spec = complement_prop22(tiny_catalog, [View("Sold", parse("Sale join Emp"))])
+        assert is_complement(spec, tiny_states(tiny_catalog))
+
+    def test_trivial_complement_also_injective(self, tiny_catalog):
+        # Copying the base relations is always a complement (paper, Sec. 1).
+        views = [View("Sold", parse("Sale join Emp"))]
+        from repro.core.complement import ComplementView
+
+        trivial = WarehouseSpec(
+            tiny_catalog,
+            views,
+            complements={
+                "Sale": ComplementView("C_Sale", "Sale", parse("Sale"), False),
+                "Emp": ComplementView("C_Emp", "Emp", parse("Emp"), False),
+            },
+            inverses={"Sale": rel("C_Sale"), "Emp": rel("C_Emp")},
+            method="trivial",
+        )
+        states = tiny_states(tiny_catalog)
+        ok, witness = verify_one_to_one(trivial, states)
+        assert ok
+        assert is_complement(trivial, states)

@@ -1,0 +1,53 @@
+"""Shared hypothesis strategies for the property-based suites.
+
+Fixed small schemata with tiny value domains — the interesting structure in
+this library is relational, not arithmetic, and tiny domains maximize
+collision/join coverage per example.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro import Relation
+
+VALUES = st.integers(min_value=0, max_value=2)
+
+
+def relation(attrs, max_rows: int = 6):
+    """A strategy for relations over ``attrs`` with tiny integer values."""
+    row = st.tuples(*[VALUES for _ in attrs])
+    return st.frozensets(row, max_size=max_rows).map(
+        lambda rows: Relation(tuple(attrs), rows)
+    )
+
+
+def keyed_relation(attrs, key_positions, max_rows: int = 6):
+    """Like :func:`relation` but at most one row per key value."""
+
+    def dedupe(rows):
+        seen = {}
+        for r in sorted(rows, key=repr):
+            seen[tuple(r[p] for p in key_positions)] = r
+        return Relation(tuple(attrs), seen.values())
+
+    row = st.tuples(*[VALUES for _ in attrs])
+    return st.frozensets(row, max_size=max_rows).map(dedupe)
+
+
+def state_RS():
+    """States over R(a, b), S(b, c)."""
+    return st.fixed_dictionaries(
+        {"R": relation(("a", "b")), "S": relation(("b", "c"))}
+    )
+
+
+def state_RST():
+    """States over R(X, Y), S(Y, Z), T(Z) — the Example 2.1 schema."""
+    return st.fixed_dictionaries(
+        {
+            "R": relation(("X", "Y")),
+            "S": relation(("Y", "Z")),
+            "T": relation(("Z",), max_rows=3),
+        }
+    )

@@ -1,0 +1,101 @@
+"""Property-based tests: CQ containment agrees with evaluation.
+
+For random PSJ-with-union expression pairs, whenever the exact containment
+test says ``sub <= sup``, every generated state must witness the inclusion;
+whenever it says no, hypothesis hunts (and occasionally finds) a state
+violating the inclusion — but absence of a counterexample is not asserted
+(small states may not separate the queries).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import evaluate
+from repro.algebra.containment import UnsupportedFragment, is_contained_in
+from repro.algebra.expressions import (
+    Join,
+    Project,
+    RelationRef,
+    Select,
+    Union,
+)
+from repro.algebra.conditions import Comparison, attr, const
+
+from .strategies import state_RS
+
+SCOPE = {"R": ("a", "b"), "S": ("b", "c")}
+
+
+def cq_expressions(depth: int):
+    leaves = st.sampled_from([RelationRef("R"), RelationRef("S")])
+    if depth == 0:
+        return leaves
+    sub = cq_expressions(depth - 1)
+
+    def combine(args):
+        kind, left, right, value = args
+        left_attrs = frozenset(left.attributes(SCOPE))
+        right_attrs = frozenset(right.attributes(SCOPE))
+        if kind == "join":
+            return Join(left, right)
+        if kind == "union" and left_attrs == right_attrs:
+            return Union(left, right)
+        if kind == "select":
+            chosen = sorted(left_attrs)[0]
+            return Select(left, Comparison(attr(chosen), "=", const(value)))
+        if kind == "project":
+            keep = sorted(left_attrs)[: 1 + value % len(left_attrs)]
+            return Project(left, tuple(keep))
+        return left
+
+    return st.tuples(
+        st.sampled_from(["join", "union", "select", "project"]),
+        sub,
+        sub,
+        st.integers(0, 2),
+    ).map(combine)
+
+
+@given(cq_expressions(2), cq_expressions(2), state_RS())
+@settings(max_examples=150, deadline=None)
+def test_positive_containment_sound(sub, sup, state):
+    try:
+        sub_attrs = frozenset(sub.attributes(SCOPE))
+        sup_attrs = frozenset(sup.attributes(SCOPE))
+    except Exception:
+        return
+    if sub_attrs != sup_attrs:
+        return
+    try:
+        contained = is_contained_in(sub, sup, SCOPE)
+    except UnsupportedFragment:
+        return
+    if contained:
+        left = evaluate(sub, state)
+        right = evaluate(sup, state)
+        assert left.rows <= left._aligned_rows(right), (str(sub), str(sup))
+
+
+@given(cq_expressions(2))
+@settings(max_examples=60, deadline=None)
+def test_reflexive(expr):
+    try:
+        expr.attributes(SCOPE)
+        assert is_contained_in(expr, expr, SCOPE)
+    except UnsupportedFragment:
+        pass
+
+
+@given(cq_expressions(1), cq_expressions(1))
+@settings(max_examples=80, deadline=None)
+def test_union_upper_bound(left, right):
+    try:
+        if frozenset(left.attributes(SCOPE)) != frozenset(right.attributes(SCOPE)):
+            return
+        combined = Union(left, right)
+        assert is_contained_in(left, combined, SCOPE)
+        assert is_contained_in(right, combined, SCOPE)
+    except UnsupportedFragment:
+        pass

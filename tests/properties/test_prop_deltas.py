@@ -1,0 +1,100 @@
+"""Property-based tests: delta rules are exact for arbitrary expressions.
+
+Hypothesis generates random expression trees over R(a, b) and S(b, c), a
+random state, and random effective deltas; the derived insert/delete
+expressions must equal ``new - old`` / ``old - new`` exactly.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Relation, evaluate
+from repro.algebra.conditions import Comparison, attr, const
+from repro.algebra.deltas import del_name, derive_delta, ins_name
+from repro.algebra.expressions import (
+    Difference,
+    Join,
+    Project,
+    RelationRef,
+    Select,
+    Union,
+)
+
+from .strategies import relation
+
+SCOPE = {"R": ("a", "b"), "S": ("b", "c")}
+
+
+def expressions(depth: int):
+    """Random well-typed expressions over R and S."""
+    leaves = st.sampled_from([RelationRef("R"), RelationRef("S")])
+    if depth == 0:
+        return leaves
+
+    sub = expressions(depth - 1)
+
+    def combine(children_and_kind):
+        kind, left, right, attribute, value = children_and_kind
+        left_attrs = frozenset(left.attributes(SCOPE))
+        right_attrs = frozenset(right.attributes(SCOPE))
+        if kind == "join":
+            return Join(left, right)
+        if kind == "union" and left_attrs == right_attrs:
+            return Union(left, right)
+        if kind == "difference" and left_attrs == right_attrs:
+            return Difference(left, right)
+        if kind == "select":
+            chosen = sorted(left_attrs)[0]
+            return Select(left, Comparison(attr(chosen), "=", const(value)))
+        if kind == "project":
+            keep = sorted(left_attrs)[: 1 + value % len(left_attrs)]
+            return Project(left, tuple(keep))
+        return left
+
+    return st.tuples(
+        st.sampled_from(["join", "union", "difference", "select", "project"]),
+        sub,
+        sub,
+        st.integers(0, 1),
+        st.integers(0, 2),
+    ).map(combine)
+
+
+def effective_deltas(current: Relation, rows):
+    inserts = Relation(current.attributes, [r for r in rows if r not in current])
+    pool = sorted(current.rows, key=repr)
+    deletes = Relation(current.attributes, pool[: len(rows) % (len(pool) + 1)])
+    return inserts, deletes
+
+
+@given(
+    expressions(2),
+    relation(("a", "b")),
+    relation(("b", "c")),
+    st.frozensets(st.tuples(st.integers(0, 2), st.integers(0, 2)), max_size=3),
+    st.frozensets(st.tuples(st.integers(0, 2), st.integers(0, 2)), max_size=3),
+)
+@settings(max_examples=120, deadline=None)
+def test_delta_rules_exact(expr, r, s, r_rows, s_rows):
+    state = {"R": r, "S": s}
+    r_ins, r_del = effective_deltas(r, r_rows)
+    s_ins, s_del = effective_deltas(s, s_rows)
+    bindings = {
+        ins_name("R"): r_ins,
+        del_name("R"): r_del,
+        ins_name("S"): s_ins,
+        del_name("S"): s_del,
+    }
+    new_state = {
+        "R": r.difference(r_del).union(r_ins),
+        "S": s.difference(s_del).union(s_ins),
+    }
+    derived = derive_delta(expr, ["R", "S"], SCOPE)
+    combined = dict(state)
+    combined.update(bindings)
+    old_value = evaluate(expr, state)
+    new_value = evaluate(expr, new_state)
+    assert evaluate(derived.inserts, combined) == new_value.difference(old_value)
+    assert evaluate(derived.deletes, combined) == old_value.difference(new_value)

@@ -1,0 +1,79 @@
+"""Property-based tests: algebraic laws of the relation engine."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+
+from repro import Relation
+
+from .strategies import relation
+
+R_AB = relation(("a", "b"))
+R_AB2 = relation(("a", "b"))
+R_AB3 = relation(("a", "b"))
+R_BC = relation(("b", "c"))
+
+
+@given(R_AB, R_AB2)
+def test_union_commutative(x, y):
+    assert x.union(y) == y.union(x)
+
+
+@given(R_AB, R_AB2, R_AB3)
+def test_union_associative(x, y, z):
+    assert x.union(y).union(z) == x.union(y.union(z))
+
+
+@given(R_AB)
+def test_union_idempotent(x):
+    assert x.union(x) == x
+
+
+@given(R_AB, R_AB2)
+def test_difference_union_partition(x, y):
+    # (x - y) ∪ (x ∩ y) == x
+    assert x.difference(y).union(x.intersection(y)) == x
+
+
+@given(R_AB, R_AB2)
+def test_intersection_via_difference(x, y):
+    assert x.intersection(y) == x.difference(x.difference(y))
+
+
+@given(R_AB, R_BC)
+def test_join_commutative(x, y):
+    assert x.natural_join(y) == y.natural_join(x)
+
+
+@given(R_AB, R_BC)
+def test_join_tuples_restrict_to_sources(x, y):
+    joined = x.natural_join(y)
+    assert joined.project_or_empty(("a", "b")).rows <= x.rows
+    proj = joined.project_or_empty(("b", "c"))
+    assert proj.rows <= proj._aligned_rows(y)
+
+
+@given(R_AB)
+def test_self_join_identity(x):
+    assert x.natural_join(x) == x
+
+
+@given(R_AB)
+def test_projection_monotone_cardinality(x):
+    assert len(x.project(("a",))) <= len(x)
+
+
+@given(R_AB)
+def test_rename_roundtrip(x):
+    assert x.rename({"a": "z"}).rename({"z": "a"}) == x
+
+
+@given(R_AB, R_AB2)
+def test_union_cardinality_bounds(x, y):
+    u = x.union(y)
+    assert max(len(x), len(y)) <= len(u) <= len(x) + len(y)
+
+
+@given(R_AB)
+def test_reorder_preserves_equality(x):
+    assert x.reorder(("b", "a")) == x

@@ -1,0 +1,119 @@
+"""Unit tests for :mod:`repro.schema.catalog`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Catalog, InclusionDependency, RelationSchema, SchemaError
+
+
+@pytest.fixture
+def catalog() -> Catalog:
+    catalog = Catalog()
+    catalog.relation("Sale", ("item", "clerk"))
+    catalog.relation("Emp", ("clerk", "age"), key=("clerk",))
+    return catalog
+
+
+class TestRelations:
+    def test_lookup(self, catalog):
+        assert catalog["Emp"].key == ("clerk",)
+        assert "Sale" in catalog
+        assert "Nope" not in catalog
+        assert catalog.get("Nope") is None
+
+    def test_duplicate_rejected(self, catalog):
+        with pytest.raises(SchemaError):
+            catalog.relation("Sale", ("x",))
+
+    def test_unknown_lookup_raises(self, catalog):
+        with pytest.raises(SchemaError):
+            catalog["Nope"]
+
+    def test_names_in_declaration_order(self, catalog):
+        assert catalog.relation_names() == ("Sale", "Emp")
+
+    def test_attributes_and_key(self, catalog):
+        assert catalog.attributes("Sale") == frozenset({"item", "clerk"})
+        assert catalog.key("Emp") == ("clerk",)
+        assert catalog.key("Sale") is None
+
+    def test_key_constraints_view(self, catalog):
+        keys = catalog.key_constraints()
+        assert len(keys) == 1
+        assert keys[0].relation == "Emp"
+
+
+class TestInclusions:
+    def test_add_and_query(self, catalog):
+        ind = catalog.inclusion("Sale", ("clerk",), "Emp")
+        assert catalog.inclusions() == (ind,)
+        assert catalog.inclusions_into("Emp") == (ind,)
+        assert catalog.inclusions_from("Sale") == (ind,)
+        assert catalog.inclusions_into("Sale") == ()
+
+    def test_duplicate_ind_is_idempotent(self, catalog):
+        catalog.inclusion("Sale", ("clerk",), "Emp")
+        catalog.inclusion("Sale", ("clerk",), "Emp")
+        assert len(catalog.inclusions()) == 1
+
+    def test_unknown_attribute_rejected(self, catalog):
+        with pytest.raises(SchemaError):
+            catalog.inclusion("Sale", ("ghost",), "Emp", ("clerk",))
+
+    def test_self_reference_rejected(self, catalog):
+        with pytest.raises(SchemaError):
+            catalog.inclusion("Emp", ("clerk",), "Emp", ("clerk",))
+
+    def test_foreign_key_helper(self, catalog):
+        ind = catalog.foreign_key("Sale", ("clerk",), "Emp")
+        assert ind.rhs_attributes == ("clerk",)
+
+    def test_foreign_key_needs_target_key(self, catalog):
+        with pytest.raises(SchemaError):
+            catalog.foreign_key("Emp", ("clerk",), "Sale")
+
+
+class TestAcyclicity:
+    def test_cycle_rejected_and_rolled_back(self):
+        catalog = Catalog()
+        catalog.relation("A", ("x",), key=("x",))
+        catalog.relation("B", ("x",), key=("x",))
+        catalog.inclusion("A", ("x",), "B")
+        with pytest.raises(SchemaError):
+            catalog.inclusion("B", ("x",), "A")
+        # The failed IND must not linger.
+        assert len(catalog.inclusions()) == 1
+
+    def test_long_cycle_rejected(self):
+        catalog = Catalog()
+        for name in ("A", "B", "C"):
+            catalog.relation(name, ("x",), key=("x",))
+        catalog.inclusion("A", ("x",), "B")
+        catalog.inclusion("B", ("x",), "C")
+        with pytest.raises(SchemaError):
+            catalog.inclusion("C", ("x",), "A")
+
+    def test_inclusion_order_is_topological(self):
+        catalog = Catalog()
+        for name in ("A", "B", "C", "D"):
+            catalog.relation(name, ("x",), key=("x",))
+        catalog.inclusion("A", ("x",), "B")
+        catalog.inclusion("B", ("x",), "C")
+        catalog.inclusion("A", ("x",), "D")
+        order = catalog.inclusion_order()
+        assert set(order) == {"A", "B", "C", "D"}
+        assert order.index("A") < order.index("B") < order.index("C")
+        assert order.index("A") < order.index("D")
+
+    def test_order_without_inds_contains_all(self, catalog):
+        assert set(catalog.inclusion_order()) == {"Sale", "Emp"}
+
+
+class TestDescribe:
+    def test_describe_lists_everything(self, catalog):
+        catalog.inclusion("Sale", ("clerk",), "Emp")
+        text = catalog.describe()
+        assert "Sale(item, clerk)" in text
+        assert "Emp(clerk*, age)" in text
+        assert "Sale[clerk] <= Emp[clerk]" in text

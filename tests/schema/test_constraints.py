@@ -1,0 +1,66 @@
+"""Unit tests for :mod:`repro.schema.constraints`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import InclusionDependency, KeyConstraint, SchemaError
+
+
+class TestKeyConstraint:
+    def test_basic(self):
+        key = KeyConstraint("Emp", ("clerk",))
+        assert key.relation == "Emp"
+        assert key.attributes == ("clerk",)
+        assert key.attribute_set == frozenset({"clerk"})
+
+    def test_equality_ignores_attribute_order(self):
+        assert KeyConstraint("R", ("a", "b")) == KeyConstraint("R", ("b", "a"))
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            KeyConstraint("R", ())
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(SchemaError):
+            KeyConstraint("R", ("a", "a"))
+
+    def test_str(self):
+        assert str(KeyConstraint("Emp", ("clerk",))) == "key(Emp: clerk)"
+
+
+class TestInclusionDependency:
+    def test_identity_default(self):
+        ind = InclusionDependency("Sale", ("clerk",), "Emp")
+        assert ind.is_identity()
+        assert ind.lhs_attributes == ind.rhs_attributes == ("clerk",)
+        assert str(ind) == "Sale[clerk] <= Emp[clerk]"
+
+    def test_renamed(self):
+        ind = InclusionDependency("Orders", ("cust",), "Customer", ("custkey",))
+        assert not ind.is_identity()
+        assert ind.renaming() == {"cust": "custkey"}
+        assert ind.inverse_renaming() == {"custkey": "cust"}
+
+    def test_multi_attribute_positional_correspondence(self):
+        ind = InclusionDependency("L", ("x", "y"), "R", ("a", "b"))
+        assert ind.renaming() == {"x": "a", "y": "b"}
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(SchemaError):
+            InclusionDependency("L", ("x", "y"), "R", ("a",))
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            InclusionDependency("L", (), "R", ())
+
+    def test_duplicates_per_side_rejected(self):
+        with pytest.raises(SchemaError):
+            InclusionDependency("L", ("x", "x"), "R", ("a", "b"))
+
+    def test_equality(self):
+        first = InclusionDependency("L", ("x",), "R", ("a",))
+        second = InclusionDependency("L", ("x",), "R", ("a",))
+        assert first == second
+        assert hash(first) == hash(second)
+        assert first != InclusionDependency("L", ("x",), "R", ("b",))

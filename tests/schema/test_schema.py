@@ -1,0 +1,82 @@
+"""Unit tests for :mod:`repro.schema.schema`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import RelationSchema, SchemaError
+
+
+class TestConstruction:
+    def test_basic(self):
+        schema = RelationSchema("Emp", ("clerk", "age"))
+        assert schema.name == "Emp"
+        assert schema.attributes == ("clerk", "age")
+        assert schema.attribute_set == frozenset({"clerk", "age"})
+        assert schema.key is None
+        assert not schema.has_key()
+
+    def test_with_key(self):
+        schema = RelationSchema("Emp", ("clerk", "age"), key=("clerk",))
+        assert schema.key == ("clerk",)
+        assert schema.key_set == frozenset({"clerk"})
+        assert schema.has_key()
+
+    def test_key_canonical_order_follows_attributes(self):
+        schema = RelationSchema("L", ("a", "b", "c"), key=("c", "a"))
+        assert schema.key == ("a", "c")
+
+    def test_empty_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", ())
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", ("a", "a"))
+
+    def test_key_outside_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", ("a", "b"), key=("z",))
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", ("a",), key=())
+
+    def test_duplicate_key_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", ("a", "b"), key=("a", "a"))
+
+    def test_invalid_names_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("1R", ("a",))
+        with pytest.raises(SchemaError):
+            RelationSchema("R", ("a-b",))
+        with pytest.raises(SchemaError):
+            RelationSchema("", ("a",))
+
+
+class TestEquality:
+    def test_equal(self):
+        first = RelationSchema("R", ("a", "b"), key=("a",))
+        second = RelationSchema("R", ("a", "b"), key=("a",))
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_key_matters(self):
+        assert RelationSchema("R", ("a", "b")) != RelationSchema(
+            "R", ("a", "b"), key=("a",)
+        )
+
+    def test_attribute_order_matters_for_equality(self):
+        assert RelationSchema("R", ("a", "b")) != RelationSchema("R", ("b", "a"))
+
+
+class TestDisplay:
+    def test_str_marks_key_attributes(self):
+        schema = RelationSchema("Emp", ("clerk", "age"), key=("clerk",))
+        assert str(schema) == "Emp(clerk*, age)"
+
+    def test_repr_roundtrip_info(self):
+        schema = RelationSchema("Emp", ("clerk", "age"), key=("clerk",))
+        assert "Emp" in repr(schema)
+        assert "key" in repr(schema)

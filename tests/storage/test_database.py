@@ -1,0 +1,133 @@
+"""Unit tests for :mod:`repro.storage.database`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    Catalog,
+    ConstraintViolation,
+    Database,
+    Relation,
+    SchemaError,
+    Update,
+)
+
+
+@pytest.fixture
+def catalog() -> Catalog:
+    catalog = Catalog()
+    catalog.relation("Emp", ("clerk", "age"), key=("clerk",))
+    catalog.relation("Sale", ("item", "clerk"))
+    catalog.inclusion("Sale", ("clerk",), "Emp")
+    return catalog
+
+
+@pytest.fixture
+def db(catalog) -> Database:
+    db = Database(catalog)
+    db.load("Emp", [("Mary", 23), ("John", 25)])
+    db.load("Sale", [("TV", "Mary")])
+    return db
+
+
+class TestStateManagement:
+    def test_initial_state_is_empty(self, catalog):
+        db = Database(catalog)
+        assert len(db["Emp"]) == 0
+        assert db.total_rows() == 0
+
+    def test_load_and_read(self, db):
+        assert ("Mary", 23) in db["Emp"]
+        assert db.total_rows() == 3
+
+    def test_load_reorders_columns(self, catalog):
+        db = Database(catalog)
+        db._bind("Emp", Relation(("age", "clerk"), [(23, "Mary")]))
+        assert db["Emp"].attributes == ("clerk", "age")
+        assert ("Mary", 23) in db["Emp"]
+
+    def test_unknown_relation(self, db):
+        with pytest.raises(SchemaError):
+            db["Nope"]
+        assert "Emp" in db and "Nope" not in db
+
+    def test_wrong_schema_rejected(self, catalog):
+        db = Database(catalog)
+        with pytest.raises(SchemaError):
+            db._bind("Emp", Relation(("x", "y"), []))
+
+    def test_copy_is_independent(self, db):
+        clone = db.copy()
+        clone.insert("Emp", [("Zoe", 40)])
+        assert ("Zoe", 40) not in db["Emp"]
+
+    def test_state_snapshot(self, db):
+        snapshot = db.state()
+        db.insert("Emp", [("Zoe", 40)])
+        assert ("Zoe", 40) not in snapshot["Emp"]
+
+
+class TestConstraints:
+    def test_key_violation_on_load(self, catalog):
+        db = Database(catalog)
+        with pytest.raises(ConstraintViolation):
+            db.load("Emp", [("Mary", 23), ("Mary", 99)])
+
+    def test_ind_violation_on_load(self, catalog):
+        db = Database(catalog)
+        db.load("Emp", [("Mary", 23)])
+        with pytest.raises(ConstraintViolation):
+            db.load("Sale", [("TV", "Ghost")])
+
+    def test_violations_described(self, catalog):
+        db = Database(catalog)
+        db.load("Sale", [("TV", "Ghost")], check=False)
+        problems = db.constraint_violations()
+        assert any("inclusion" in p for p in problems)
+        assert not db.satisfies_constraints()
+
+    def test_renamed_ind_checked(self):
+        catalog = Catalog()
+        catalog.relation("Customer", ("custkey",), key=("custkey",))
+        catalog.relation("Orders", ("okey", "cust"), key=("okey",))
+        catalog.inclusion("Orders", ("cust",), "Customer", ("custkey",))
+        db = Database(catalog)
+        db.load("Customer", [(1,)])
+        db.load("Orders", [(10, 1)])
+        with pytest.raises(ConstraintViolation):
+            db.insert("Orders", [(11, 2)])
+
+
+class TestUpdates:
+    def test_insert_returns_effective_update(self, db):
+        effective = db.insert("Emp", [("Zoe", 40), ("Mary", 23)])
+        assert effective.delta_for("Emp").inserts.to_set() == {("Zoe", 40)}
+
+    def test_delete(self, db):
+        db.delete("Sale", [("TV", "Mary")])
+        assert len(db["Sale"]) == 0
+
+    def test_violating_update_rolled_back(self, db):
+        before = db.state()
+        with pytest.raises(ConstraintViolation):
+            db.insert("Sale", [("PC", "Ghost")])
+        assert db.state() == before
+
+    def test_delete_breaking_ind_rolled_back(self, db):
+        with pytest.raises(ConstraintViolation):
+            db.delete("Emp", [("Mary", 23)])  # Sale still references Mary
+        assert ("Mary", 23) in db["Emp"]
+
+    def test_transaction_across_relations(self, db):
+        update = Update.of(
+            *Update.insert("Emp", ("clerk", "age"), [("Zoe", 40)]),
+            *Update.insert("Sale", ("item", "clerk"), [("PC", "Zoe")]),
+        )
+        effective = db.apply(update)
+        assert set(effective.relations()) == {"Emp", "Sale"}
+        assert db.satisfies_constraints()
+
+    def test_describe(self, db):
+        text = db.describe()
+        assert "Emp" in text and "Sale" in text

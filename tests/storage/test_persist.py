@@ -1,0 +1,126 @@
+"""Unit tests for :mod:`repro.storage.persist` (JSON snapshots)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import Catalog, Database, Relation, View, Warehouse, parse, parse_condition
+from repro.storage.persist import (
+    catalog_from_dict,
+    catalog_to_dict,
+    load_warehouse,
+    relation_from_dict,
+    relation_to_dict,
+    save_warehouse,
+    spec_from_dict,
+    spec_to_dict,
+    state_from_dict,
+    state_to_dict,
+)
+
+
+@pytest.fixture
+def catalog() -> Catalog:
+    catalog = Catalog()
+    catalog.relation("Sale", ("item", "clerk"))
+    catalog.relation("Emp", ("clerk", "age"), key=("clerk",))
+    catalog.inclusion("Sale", ("clerk",), "Emp")
+    catalog.add_check("Sale", parse_condition("item != 'void'"))
+    return catalog
+
+
+class TestCatalogRoundTrip:
+    def test_relations_keys_inds_checks(self, catalog):
+        rebuilt = catalog_from_dict(catalog_to_dict(catalog))
+        assert rebuilt.relation_names() == catalog.relation_names()
+        assert rebuilt.key("Emp") == ("clerk",)
+        assert rebuilt.inclusions() == catalog.inclusions()
+        assert [str(c) for c in rebuilt.checks("Sale")] == ["item != 'void'"]
+
+    def test_json_serializable(self, catalog):
+        json.dumps(catalog_to_dict(catalog))
+
+
+class TestRelationRoundTrip:
+    def test_values_survive(self):
+        rel = Relation(("a", "b"), [(1, "x"), (2.5, None), (True, "y")])
+        rebuilt = relation_from_dict(relation_to_dict(rel))
+        assert rebuilt == rel
+
+    def test_state_roundtrip(self):
+        state = {
+            "R": Relation(("a",), [(1,), (2,)]),
+            "S": Relation(("b", "c"), [("x", 9)]),
+        }
+        rebuilt = state_from_dict(state_to_dict(state))
+        assert rebuilt == state
+
+    def test_rows_sorted_for_stable_output(self):
+        rel = Relation(("a",), [(3,), (1,), (2,)])
+        first = json.dumps(relation_to_dict(rel))
+        second = json.dumps(relation_to_dict(Relation(("a",), [(2,), (3,), (1,)])))
+        assert first == second
+
+
+class TestSpecRoundTrip:
+    def test_spec_structures_preserved(self, catalog):
+        from repro import specify
+
+        spec = specify(catalog, [View("Sold", parse("Sale join Emp"))])
+        rebuilt = spec_from_dict(spec_to_dict(spec))
+        assert rebuilt.method == spec.method
+        assert rebuilt.view_names() == spec.view_names()
+        assert set(rebuilt.complement_names()) == set(spec.complement_names())
+        for relation in spec.inverses:
+            assert rebuilt.inverses[relation] == spec.inverses[relation]
+        for relation, complement in spec.complements.items():
+            assert rebuilt.complements[relation].definition == complement.definition
+            assert (
+                rebuilt.complements[relation].provably_empty
+                == complement.provably_empty
+            )
+
+
+class TestWarehouseRoundTrip:
+    def test_save_load_resume(self, catalog, tmp_path):
+        db = Database(catalog)
+        db.load("Emp", [("Mary", 23), ("Paula", 32)])
+        db.load("Sale", [("TV", "Mary")])
+        warehouse = Warehouse.specify(catalog, [View("Sold", parse("Sale join Emp"))])
+        warehouse.initialize(db)
+
+        path = str(tmp_path / "warehouse.json")
+        save_warehouse(warehouse, path)
+        resumed = load_warehouse(path)
+
+        assert resumed.state == warehouse.state
+        # The resumed warehouse keeps operating without any source access.
+        update = db.insert("Sale", [("PC", "Paula")])
+        resumed.apply(update)
+        warehouse.apply(update)
+        assert resumed.state == warehouse.state
+        assert resumed.reconstruct("Sale") == db["Sale"]
+
+    def test_uninitialized_warehouse_snapshot(self, catalog, tmp_path):
+        warehouse = Warehouse.specify(catalog, [View("Sold", parse("Sale join Emp"))])
+        path = str(tmp_path / "spec-only.json")
+        save_warehouse(warehouse, path)
+        resumed = load_warehouse(path)
+        from repro import WarehouseError
+
+        with pytest.raises(WarehouseError):
+            resumed.state
+
+    def test_version_check(self, catalog, tmp_path):
+        warehouse = Warehouse.specify(catalog, [View("Sold", parse("Sale join Emp"))])
+        path = str(tmp_path / "bad.json")
+        save_warehouse(warehouse, path)
+        data = json.loads(open(path).read())
+        data["spec"]["version"] = 999
+        open(path, "w").write(json.dumps(data))
+        from repro import SchemaError
+
+        with pytest.raises(SchemaError):
+            load_warehouse(path)

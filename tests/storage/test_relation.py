@@ -1,0 +1,181 @@
+"""Unit tests for :mod:`repro.storage.relation`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ExpressionError, Relation
+
+
+@pytest.fixture
+def sale() -> Relation:
+    return Relation(("item", "clerk"), [("TV", "Mary"), ("VCR", "Mary"), ("PC", "John")])
+
+
+@pytest.fixture
+def emp() -> Relation:
+    return Relation(("clerk", "age"), [("Mary", 23), ("John", 25), ("Paula", 32)])
+
+
+class TestConstruction:
+    def test_deduplicates(self):
+        rel = Relation(("a",), [(1,), (1,), (2,)])
+        assert len(rel) == 2
+
+    def test_row_width_checked(self):
+        with pytest.raises(ExpressionError):
+            Relation(("a", "b"), [(1,)])
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(ExpressionError):
+            Relation(("a", "a"), [])
+
+    def test_from_dicts(self):
+        rel = Relation.from_dicts(("a", "b"), [{"a": 1, "b": 2}, {"b": 4, "a": 3}])
+        assert rel.to_set() == {(1, 2), (3, 4)}
+
+    def test_empty_constructor(self):
+        rel = Relation.empty(("a", "b"))
+        assert not rel
+        assert rel.attributes == ("a", "b")
+
+    def test_iteration_and_membership(self, sale):
+        assert ("TV", "Mary") in sale
+        assert ("TV", "Nobody") not in sale
+        assert len(list(sale)) == 3
+
+    def test_to_dicts(self):
+        rel = Relation(("a",), [(1,)])
+        assert rel.to_dicts() == [{"a": 1}]
+
+
+class TestAlignment:
+    def test_reorder(self, sale):
+        flipped = sale.reorder(("clerk", "item"))
+        assert flipped.attributes == ("clerk", "item")
+        assert ("Mary", "TV") in flipped
+        assert flipped == sale  # equality is order-insensitive
+
+    def test_reorder_requires_permutation(self, sale):
+        with pytest.raises(ExpressionError):
+            sale.reorder(("clerk",))
+
+    def test_equality_across_column_orders(self):
+        first = Relation(("a", "b"), [(1, 2)])
+        second = Relation(("b", "a"), [(2, 1)])
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_inequality_on_different_attribute_sets(self):
+        assert Relation(("a",), [(1,)]) != Relation(("b",), [(1,)])
+
+
+class TestProjection:
+    def test_project(self, sale):
+        clerks = sale.project(("clerk",))
+        assert clerks.to_set() == {("Mary",), ("John",)}
+
+    def test_project_unknown_attribute(self, sale):
+        with pytest.raises(ExpressionError):
+            sale.project(("ghost",))
+
+    def test_project_or_empty_known(self, sale):
+        assert sale.project_or_empty(("clerk",)).to_set() == {("Mary",), ("John",)}
+
+    def test_project_or_empty_unknown_gives_empty_over_z(self, sale):
+        # The paper's Section 2 convention.
+        result = sale.project_or_empty(("clerk", "age"))
+        assert not result
+        assert result.attributes == ("clerk", "age")
+
+
+class TestSetOperations:
+    def test_union_aligns_columns(self):
+        first = Relation(("a", "b"), [(1, 2)])
+        second = Relation(("b", "a"), [(4, 3)])
+        assert first.union(second).to_set() == {(1, 2), (3, 4)}
+
+    def test_union_incompatible_schema(self, sale, emp):
+        with pytest.raises(ExpressionError):
+            sale.union(emp)
+
+    def test_difference(self, sale):
+        rest = sale.difference(Relation(("item", "clerk"), [("TV", "Mary")]))
+        assert rest.to_set() == {("VCR", "Mary"), ("PC", "John")}
+
+    def test_intersection(self, sale):
+        both = sale.intersection(Relation(("item", "clerk"), [("TV", "Mary"), ("X", "Y")]))
+        assert both.to_set() == {("TV", "Mary")}
+
+
+class TestJoin:
+    def test_natural_join(self, sale, emp):
+        sold = sale.natural_join(emp)
+        assert sold.attribute_set == {"item", "clerk", "age"}
+        assert sold.to_set() == {
+            ("TV", "Mary", 23),
+            ("VCR", "Mary", 23),
+            ("PC", "John", 25),
+        }
+
+    def test_join_without_shared_attributes_is_product(self):
+        first = Relation(("a",), [(1,), (2,)])
+        second = Relation(("b",), [(9,)])
+        product = first.natural_join(second)
+        assert product.to_set() == {(1, 9), (2, 9)}
+
+    def test_join_with_empty_is_empty(self, sale):
+        assert not sale.natural_join(Relation.empty(("clerk", "age")))
+
+    def test_join_is_commutative_up_to_column_order(self, sale, emp):
+        assert sale.natural_join(emp) == emp.natural_join(sale)
+
+
+class TestRename:
+    def test_rename(self, emp):
+        renamed = emp.rename({"age": "years"})
+        assert renamed.attributes == ("clerk", "years")
+        assert ("Mary", 23) in renamed
+
+    def test_rename_unknown(self, emp):
+        with pytest.raises(ExpressionError):
+            emp.rename({"ghost": "x"})
+
+    def test_rename_collision(self, emp):
+        with pytest.raises(ExpressionError):
+            emp.rename({"age": "clerk"})
+
+
+class TestSelectAndKeys:
+    def test_select_by_predicate(self, emp):
+        young = emp.select(lambda row: row[1] < 30)
+        assert young.to_set() == {("Mary", 23), ("John", 25)}
+
+    def test_key_violations_empty_when_key_holds(self, emp):
+        assert emp.key_violations(("clerk",)) == []
+
+    def test_key_violations_detected(self):
+        rel = Relation(("k", "v"), [(1, "a"), (1, "b")])
+        violations = rel.key_violations(("k",))
+        assert len(violations) == 1
+
+    def test_index_on(self, emp):
+        index = emp.index_on(("clerk",))
+        assert index[("Mary",)] == ("Mary", 23)
+
+    def test_index_on_broken_key(self):
+        rel = Relation(("k", "v"), [(1, "a"), (1, "b")])
+        with pytest.raises(ExpressionError):
+            rel.index_on(("k",))
+
+
+class TestDisplay:
+    def test_pretty_contains_header_and_rows(self, emp):
+        text = emp.pretty()
+        assert "clerk" in text and "age" in text
+        assert "'Mary'" in text
+
+    def test_pretty_truncates(self):
+        rel = Relation(("n",), [(i,) for i in range(50)])
+        text = rel.pretty(max_rows=5)
+        assert "more rows" in text

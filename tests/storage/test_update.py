@@ -1,0 +1,119 @@
+"""Unit tests for :mod:`repro.storage.update`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Delta, ExpressionError, Relation, Update
+
+
+@pytest.fixture
+def current() -> Relation:
+    return Relation(("a", "b"), [(1, "x"), (2, "y")])
+
+
+class TestDelta:
+    def test_requires_some_change(self):
+        with pytest.raises(ExpressionError):
+            Delta("R")
+
+    def test_defaults_fill_empty_side(self):
+        delta = Delta("R", inserts=Relation(("a",), [(1,)]))
+        assert not delta.deletes
+        assert delta.deletes.attributes == ("a",)
+
+    def test_schema_mismatch_rejected(self):
+        with pytest.raises(ExpressionError):
+            Delta(
+                "R",
+                inserts=Relation(("a",), [(1,)]),
+                deletes=Relation(("b",), [(1,)]),
+            )
+
+    def test_apply(self, current):
+        delta = Delta(
+            "R",
+            inserts=Relation(("a", "b"), [(3, "z")]),
+            deletes=Relation(("a", "b"), [(1, "x")]),
+        )
+        assert delta.apply_to(current).to_set() == {(2, "y"), (3, "z")}
+
+    def test_normalized_drops_present_inserts(self, current):
+        delta = Delta("R", inserts=Relation(("a", "b"), [(1, "x"), (3, "z")]))
+        effective = delta.normalized(current)
+        assert effective.inserts.to_set() == {(3, "z")}
+
+    def test_normalized_drops_absent_deletes(self, current):
+        delta = Delta("R", deletes=Relation(("a", "b"), [(9, "q"), (1, "x")]))
+        effective = delta.normalized(current)
+        assert effective.deletes.to_set() == {(1, "x")}
+
+    def test_normalized_insert_wins_over_delete(self, current):
+        delta = Delta(
+            "R",
+            inserts=Relation(("a", "b"), [(1, "x")]),
+            deletes=Relation(("a", "b"), [(1, "x")]),
+        )
+        effective = delta.normalized(current)
+        # (1, x) is deleted then reinserted: net no change.
+        assert effective.is_empty()
+
+    def test_is_effective_for(self, current):
+        good = Delta(
+            "R",
+            inserts=Relation(("a", "b"), [(3, "z")]),
+            deletes=Relation(("a", "b"), [(1, "x")]),
+        )
+        assert good.is_effective_for(current)
+        bad = Delta("R", inserts=Relation(("a", "b"), [(1, "x")]))
+        assert not bad.is_effective_for(current)
+
+    def test_inverted_undoes(self, current):
+        delta = Delta(
+            "R",
+            inserts=Relation(("a", "b"), [(3, "z")]),
+            deletes=Relation(("a", "b"), [(1, "x")]),
+        )
+        after = delta.apply_to(current)
+        assert delta.inverted().apply_to(after) == current
+
+
+class TestUpdate:
+    def test_insert_constructor(self):
+        update = Update.insert("R", ("a",), [(1,)])
+        assert update.relations() == ("R",)
+        assert update.delta_for("R").inserts.to_set() == {(1,)}
+        assert update.delta_for("S") is None
+
+    def test_merge_per_relation(self):
+        update = Update.of(
+            Delta("R", inserts=Relation(("a",), [(1,)])),
+            Delta("R", inserts=Relation(("a",), [(2,)])),
+            Delta("S", deletes=Relation(("b",), [(9,)])),
+        )
+        assert len(update) == 2
+        assert update.delta_for("R").inserts.to_set() == {(1,), (2,)}
+
+    def test_then_composes(self):
+        first = Update.insert("R", ("a",), [(1,)])
+        second = Update.delete("R", ("a",), [(5,)])
+        merged = first.then(second)
+        delta = merged.delta_for("R")
+        assert delta.inserts.to_set() == {(1,)}
+        assert delta.deletes.to_set() == {(5,)}
+
+    def test_normalized_against_state(self, current):
+        update = Update.insert("R", ("a", "b"), [(1, "x"), (7, "w")])
+        effective = update.normalized({"R": current})
+        assert effective.delta_for("R").inserts.to_set() == {(7, "w")}
+
+    def test_normalized_drops_noop_relations(self, current):
+        update = Update.insert("R", ("a", "b"), [(1, "x")])
+        effective = update.normalized({"R": current})
+        assert effective.is_empty()
+        assert "R" not in effective
+
+    def test_contains(self):
+        update = Update.insert("R", ("a",), [(1,)])
+        assert "R" in update
+        assert "S" not in update

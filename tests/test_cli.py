@@ -1,0 +1,80 @@
+"""Unit tests for the ``python -m repro`` CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestDemo:
+    def test_demo_runs(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "C_Emp" in out
+        assert "Computer" in out
+
+
+class TestSpec:
+    def write_spec_file(self, tmp_path, inclusions=()):
+        data = {
+            "relations": [
+                {"name": "Sale", "attributes": ["item", "clerk"]},
+                {"name": "Emp", "attributes": ["clerk", "age"], "key": ["clerk"]},
+            ],
+            "inclusions": list(inclusions),
+            "views": [{"name": "Sold", "definition": "Sale join Emp"}],
+        }
+        path = tmp_path / "schema.json"
+        path.write_text(json.dumps(data))
+        return str(path)
+
+    def test_spec_output(self, tmp_path, capsys):
+        path = self.write_spec_file(tmp_path)
+        assert main(["spec", path]) == 0
+        out = capsys.readouterr().out
+        assert "C_Sale = Sale minus pi[item, clerk](Sold)" in out
+        assert "minimality" in out
+        assert "self-maintenance" in out
+
+    def test_spec_with_ri_prunes(self, tmp_path, capsys):
+        path = self.write_spec_file(
+            tmp_path,
+            inclusions=[
+                {
+                    "lhs": "Sale",
+                    "lhs_attributes": ["clerk"],
+                    "rhs": "Emp",
+                    "rhs_attributes": ["clerk"],
+                }
+            ],
+        )
+        assert main(["spec", path]) == 0
+        out = capsys.readouterr().out
+        assert "provably empty" in out
+
+    def test_spec_method_flag(self, tmp_path, capsys):
+        path = self.write_spec_file(tmp_path)
+        assert main(["spec", path, "--method", "trivial"]) == 0
+        out = capsys.readouterr().out
+        assert "method: trivial" in out
+
+
+class TestTpcd:
+    def test_tpcd_summary(self, capsys):
+        assert main(["tpcd", "--scale", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "SalesFact" in out
+        assert "complements proven empty" in out
+
+
+class TestArgErrors:
+    def test_missing_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["nope"])

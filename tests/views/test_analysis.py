@@ -1,0 +1,112 @@
+"""Unit tests for :mod:`repro.views.analysis`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Catalog, PSJView
+from repro.algebra.conditions import attr, const
+from repro.views.analysis import (
+    derives_inclusion,
+    is_join_connected,
+    join_complete_relations,
+    join_graph,
+)
+
+
+@pytest.fixture
+def catalog() -> Catalog:
+    catalog = Catalog()
+    catalog.relation("Sale", ("item", "clerk"))
+    catalog.relation("Emp", ("clerk", "age"), key=("clerk",))
+    catalog.relation("Dept", ("dept", "city"), key=("dept",))
+    catalog.inclusion("Sale", ("clerk",), "Emp")
+    return catalog
+
+
+class TestJoinGraph:
+    def test_edges_carry_shared_attributes(self, catalog):
+        view = PSJView(("Sale", "Emp"))
+        graph = join_graph(view, catalog)
+        assert graph == {("Emp", "Sale"): frozenset({"clerk"})}
+
+    def test_connectivity(self, catalog):
+        assert is_join_connected(PSJView(("Sale", "Emp")), catalog)
+        assert not is_join_connected(PSJView(("Sale", "Dept")), catalog)
+        assert is_join_connected(PSJView(("Sale",)), catalog)
+
+
+class TestDerivesInclusion:
+    def test_declared(self, catalog):
+        assert derives_inclusion(catalog, "Sale", ("clerk",), "Emp", ("clerk",))
+
+    def test_reflexive(self, catalog):
+        assert derives_inclusion(catalog, "Emp", ("clerk",), "Emp", ("clerk",))
+
+    def test_not_derivable(self, catalog):
+        assert not derives_inclusion(catalog, "Emp", ("clerk",), "Sale", ("clerk",))
+
+    def test_transitive_chain(self):
+        catalog = Catalog()
+        catalog.relation("A", ("x",), key=("x",))
+        catalog.relation("B", ("x",), key=("x",))
+        catalog.relation("C", ("x",), key=("x",))
+        catalog.inclusion("A", ("x",), "B")
+        catalog.inclusion("B", ("x",), "C")
+        assert derives_inclusion(catalog, "A", ("x",), "C", ("x",))
+        assert not derives_inclusion(catalog, "C", ("x",), "A", ("x",))
+
+    def test_transitive_with_renaming(self):
+        catalog = Catalog()
+        catalog.relation("A", ("p",))
+        catalog.relation("B", ("q",), key=("q",))
+        catalog.relation("C", ("r",), key=("r",))
+        catalog.inclusion("A", ("p",), "B", ("q",))
+        catalog.inclusion("B", ("q",), "C", ("r",))
+        assert derives_inclusion(catalog, "A", ("p",), "C", ("r",))
+
+    def test_projection_of_wider_ind(self):
+        catalog = Catalog()
+        catalog.relation("A", ("x", "y"))
+        catalog.relation("B", ("x", "y"), key=("x",))
+        catalog.inclusion("A", ("x", "y"), "B")
+        assert derives_inclusion(catalog, "A", ("x",), "B", ("x",))
+        assert derives_inclusion(catalog, "A", ("y",), "B", ("y",))
+
+    def test_length_mismatch(self, catalog):
+        assert not derives_inclusion(catalog, "Sale", ("clerk",), "Emp", ())
+
+
+class TestJoinCompleteness:
+    def test_example24(self, catalog):
+        view = PSJView(("Sale", "Emp"))
+        assert join_complete_relations(view, catalog) == frozenset({"Sale"})
+
+    def test_selection_blocks_completeness(self, catalog):
+        view = PSJView(("Sale", "Emp"), condition=(attr("age") > const(30)))
+        assert join_complete_relations(view, catalog) == frozenset()
+
+    def test_projection_blocks_completeness(self, catalog):
+        view = PSJView(("Sale", "Emp"), projection=("clerk", "age"))
+        assert join_complete_relations(view, catalog) == frozenset()
+
+    def test_single_relation_always_complete(self, catalog):
+        view = PSJView(("Emp",))
+        assert join_complete_relations(view, catalog) == frozenset({"Emp"})
+
+    def test_chain_of_inds(self):
+        catalog = Catalog()
+        catalog.relation("L", ("ok", "pk"), key=("ok", "pk"))
+        catalog.relation("O", ("ok", "ck"), key=("ok",))
+        catalog.relation("C", ("ck",), key=("ck",))
+        catalog.inclusion("L", ("ok",), "O")
+        catalog.inclusion("O", ("ck",), "C")
+        view = PSJView(("L", "O", "C"))
+        complete = join_complete_relations(view, catalog)
+        assert "L" in complete
+        # O loses tuples without lineitems; C loses customers without orders.
+        assert "O" not in complete and "C" not in complete
+
+    def test_cartesian_member_blocks(self, catalog):
+        view = PSJView(("Sale", "Emp", "Dept"))
+        assert join_complete_relations(view, catalog) == frozenset()

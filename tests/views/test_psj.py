@@ -1,0 +1,125 @@
+"""Unit tests for :mod:`repro.views.psj`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ExpressionError, PSJView, View, as_psj, parse
+from repro.algebra.conditions import TRUE
+
+SCOPE = {"Sale": ("item", "clerk"), "Emp": ("clerk", "age"), "T": ("z",)}
+
+
+class TestNormalization:
+    def test_plain_relation(self):
+        view = as_psj(parse("Sale"))
+        assert view.relations == ("Sale",)
+        assert view.projection is None
+        assert view.has_trivial_condition()
+
+    def test_select_join(self):
+        view = as_psj(parse("sigma[age > 21](Sale join Emp)"))
+        assert view.relations == ("Sale", "Emp")
+        assert str(view.condition) == "age > 21"
+
+    def test_selections_pulled_out_of_joins(self):
+        view = as_psj(parse("sigma[item = 'PC'](Sale) join sigma[age > 21](Emp)"))
+        assert view.relations == ("Sale", "Emp")
+        assert str(view.condition) == "item = 'PC' and age > 21"
+
+    def test_projection_at_top(self):
+        view = as_psj(parse("pi[item, age](sigma[age > 21](Sale join Emp))"))
+        assert view.projection == ("item", "age")
+
+    def test_selection_above_projection(self):
+        view = as_psj(parse("sigma[age > 21](pi[item, age](Sale join Emp))"))
+        assert view.projection == ("item", "age")
+        assert str(view.condition) == "age > 21"
+
+    def test_nested_projections_compose(self):
+        view = as_psj(parse("pi[age](pi[item, age](Sale join Emp))"))
+        assert view.projection == ("age",)
+
+    def test_projection_below_join_rejected(self):
+        with pytest.raises(ExpressionError):
+            as_psj(parse("pi[clerk](Sale) join Emp"))
+
+    def test_union_rejected(self):
+        with pytest.raises(ExpressionError):
+            as_psj(parse("Sale union Sale"))
+
+    def test_difference_rejected(self):
+        with pytest.raises(ExpressionError):
+            as_psj(parse("Sale minus Sale"))
+
+    def test_self_join_rejected(self):
+        with pytest.raises(ExpressionError):
+            as_psj(parse("Sale join Sale"))
+
+    def test_scope_type_check(self):
+        with pytest.raises(ExpressionError):
+            as_psj(parse("pi[ghost](Sale)"), SCOPE)
+
+
+class TestPSJView:
+    def test_expression_canonical_form(self):
+        view = PSJView(("Sale", "Emp"), projection=("item", "age"))
+        assert str(view.expression()) == "pi[item, age](Sale join Emp)"
+
+    def test_attributes(self):
+        view = PSJView(("Sale", "Emp"))
+        assert view.attributes(SCOPE) == ("item", "clerk", "age")
+
+    def test_is_sj_without_projection(self):
+        assert PSJView(("Sale", "Emp")).is_sj(SCOPE)
+
+    def test_is_sj_with_full_projection(self):
+        view = PSJView(("Sale", "Emp"), projection=("age", "clerk", "item"))
+        assert view.is_sj(SCOPE)
+
+    def test_is_not_sj_with_proper_projection(self):
+        view = PSJView(("Sale", "Emp"), projection=("item",))
+        assert not view.is_sj(SCOPE)
+
+    def test_involves(self):
+        view = PSJView(("Sale", "Emp"))
+        assert view.involves("Sale") and not view.involves("T")
+
+    def test_retains(self):
+        view = PSJView(("Sale", "Emp"), projection=("clerk", "age"))
+        assert view.retains(("clerk",), SCOPE)
+        assert not view.retains(("item",), SCOPE)
+
+    def test_equality_up_to_sets(self):
+        first = PSJView(("Sale", "Emp"))
+        second = PSJView(("Emp", "Sale"))
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_empty_relations_rejected(self):
+        with pytest.raises(ExpressionError):
+            PSJView(())
+
+
+class TestViewWrapper:
+    def test_named_view(self):
+        view = View("Sold", parse("Sale join Emp"))
+        assert view.name == "Sold"
+        assert view.is_psj()
+        assert view.psj().relations == ("Sale", "Emp")
+
+    def test_psj_cached(self):
+        view = View("Sold", parse("Sale join Emp"))
+        assert view.psj() is view.psj()
+
+    def test_non_psj_view(self):
+        view = View("U", parse("pi[clerk](Sale) union pi[clerk](Emp)"))
+        assert not view.is_psj()
+
+    def test_str(self):
+        view = View("Sold", parse("Sale join Emp"))
+        assert str(view) == "Sold = Sale join Emp"
+
+    def test_equality(self):
+        assert View("V", parse("Sale")) == View("V", parse("Sale"))
+        assert View("V", parse("Sale")) != View("W", parse("Sale"))

@@ -1,0 +1,90 @@
+"""Unit tests for :mod:`repro.workloads.tpcd`."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import Warehouse
+from repro.core.independence import verify_complement, warehouse_state
+from repro.workloads.tpcd import (
+    order_insert_rows,
+    standard_views,
+    tpcd_catalog,
+    tpcd_instance,
+)
+
+
+class TestCatalog:
+    def test_skeleton(self):
+        catalog = tpcd_catalog()
+        assert set(catalog.relation_names()) == {
+            "Region",
+            "Nation",
+            "Supplier",
+            "Customer",
+            "Part",
+            "Orders",
+            "Lineitem",
+        }
+        assert catalog.key("Lineitem") == ("orderkey", "linenumber")
+        assert len(catalog.inclusions()) == 7
+
+    def test_renamed_fk(self):
+        catalog = tpcd_catalog()
+        customer_fk = [
+            ind for ind in catalog.inclusions() if ind.lhs == "Customer"
+        ][0]
+        assert customer_fk.lhs_attributes == ("cnationkey",)
+        assert customer_fk.rhs_attributes == ("nationkey",)
+
+
+class TestInstance:
+    def test_scale_controls_sizes(self):
+        small = tpcd_instance(scale=0.2, seed=1)
+        large = tpcd_instance(scale=1.0, seed=1)
+        assert small.sizes()["Orders"] < large.sizes()["Orders"]
+        assert large.sizes()["Lineitem"] == 3 * large.sizes()["Orders"]
+
+    def test_constraints_hold(self):
+        inst = tpcd_instance(scale=0.3, seed=5)
+        assert inst.database.satisfies_constraints()
+
+    def test_deterministic(self):
+        assert tpcd_instance(0.2, seed=9).sizes() == tpcd_instance(0.2, seed=9).sizes()
+
+
+class TestWarehouseOverTpcd:
+    def test_views_materialize_and_verify(self):
+        inst = tpcd_instance(scale=0.3, seed=2)
+        wh = Warehouse.specify(inst.catalog, inst.views)
+        wh.initialize(inst.database)
+        ok, problems = verify_complement(wh.spec, inst.database.state())
+        assert ok, problems
+
+    def test_lineitem_complement_pruned_by_fks(self):
+        inst = tpcd_instance(scale=0.2, seed=2)
+        wh = Warehouse.specify(inst.catalog, inst.views)
+        # SalesFact retains all Lineitem attributes and the FK chain
+        # guarantees join partners: no complement needed for Lineitem.
+        assert wh.spec.complements["Lineitem"].provably_empty
+        assert wh.spec.complements["Customer"].provably_empty  # dimension copy
+        assert wh.spec.complements["Supplier"].provably_empty  # SupplierDim
+
+    def test_order_stream_maintenance(self):
+        inst = tpcd_instance(scale=0.2, seed=3)
+        wh = Warehouse.specify(inst.catalog, inst.views)
+        wh.initialize(inst.database)
+        rng = random.Random(0)
+        for _ in range(3):
+            orders, lines = order_insert_rows(rng, inst.database, count=2)
+            update = inst.database.insert("Orders", orders)
+            wh.apply(update)
+            update = inst.database.insert("Lineitem", lines)
+            wh.apply(update)
+        assert wh.state == warehouse_state(wh.spec, inst.database.state())
+
+    def test_standard_views_shape(self):
+        views = standard_views()
+        assert [v.name for v in views] == ["SalesFact", "SupplierDim", "CustomerDim"]
