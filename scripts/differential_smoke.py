@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""CI smoke runner for the differential oracle (~30 s, fixed seed).
+
+Usage::
+
+    PYTHONPATH=src python scripts/differential_smoke.py [--schemas N]
+        [--updates N] [--seed N]
+
+Exit status 0 iff the three maintenance tracks (cached fast path, uncached
+evaluator, full recompute) agree on every step. See
+``tests/differential/harness.py`` for the track definitions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from tests.differential.harness import DifferentialConfig, run_differential
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--schemas", type=int, default=20)
+    parser.add_argument("--updates", type=int, default=12)
+    parser.add_argument("--seed", type=int, default=20260806)
+    args = parser.parse_args(argv)
+
+    config = DifferentialConfig(
+        n_schemas=args.schemas, n_updates=args.updates, seed=args.seed
+    )
+    started = time.perf_counter()
+    report = run_differential(config)
+    elapsed = time.perf_counter() - started
+    print(f"{report.summary()} in {elapsed:.1f}s")
+    for disagreement in report.disagreements:
+        print(f"  {disagreement}", file=sys.stderr)
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -40,11 +40,15 @@ from repro.schema import Catalog, InclusionDependency, KeyConstraint, RelationSc
 from repro.storage import Database, Delta, Relation, Update
 from repro.algebra import (
     TRUE,
+    EvalStats,
+    EvaluationCache,
+    StateVersion,
     attr,
     const,
     difference,
     empty,
     evaluate,
+    evaluate_all,
     join,
     parse,
     parse_condition,
@@ -80,6 +84,8 @@ __all__ = [
     "ConstraintViolation",
     "Database",
     "Delta",
+    "EvalStats",
+    "EvaluationCache",
     "EvaluationError",
     "ExpressionError",
     "InclusionDependency",
@@ -90,6 +96,7 @@ __all__ = [
     "RelationSchema",
     "ReproError",
     "SchemaError",
+    "StateVersion",
     "TRUE",
     "Update",
     "View",
@@ -106,6 +113,7 @@ __all__ = [
     "difference",
     "empty",
     "evaluate",
+    "evaluate_all",
     "join",
     "maintenance_expressions",
     "parse",

@@ -56,7 +56,13 @@ from repro.algebra.expressions import (
     select,
     union,
 )
-from repro.algebra.evaluator import evaluate
+from repro.algebra.evaluator import (
+    EvalStats,
+    EvaluationCache,
+    StateVersion,
+    evaluate,
+    evaluate_all,
+)
 from repro.algebra.optimize import optimize
 from repro.algebra.parser import parse, parse_condition
 from repro.algebra.rewriting import base_relations, substitute
@@ -72,7 +78,10 @@ __all__ = [
     "DeltaExpressions",
     "Difference",
     "Empty",
+    "EvalStats",
+    "EvaluationCache",
     "Expression",
+    "StateVersion",
     "Join",
     "Not",
     "Operand",
@@ -92,6 +101,7 @@ __all__ = [
     "difference",
     "empty",
     "evaluate",
+    "evaluate_all",
     "join",
     "new_value_expression",
     "optimize",

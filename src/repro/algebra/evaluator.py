@@ -6,11 +6,31 @@ snapshot, a warehouse state, or a mixed state that additionally binds delta
 relations during incremental maintenance. Evaluation memoizes common
 sub-expressions (structural identity) within one call, which matters because
 inverse expressions (Equation (4) of the paper) share large sub-trees.
+
+Beyond the per-call memo, two performance layers live here:
+
+* an :class:`EvaluationCache` — a cross-update memo keyed by expression
+  structure and validated against a :class:`StateVersion` (the exact
+  relation instances each sub-expression read). Because relations are
+  immutable, instance identity is a sound version check: a cached result is
+  reusable under any state that binds the same objects for every relation
+  the sub-expression references. The maintenance engine keeps unchanged
+  relations *object-identical* across refreshes, so sub-trees untouched by
+  an update return cached results and only delta-touched sub-trees
+  re-evaluate;
+* join *fast paths* — ``pi_Z(L join R)`` with ``Z`` inside one operand's
+  schema evaluates as a semi-join (never materializing the wide join), and
+  the complement shape ``R minus pi_{attr(R)}(R join S)`` of Proposition 2.2
+  evaluates as a hash anti-join without computing the join at all.
+
+:class:`EvalStats` counts what happened (nodes evaluated, cache hits and
+misses, rows joined, fast-path uses); the warehouse runtime and the
+benchmarks read it.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Tuple, Union as TypingUnion
 
 from repro.errors import EvaluationError
 from repro.algebra.expressions import (
@@ -29,10 +49,201 @@ from repro.storage.relation import Relation
 State = Mapping[str, Relation]
 
 
+class EvalStats:
+    """Counters describing one (or several) evaluation passes.
+
+    Attributes
+    ----------
+    nodes_evaluated:
+        Expression nodes actually computed (memo and cache hits excluded).
+    memo_hits:
+        Per-call memo hits (shared sub-trees within one evaluation).
+    cache_hits / cache_misses:
+        Cross-update :class:`EvaluationCache` hits and misses.
+    joins / rows_joined:
+        Natural joins materialized and the total rows they produced.
+    semijoin_fastpaths / antijoin_fastpaths:
+        Uses of the ``pi``-over-join semi-join path and the complement-shape
+        anti-join path.
+    """
+
+    __slots__ = (
+        "nodes_evaluated",
+        "memo_hits",
+        "cache_hits",
+        "cache_misses",
+        "joins",
+        "rows_joined",
+        "semijoin_fastpaths",
+        "antijoin_fastpaths",
+    )
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.nodes_evaluated = 0
+        self.memo_hits = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.joins = 0
+        self.rows_joined = 0
+        self.semijoin_fastpaths = 0
+        self.antijoin_fastpaths = 0
+
+    def merge(self, other: "EvalStats") -> "EvalStats":
+        """Add ``other``'s counters into this one (returns self)."""
+        for field in self.__slots__:
+            setattr(self, field, getattr(self, field) + getattr(other, field))
+        return self
+
+    def snapshot(self) -> Dict[str, int]:
+        """The counters as a plain dict."""
+        return {field: getattr(self, field) for field in self.__slots__}
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{k}={v}" for k, v in self.snapshot().items() if v)
+        return f"EvalStats({parts or 'all zero'})"
+
+
+class StateVersion:
+    """The exact relation instances a computation read, by name.
+
+    Relations are immutable, so *instance identity* versions a binding: a
+    result computed from ``{name: relation}`` bindings stays valid for any
+    state that binds the very same objects. The maintenance engine keeps
+    unchanged relations object-identical across refreshes precisely so these
+    checks succeed.
+    """
+
+    __slots__ = ("_bindings",)
+
+    def __init__(self, bindings: Mapping[str, Optional[Relation]]) -> None:
+        self._bindings = dict(bindings)
+
+    @classmethod
+    def capture(cls, state: State, names: Optional[Iterable[str]] = None) -> "StateVersion":
+        """Snapshot ``state``'s bindings for ``names`` (default: all names)."""
+        if names is None:
+            return cls(dict(state))
+        return cls({name: state.get(name) for name in names})
+
+    def matches(self, state: State) -> bool:
+        """Whether ``state`` binds the same instance for every captured name."""
+        get = state.get
+        return all(get(name) is relation for name, relation in self._bindings.items())
+
+    def names(self) -> FrozenSet[str]:
+        """The captured relation names."""
+        return frozenset(self._bindings)
+
+    def __len__(self) -> int:
+        return len(self._bindings)
+
+    def __repr__(self) -> str:
+        return f"StateVersion({sorted(self._bindings)})"
+
+
+class EvaluationCache:
+    """A cross-update memo: structural keys validated by :class:`StateVersion`.
+
+    Unlike the plain per-call memo dict, an :class:`EvaluationCache` may be
+    shared across evaluations over *different* states: each entry records
+    which relation instances it was computed from, and is served only when
+    the current state still binds those exact objects. Entries that fail
+    validation are evicted lazily.
+
+    The warehouse runtime keeps one instance for its whole life, so refresh
+    N+1 reuses every sub-expression of refresh N whose inputs the update did
+    not touch.
+    """
+
+    __slots__ = ("_entries", "_footprints")
+
+    def __init__(self) -> None:
+        self._entries: Dict[tuple, Tuple[Relation, StateVersion]] = {}
+        # expression key -> referenced relation names, kept across evictions
+        # so re-stores after an update skip the tree walk.
+        self._footprints: Dict[tuple, FrozenSet[str]] = {}
+
+    def lookup(self, key: tuple, state: State) -> Optional[Relation]:
+        """The cached relation for ``key`` if still valid under ``state``."""
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        result, version = entry
+        if version.matches(state):
+            return result
+        del self._entries[key]
+        return None
+
+    def store(
+        self, key: tuple, state: State, expression: Expression, result: Relation
+    ) -> None:
+        """Record ``result`` for ``key``, versioned by its referenced names."""
+        footprint = self._footprints.get(key)
+        if footprint is None:
+            footprint = expression.relation_names()
+            self._footprints[key] = footprint
+        self._entries[key] = (result, StateVersion.capture(state, footprint))
+
+    def invalidate(self, names: Optional[Iterable[str]] = None) -> None:
+        """Drop entries touching ``names`` (default: everything)."""
+        if names is None:
+            self._entries.clear()
+            return
+        doomed = frozenset(names)
+        self._entries = {
+            key: entry
+            for key, entry in self._entries.items()
+            if not (self._footprints.get(key, frozenset()) & doomed)
+        }
+
+    def clear(self) -> None:
+        """Drop every entry (footprint memos survive; they are state-free)."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return f"EvaluationCache({len(self._entries)} entries)"
+
+
+Cache = TypingUnion[Dict[tuple, Relation], EvaluationCache]
+
+_SCOPE_KEY = ("__scope__",)
+_STATE_KEY = ("__state_version__",)
+
+
+class _Context:
+    """Per-``evaluate``-call plumbing: memo, optional cache, stats, flags."""
+
+    __slots__ = ("state", "memo", "cache", "stats", "fastpath")
+
+    def __init__(
+        self,
+        state: State,
+        memo: Dict[tuple, object],
+        cache: Optional[EvaluationCache],
+        stats: EvalStats,
+        fastpath: bool,
+    ) -> None:
+        self.state = state
+        self.memo = memo
+        self.cache = cache
+        self.stats = stats
+        self.fastpath = fastpath
+
+
 def evaluate(
     expression: Expression,
     state: State,
-    cache: Optional[Dict[tuple, Relation]] = None,
+    cache: Optional[Cache] = None,
+    *,
+    stats: Optional[EvalStats] = None,
+    fastpath: bool = True,
 ) -> Relation:
     """Evaluate ``expression`` over ``state`` and return the result relation.
 
@@ -44,9 +255,19 @@ def evaluate(
         Mapping from relation names to relation instances. All
         :class:`RelationRef` leaves must be bound here.
     cache:
-        Optional memo table, keyed by structural expression keys. Pass the
-        same dict across several :func:`evaluate` calls over the *same state*
-        to share work (the warehouse refresh engine does this).
+        Optional memo. A plain ``dict`` is the classic per-state memo: pass
+        the same dict across several :func:`evaluate` calls over the *same
+        state* to share work. Reusing a dict after the state changed is a
+        correctness hazard (it would silently return stale relations), so it
+        raises :class:`~repro.errors.EvaluationError`. To share results
+        *across* states pass an :class:`EvaluationCache` instead, which
+        validates every entry against the current state.
+    stats:
+        Optional :class:`EvalStats` to increment (shared across calls).
+    fastpath:
+        Enable the semi-join / anti-join evaluation fast paths (on by
+        default; the differential oracle turns it off for its reference
+        tracks).
 
     Examples
     --------
@@ -56,38 +277,144 @@ def evaluate(
     >>> evaluate(join(rel("Sale"), rel("Emp")), {"Sale": sale, "Emp": emp}).to_set()
     frozenset({('TV', 'Mary', 23)})
     """
-    memo: Dict[tuple, Relation] = cache if cache is not None else {}
-    return _eval(expression, state, memo)
+    if stats is None:
+        stats = EvalStats()
+    if isinstance(cache, EvaluationCache):
+        ctx = _Context(state, {}, cache, stats, fastpath)
+    else:
+        memo: Dict[tuple, object] = cache if cache is not None else {}
+        _check_memo_state(memo, state)
+        ctx = _Context(state, memo, None, stats, fastpath)
+    return _eval(expression, ctx)
 
 
-def _eval(expr: Expression, state: State, memo: Dict[tuple, Relation]) -> Relation:
+def _check_memo_state(memo: Dict[tuple, object], state: State) -> None:
+    """Guard dict memos against reuse across states (satellite of PR #1).
+
+    The first call stamps the memo with a :class:`StateVersion` of the full
+    state; later calls verify it. A changed binding means every cached entry
+    is suspect, so the only safe behavior is to fail loudly.
+    """
+    version = memo.get(_STATE_KEY)
+    if version is None:
+        memo[_STATE_KEY] = StateVersion.capture(state)
+        return
+    if not isinstance(version, StateVersion) or not version.matches(state):
+        raise EvaluationError(
+            "evaluation cache was populated against a different state; "
+            "pass a fresh dict per state, or an EvaluationCache to share "
+            "results across states safely"
+        )
+
+
+def _eval(expr: Expression, ctx: _Context) -> Relation:
     key = expr._key()
-    hit = memo.get(key)
+    hit = ctx.memo.get(key)
     if hit is not None:
-        return hit
-    result = _eval_node(expr, state, memo)
-    memo[key] = result
+        ctx.stats.memo_hits += 1
+        return hit  # type: ignore[return-value]
+    if ctx.cache is not None:
+        cached = ctx.cache.lookup(key, ctx.state)
+        if cached is not None:
+            ctx.stats.cache_hits += 1
+            ctx.memo[key] = cached
+            return cached
+        ctx.stats.cache_misses += 1
+    result = _eval_node(expr, ctx)
+    ctx.stats.nodes_evaluated += 1
+    ctx.memo[key] = result
+    if ctx.cache is not None:
+        ctx.cache.store(key, ctx.state, expr, result)
     return result
 
 
-_SCOPE_KEY = ("__scope__",)
-
-
-def _scope(state: State, memo: Dict[tuple, Relation]):
-    scope = memo.get(_SCOPE_KEY)
+def _scope(ctx: _Context):
+    scope = ctx.memo.get(_SCOPE_KEY)
     if scope is None:
-        scope = {name: relation.attributes for name, relation in state.items()}
-        memo[_SCOPE_KEY] = scope  # type: ignore[assignment]
+        scope = {name: relation.attributes for name, relation in ctx.state.items()}
+        ctx.memo[_SCOPE_KEY] = scope
     return scope
 
 
-def _eval_node(expr: Expression, state: State, memo: Dict[tuple, Relation]) -> Relation:
+def _join_operands(expr: Join) -> Tuple[Expression, ...]:
+    """The flattened operands of a (possibly nested) join tree."""
+    parts = []
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Join):
+            stack.extend((node.right, node.left))
+        else:
+            parts.append(node)
+    return tuple(reversed(parts))
+
+
+def _natural_join(left: Relation, right: Relation, ctx: _Context) -> Relation:
+    result = left.natural_join(right)
+    ctx.stats.joins += 1
+    ctx.stats.rows_joined += len(result)
+    return result
+
+
+def _eval_project(expr: Project, ctx: _Context) -> Relation:
+    child = expr.child
+    if not (ctx.fastpath and isinstance(child, Join)):
+        return _eval(child, ctx).project(expr.attrs)
+    # pi_Z(L join R) with Z inside one operand's schema is a semi-join:
+    # pi_Z(L ⋉ R). The wide join result is never materialized. Skipped when
+    # the join itself is already memoized (projection is then cheaper).
+    if child._key() in ctx.memo:
+        return _eval(child, ctx).project(expr.attrs)
+    left = _eval(child.left, ctx)
+    if not left:
+        return Relation.empty(expr.attrs)
+    right = _eval(child.right, ctx)
+    if not right:
+        return Relation.empty(expr.attrs)
+    target = frozenset(expr.attrs)
+    if target <= left.attribute_set:
+        ctx.stats.semijoin_fastpaths += 1
+        return left.semi_join(right).project(expr.attrs)
+    if target <= right.attribute_set:
+        ctx.stats.semijoin_fastpaths += 1
+        return right.semi_join(left).project(expr.attrs)
+    # No fast path applies: evaluate the join through _eval so the result is
+    # memoized for other sub-trees that share it.
+    return _eval(child, ctx).project(expr.attrs)
+
+
+def _eval_difference(expr: Difference, ctx: _Context, left: Relation) -> Relation:
+    right = expr.right
+    if (
+        ctx.fastpath
+        and isinstance(right, Project)
+        and isinstance(right.child, Join)
+        and right._key() not in ctx.memo
+        and frozenset(right.attrs) == left.attribute_set
+    ):
+        # The Proposition 2.2 complement shape R - pi_{attr(R)}(R join S):
+        # equals the hash anti-join R ▷ S, computed without evaluating the
+        # join or the projection. Restricted to two-operand joins — with
+        # more operands, joining "the rest" could introduce a cross product
+        # the original tree order avoids.
+        operands = _join_operands(right.child)
+        if len(operands) == 2:
+            left_key = expr.left._key()
+            for index, operand in enumerate(operands):
+                if operand._key() == left_key:
+                    other = _eval(operands[1 - index], ctx)
+                    ctx.stats.antijoin_fastpaths += 1
+                    return left.anti_join(other)
+    return left.difference(_eval(right, ctx))
+
+
+def _eval_node(expr: Expression, ctx: _Context) -> Relation:
     if isinstance(expr, RelationRef):
-        relation = state.get(expr.name)
+        relation = ctx.state.get(expr.name)
         if relation is None:
             raise EvaluationError(
                 f"relation {expr.name!r} is not bound in the evaluation state "
-                f"(bound: {sorted(state)})"
+                f"(bound: {sorted(ctx.state)})"
             )
         return relation
 
@@ -95,10 +422,10 @@ def _eval_node(expr: Expression, state: State, memo: Dict[tuple, Relation]) -> R
         return Relation.empty(expr.attrs)
 
     if isinstance(expr, Project):
-        return _eval(expr.child, state, memo).project(expr.attrs)
+        return _eval_project(expr, ctx)
 
     if isinstance(expr, Select):
-        child = _eval(expr.child, state, memo)
+        child = _eval(expr.child, ctx)
         predicate = expr.condition.compile(child.attributes)
         return child.select(predicate)
 
@@ -107,38 +434,50 @@ def _eval_node(expr: Expression, state: State, memo: Dict[tuple, Relation]) -> R
         # the other side need not be evaluated (this is what makes the
         # delete-branch of maintenance expressions free on insert-only
         # updates — the delta relation binds to the empty set).
-        left = _eval(expr.left, state, memo)
+        left = _eval(expr.left, ctx)
         if not left:
-            return Relation.empty(expr.attributes(_scope(state, memo)))
-        right = _eval(expr.right, state, memo)
+            return Relation.empty(expr.attributes(_scope(ctx)))
+        right = _eval(expr.right, ctx)
         if not right:
-            return Relation.empty(expr.attributes(_scope(state, memo)))
-        return left.natural_join(right)
+            return Relation.empty(expr.attributes(_scope(ctx)))
+        return _natural_join(left, right, ctx)
 
     if isinstance(expr, Union):
-        left = _eval(expr.left, state, memo)
-        right = _eval(expr.right, state, memo)
+        left = _eval(expr.left, ctx)
+        right = _eval(expr.right, ctx)
         return left.union(right)
 
     if isinstance(expr, Difference):
-        left = _eval(expr.left, state, memo)
+        left = _eval(expr.left, ctx)
         if not left:
             return left  # empty minus anything is empty: skip the right side
-        right = _eval(expr.right, state, memo)
-        return left.difference(right)
+        return _eval_difference(expr, ctx, left)
 
     if isinstance(expr, Rename):
-        return _eval(expr.child, state, memo).rename(expr.mapping)
+        return _eval(expr.child, ctx).rename(expr.mapping)
 
     raise EvaluationError(f"unknown expression node {type(expr).__name__}")
 
 
 def evaluate_all(
-    expressions: Mapping[str, Expression], state: State
+    expressions: Mapping[str, Expression],
+    state: State,
+    cache: Optional[Cache] = None,
+    *,
+    stats: Optional[EvalStats] = None,
+    fastpath: bool = True,
 ) -> Dict[str, Relation]:
     """Evaluate several named expressions over one state, sharing the memo.
 
-    Returns ``{name: result}`` in input order.
+    Returns ``{name: result}`` in input order. ``cache``, ``stats``, and
+    ``fastpath`` behave as in :func:`evaluate`.
     """
-    memo: Dict[tuple, Relation] = {}
-    return {name: _eval(expr, state, memo) for name, expr in expressions.items()}
+    if stats is None:
+        stats = EvalStats()
+    if isinstance(cache, EvaluationCache):
+        ctx = _Context(state, {}, cache, stats, fastpath)
+    else:
+        memo: Dict[tuple, object] = cache if cache is not None else {}
+        _check_memo_state(memo, state)
+        ctx = _Context(state, memo, None, stats, fastpath)
+    return {name: _eval(expr, ctx) for name, expr in expressions.items()}

@@ -36,7 +36,7 @@ from repro.algebra.deltas import (
     derive_delta,
     ins_name,
 )
-from repro.algebra.evaluator import evaluate, evaluate_all
+from repro.algebra.evaluator import EvalStats, EvaluationCache, evaluate, evaluate_all
 from repro.algebra.expressions import Empty, Expression
 from repro.algebra.expressions import RelationRef
 from repro.algebra.rewriting import fold_occurrences, substitute
@@ -147,20 +147,31 @@ def delta_bindings(update: Update, scope: Mapping[str, Tuple[str, ...]]) -> Dict
 
 
 def normalize_update(
-    spec: WarehouseSpec, warehouse: State, update: Update
+    spec: WarehouseSpec,
+    warehouse: State,
+    update: Update,
+    cache: Optional[EvaluationCache] = None,
+    stats: Optional[EvalStats] = None,
+    fastpath: bool = True,
 ) -> Update:
     """The update's effective form w.r.t. the *reconstructed* base state.
 
     Only the updated relations are reconstructed (one inverse evaluation
-    each, against warehouse relations — no source access).
+    each, against warehouse relations — no source access). With a
+    cross-update ``cache``, inverses of relations whose warehouse inputs
+    did not change since the last refresh are served without evaluation.
     """
     reconstructed: Dict[str, Relation] = {}
-    memo: Dict[tuple, Relation] = {}
+    memo = cache if cache is not None else {}
     for delta in update:
         if delta.relation not in spec.inverses:
             raise WarehouseError(f"update touches unknown relation {delta.relation!r}")
         reconstructed[delta.relation] = evaluate(
-            spec.inverses[delta.relation], warehouse, cache=memo
+            spec.inverses[delta.relation],
+            warehouse,
+            cache=memo,
+            stats=stats,
+            fastpath=fastpath,
         )
     return update.normalized(reconstructed)
 
@@ -170,6 +181,9 @@ def refresh_state(
     warehouse: State,
     update: Update,
     plan: Optional[MaintenancePlan] = None,
+    cache: Optional[EvaluationCache] = None,
+    stats: Optional[EvalStats] = None,
+    fastpath: bool = True,
 ) -> Tuple[Dict[str, Relation], Dict[str, Delta]]:
     """Incrementally fold ``update`` into the warehouse state.
 
@@ -177,8 +191,17 @@ def refresh_state(
     per-warehouse-relation deltas (useful for cascading, e.g. into aggregate
     views). Uses only warehouse relations and the update — the source
     databases are never consulted (Theorem 4.1's update independence).
+
+    ``cache`` may be a persistent :class:`EvaluationCache` shared across
+    refreshes: unchanged warehouse relations keep their object identity from
+    one refresh to the next (see below), so cached sub-expressions stay
+    valid and only delta-touched sub-trees re-evaluate. ``stats`` collects
+    :class:`EvalStats` counters for this refresh; ``fastpath`` toggles the
+    evaluator's join fast paths.
     """
-    effective = normalize_update(spec, warehouse, update)
+    effective = normalize_update(
+        spec, warehouse, update, cache=cache, stats=stats, fastpath=fastpath
+    )
     if effective.is_empty():
         return dict(warehouse), {}
     updated = frozenset(effective.relations())
@@ -189,36 +212,43 @@ def refresh_state(
     combined: Dict[str, Relation] = dict(warehouse)
     combined.update(delta_bindings(effective, scope))
 
-    memo: Dict[tuple, Relation] = {}
+    memo = cache if cache is not None else {}
     applied: Dict[str, Delta] = {}
     new_state: Dict[str, Relation] = {}
     for name, exprs in plan.expressions.items():
-        inserts = evaluate(exprs.inserts, combined, cache=memo)
-        deletes = evaluate(exprs.deletes, combined, cache=memo)
+        inserts = evaluate(exprs.inserts, combined, cache=memo, stats=stats, fastpath=fastpath)
+        deletes = evaluate(exprs.deletes, combined, cache=memo, stats=stats, fastpath=fastpath)
         current = warehouse[name]
         if inserts or deletes:
             new_state[name] = current.difference(deletes).union(inserts)
             applied[name] = Delta(name, inserts=inserts, deletes=deletes)
         else:
-            # Keep the identical object so its cached join buckets survive
-            # into the next refresh.
+            # Keep the identical object so its cached join buckets — and any
+            # EvaluationCache entries referencing it — survive into the next
+            # refresh.
             new_state[name] = current
     return new_state, applied
 
 
 def full_recompute_state(
-    spec: WarehouseSpec, warehouse: State, update: Update
+    spec: WarehouseSpec,
+    warehouse: State,
+    update: Update,
+    stats: Optional[EvalStats] = None,
+    fastpath: bool = True,
 ) -> Dict[str, Relation]:
     """The baseline ``w' = W(u(W^{-1}(w)))``: reconstruct, update, recompute.
 
     Still update-independent (no source access) but recomputes every view
     from scratch; the benchmarks compare this against :func:`refresh_state`.
     """
-    base = evaluate_all(spec.inverses, warehouse)
+    base = evaluate_all(spec.inverses, warehouse, stats=stats, fastpath=fastpath)
     for delta in update:
         if delta.relation not in base:
             raise WarehouseError(f"update touches unknown relation {delta.relation!r}")
         base[delta.relation] = delta.normalized(base[delta.relation]).apply_to(
             base[delta.relation]
         )
-    return evaluate_all(spec.definitions_over_sources(), base)
+    return evaluate_all(
+        spec.definitions_over_sources(), base, stats=stats, fastpath=fastpath
+    )

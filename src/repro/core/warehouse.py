@@ -20,7 +20,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, Mapping, Optional, Sequence, Union as TypingUnion
 
 from repro.errors import WarehouseError
-from repro.algebra.evaluator import evaluate, evaluate_all
+from repro.algebra.evaluator import EvalStats, EvaluationCache, evaluate, evaluate_all
 from repro.algebra.expressions import Expression
 from repro.algebra.parser import parse
 from repro.schema.catalog import Catalog
@@ -57,11 +57,37 @@ class Warehouse:
     ['C_Emp', 'C_Sale', 'Sold']
     """
 
-    def __init__(self, spec: WarehouseSpec) -> None:
+    def __init__(self, spec: WarehouseSpec, cached: bool = True) -> None:
         self.spec = spec
         self._state: Optional[Dict[str, Relation]] = None
         self._plans: Dict[frozenset, MaintenancePlan] = {}
         self._aggregates: list = []
+        # The cross-update evaluation cache: sub-expressions whose inputs an
+        # update does not touch are reused across refreshes (and by answer /
+        # reconstruct between refreshes). ``cached=False`` reverts to the
+        # uncached evaluator — the differential oracle's reference track.
+        self._cache: Optional[EvaluationCache] = EvaluationCache() if cached else None
+        self._stats = EvalStats()
+        self._last_refresh_stats = EvalStats()
+
+    # ------------------------------------------------------------------
+    # Performance introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def eval_stats(self) -> EvalStats:
+        """Cumulative :class:`EvalStats` across every apply/answer so far."""
+        return self._stats
+
+    @property
+    def last_refresh_stats(self) -> EvalStats:
+        """The :class:`EvalStats` of the most recent :meth:`apply` only."""
+        return self._last_refresh_stats
+
+    @property
+    def evaluation_cache(self) -> Optional[EvaluationCache]:
+        """The persistent cross-update cache (``None`` when ``cached=False``)."""
+        return self._cache
 
     # ------------------------------------------------------------------
     # Construction (Section 5, Step 1)
@@ -130,11 +156,13 @@ class Warehouse:
 
     def reconstruct(self, relation: str) -> Relation:
         """Recompute one base relation via Equation (4)."""
-        return evaluate(self.spec.inverse_for(relation), self.state)
+        return evaluate(
+            self.spec.inverse_for(relation), self.state, cache=self._cache
+        )
 
     def reconstruct_all(self) -> Dict[str, Relation]:
         """Recompute every base relation (the full ``W^{-1}``)."""
-        return evaluate_all(self.spec.inverses, self.state)
+        return evaluate_all(self.spec.inverses, self.state, cache=self._cache)
 
     def audit(self) -> list:
         """Self-check: do the reconstructed base relations satisfy ``D``?
@@ -170,16 +198,38 @@ class Warehouse:
         """Incrementally fold a reported source update into the warehouse.
 
         Returns the effective per-warehouse-relation deltas. Touches no
-        source database.
+        source database. With the default persistent cache, sub-expressions
+        over relations this update leaves unchanged are reused from earlier
+        refreshes; per-refresh counters land in :attr:`last_refresh_stats`.
         """
         plan = self.maintenance_plan(update.relations())
-        new_state, applied = refresh_state(self.spec, self.state, update, plan)
+        stats = EvalStats()
+        new_state, applied = refresh_state(
+            self.spec, self.state, update, plan, cache=self._cache, stats=stats
+        )
+        self._last_refresh_stats = stats
+        self._stats.merge(stats)
         self._state = new_state
         for aggregate in self._aggregates:
             delta = applied.get(aggregate.source)
             if delta is not None:
                 aggregate.apply_delta(delta, new_state[aggregate.source])
         return applied
+
+    def apply_batch(self, updates: Iterable[Update]) -> Dict[str, Delta]:
+        """Fold a batch of reported updates in with a single refresh.
+
+        The updates are composed sequentially (:meth:`Update.compose`) and
+        the net update is applied once: one normalization, one maintenance
+        evaluation, one cache-invalidation pass — instead of one per
+        notification. Equivalent to applying them in order.
+        """
+        batch: Optional[Update] = None
+        for update in updates:
+            batch = update if batch is None else batch.compose(update)
+        if batch is None:
+            return {}
+        return self.apply(batch)
 
     def apply_full(self, update: Update) -> None:
         """Baseline: ``w' = W(u(W^{-1}(w)))`` — full recomputation."""

@@ -49,7 +49,19 @@ class Relation:
     True
     """
 
-    __slots__ = ("_attributes", "_rows", "_attribute_set", "_index_cache")
+    __slots__ = (
+        "_attributes",
+        "_rows",
+        "_attribute_set",
+        "_index_cache",
+        "_projection_cache",
+    )
+
+    # A union/difference result inherits (patches) the base relation's hash
+    # indexes when the other side is at most 1/_PATCH_RATIO of the base --
+    # the incremental-maintenance regime, where the base is a big warehouse
+    # relation and the other side is a delta.
+    _PATCH_RATIO = 4
 
     def __init__(self, attributes: Sequence[str], rows: Iterable[Sequence[object]] = ()) -> None:
         attrs = tuple(attributes)
@@ -68,6 +80,7 @@ class Relation:
             materialized.add(tup)
         self._rows: FrozenSet[Row] = frozenset(materialized)
         self._index_cache: Dict[frozenset, Dict[Row, List[Row]]] = {}
+        self._projection_cache: Dict[Tuple[str, ...], FrozenSet[Row]] = {}
 
     # ------------------------------------------------------------------
     # Constructors
@@ -92,7 +105,59 @@ class Relation:
         rel._attribute_set = self._attribute_set
         rel._rows = frozenset(rows)
         rel._index_cache = {}
+        rel._projection_cache = {}
         return rel
+
+    @classmethod
+    def _raw(cls, attributes: Tuple[str, ...], rows: FrozenSet[Row]) -> "Relation":
+        """Internal constructor from already-validated parts (no copying)."""
+        rel = cls.__new__(cls)
+        rel._attributes = attributes
+        rel._attribute_set = frozenset(attributes)
+        rel._rows = rows
+        rel._index_cache = {}
+        rel._projection_cache = {}
+        return rel
+
+    def _derive_caches(
+        self, result: "Relation", added: FrozenSet[Row], removed: FrozenSet[Row]
+    ) -> None:
+        """Patch this relation's caches onto ``result`` (rows differ by a delta).
+
+        Hash-join buckets are patched per touched key (untouched buckets are
+        shared -- they are never mutated after construction). Projection
+        results distribute over row insertion (``pi(R + I) = pi(R) + pi(I)``)
+        but not over deletion under set semantics, so cached projections are
+        carried forward only when nothing was removed.
+        """
+        for shared_set, buckets in self._index_cache.items():
+            positions = tuple(
+                self._attributes.index(a) for a in sorted(shared_set)
+            )
+            patched = dict(buckets)
+            for row in added:
+                key = tuple(row[p] for p in positions)
+                bucket = list(patched.get(key, ()))
+                bucket.append(row)
+                patched[key] = bucket
+            for row in removed:
+                key = tuple(row[p] for p in positions)
+                bucket = [r for r in patched.get(key, ()) if r != row]
+                if bucket:
+                    patched[key] = bucket
+                else:
+                    patched.pop(key, None)
+            result._index_cache[shared_set] = patched
+        if not removed:
+            for attrs, projected in self._projection_cache.items():
+                positions = tuple(self._attributes.index(a) for a in attrs)
+                result._projection_cache[attrs] = projected | frozenset(
+                    tuple(row[p] for p in positions) for row in added
+                )
+
+    def _is_delta_sized(self, other: "Relation") -> bool:
+        has_caches = bool(self._index_cache or self._projection_cache)
+        return has_caches and len(other._rows) * self._PATCH_RATIO <= len(self._rows)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -181,8 +246,16 @@ class Relation:
                 f"cannot project onto {sorted(missing)}: not attributes of "
                 f"{self._attributes}"
             )
-        positions = tuple(self._attributes.index(a) for a in attrs)
-        return Relation(attrs, (tuple(row[p] for p in positions) for row in self._rows))
+        if len(set(attrs)) != len(attrs):
+            raise ExpressionError(f"duplicate attributes in projection {attrs}")
+        cached = self._projection_cache.get(attrs)
+        if cached is None:
+            positions = tuple(self._attributes.index(a) for a in attrs)
+            cached = frozenset(
+                tuple(row[p] for p in positions) for row in self._rows
+            )
+            self._projection_cache[attrs] = cached
+        return Relation._raw(attrs, cached)
 
     def project_or_empty(self, attributes: Sequence[str]) -> "Relation":
         """The paper's projection convention (Section 2).
@@ -199,12 +272,35 @@ class Relation:
         return self._with_rows(row for row in self._rows if predicate(row))
 
     def union(self, other: "Relation") -> "Relation":
-        """Set union; attribute sets must agree."""
-        return self._with_rows(self._rows | self._aligned_rows(other))
+        """Set union; attribute sets must agree.
+
+        A union with nothing new returns ``self`` unchanged (preserving
+        object identity, and with it every derived cache); a delta-sized
+        union patches the hash indexes instead of discarding them.
+        """
+        aligned = self._aligned_rows(other)
+        added = aligned - self._rows
+        if not added:
+            return self
+        result = self._with_rows(self._rows | added)
+        if self._is_delta_sized(other):
+            self._derive_caches(result, added, frozenset())
+        return result
 
     def difference(self, other: "Relation") -> "Relation":
-        """Set difference; attribute sets must agree."""
-        return self._with_rows(self._rows - self._aligned_rows(other))
+        """Set difference; attribute sets must agree.
+
+        Like :meth:`union`, an ineffective difference returns ``self``
+        itself and a delta-sized one patches the hash indexes.
+        """
+        aligned = self._aligned_rows(other)
+        removed = aligned & self._rows
+        if not removed:
+            return self
+        result = self._with_rows(self._rows - removed)
+        if self._is_delta_sized(other):
+            self._derive_caches(result, frozenset(), removed)
+        return result
 
     def intersection(self, other: "Relation") -> "Relation":
         """Set intersection; attribute sets must agree."""
@@ -266,6 +362,62 @@ class Relation:
                 for match in buckets.get(key, ()):
                     out_rows.append(match + extra)
         return Relation(out_attrs, out_rows)
+
+    def semi_join(self, other: "Relation") -> "Relation":
+        """Semi-join ``self ⋉ other``: rows of ``self`` with a join partner.
+
+        Equals ``pi_{attr(self)}(self natural_join other)`` but never
+        materializes the join. With no shared attributes the join is a
+        cartesian product, so the result is ``self`` when ``other`` is
+        non-empty and the empty relation otherwise.
+
+        Examples
+        --------
+        >>> r = Relation(("a", "b"), [(1, 10), (2, 20)])
+        >>> s = Relation(("b", "c"), [(10, "x")])
+        >>> r.semi_join(s).to_set() == {(1, 10)}
+        True
+        """
+        shared = tuple(a for a in self._attributes if a in other._attribute_set)
+        if not shared:
+            return self if other._rows else self._with_rows(())
+        shared_sorted = tuple(sorted(shared))
+        self_pos = tuple(self._attributes.index(a) for a in shared_sorted)
+        other_pos = tuple(other._attributes.index(a) for a in shared_sorted)
+        # Reuse join buckets: semi/anti joins only need key membership, but
+        # sharing one index per attribute set with natural_join means a
+        # relation probed both ways builds its hash table exactly once.
+        keys = other._join_buckets(frozenset(shared), other_pos)
+        return self._with_rows(
+            row for row in self._rows if tuple(row[p] for p in self_pos) in keys
+        )
+
+    def anti_join(self, other: "Relation") -> "Relation":
+        """Anti-join ``self ▷ other``: rows of ``self`` with no join partner.
+
+        Equals ``self - (self semi_join other)``; this is the evaluation
+        shape of the paper's complements ``C_i = R_i - pi_{R_i}(V_j)``
+        (Proposition 2.2) when ``V_j`` joins ``R_i`` with other relations.
+
+        Examples
+        --------
+        >>> r = Relation(("a", "b"), [(1, 10), (2, 20)])
+        >>> s = Relation(("b", "c"), [(10, "x")])
+        >>> r.anti_join(s).to_set() == {(2, 20)}
+        True
+        """
+        shared = tuple(a for a in self._attributes if a in other._attribute_set)
+        if not shared:
+            return self._with_rows(()) if other._rows else self
+        shared_sorted = tuple(sorted(shared))
+        self_pos = tuple(self._attributes.index(a) for a in shared_sorted)
+        other_pos = tuple(other._attributes.index(a) for a in shared_sorted)
+        keys = other._join_buckets(frozenset(shared), other_pos)
+        return self._with_rows(
+            row
+            for row in self._rows
+            if tuple(row[p] for p in self_pos) not in keys
+        )
 
     def _join_buckets(
         self, shared_set: frozenset, positions: Tuple[int, ...]

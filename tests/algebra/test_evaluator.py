@@ -83,13 +83,38 @@ class TestMemoization:
 
         Relation.natural_join = counting
         try:
+            # The projection spans both join operands, so the semi-join fast
+            # path does not apply and the join itself is materialized (once).
             query = parse(
-                "pi[clerk](Sale join Emp) union pi[clerk](Sale join Emp)"
+                "pi[item, age](Sale join Emp) union pi[item, age](Sale join Emp)"
             )
             evaluate(query, state)
         finally:
             Relation.natural_join = original
         assert len(calls) == 1
+
+    def test_single_operand_projection_uses_semi_join(self, state):
+        joins, semis = [], []
+        original_join = Relation.natural_join
+        original_semi = Relation.semi_join
+
+        def counting_join(self, other):
+            joins.append(1)
+            return original_join(self, other)
+
+        def counting_semi(self, other):
+            semis.append(1)
+            return original_semi(self, other)
+
+        Relation.natural_join = counting_join
+        Relation.semi_join = counting_semi
+        try:
+            result = evaluate(parse("pi[clerk](Sale join Emp)"), state)
+        finally:
+            Relation.natural_join = original_join
+            Relation.semi_join = original_semi
+        assert result.to_set() == {("Mary",), ("John",)}
+        assert joins == [] and semis == [1]
 
     def test_shared_cache_across_calls(self, state):
         cache = {}

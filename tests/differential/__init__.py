@@ -1,0 +1,1 @@
+"""Differential-testing oracle for the maintenance fast path."""

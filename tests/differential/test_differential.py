@@ -1,0 +1,42 @@
+"""The acceptance gate for the fast path: the differential oracle is clean.
+
+Fixed seed, so CI failures replay locally: rerun
+``run_schema(seed, config)`` with the seed printed in the disagreement.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import EvaluationError
+
+from .harness import DifferentialConfig, run_differential, run_schema
+
+
+class TestDifferentialOracle:
+    def test_oracle_reports_zero_disagreements(self):
+        config = DifferentialConfig()
+        report = run_differential(config)
+        assert report.schemas_run >= 20, report.summary()
+        assert report.steps_run >= 200, report.summary()
+        assert report.ok, "\n".join(str(d) for d in report.disagreements)
+
+    def test_single_schema_run_is_deterministic(self):
+        config = DifferentialConfig(n_updates=5)
+        first = run_schema(config.seed, config)
+        second = run_schema(config.seed, config)
+        assert first == second
+
+    def test_harness_detects_injected_divergence(self):
+        """The oracle is only trustworthy if it can actually fail."""
+        from repro import Relation
+
+        from .harness import _diff_states
+
+        good = {"V0": Relation(("a", "b"), [(1, 2)])}
+        bad = {"V0": Relation(("a", "b"), [(1, 3)])}
+        found = _diff_states(0, 0, "fast", good, "oracle", bad)
+        assert len(found) == 1
+        assert found[0].relation == "V0"
+        missing = _diff_states(0, 0, "fast", good, "oracle", {})
+        assert missing and "missing" in missing[0].detail

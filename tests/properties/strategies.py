@@ -35,6 +35,35 @@ def keyed_relation(attrs, key_positions, max_rows: int = 6):
     return st.frozensets(row, max_size=max_rows).map(dedupe)
 
 
+POOL = ("a", "b", "c", "d", "e")
+
+
+def schema():
+    """A strategy for small attribute tuples drawn from a shared pool.
+
+    Drawing both operands of a join from the same pool yields every overlap
+    regime: identical schemata, partial overlap, and fully disjoint
+    schemata (where a natural join degenerates to the cartesian product).
+    """
+    return (
+        st.sets(st.sampled_from(POOL), min_size=1, max_size=3)
+        .flatmap(lambda attrs: st.permutations(sorted(attrs)))
+        .map(tuple)
+    )
+
+
+def relation_over_random_schema(max_rows: int = 6):
+    """A relation over a random :func:`schema` (random column order too)."""
+    return schema().flatmap(lambda attrs: relation(attrs, max_rows=max_rows))
+
+
+def relation_pair(max_rows: int = 6):
+    """Two independently-drawn relations, schemas possibly overlapping."""
+    return st.tuples(
+        relation_over_random_schema(max_rows), relation_over_random_schema(max_rows)
+    )
+
+
 def state_RS():
     """States over R(a, b), S(b, c)."""
     return st.fixed_dictionaries(
