@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Execute the fenced ``python`` code blocks in ``README.md`` and ``docs/*.md``.
+
+Run from the repository root::
+
+    PYTHONPATH=src python scripts/check_docs.py [FILES...]
+
+Every fenced block tagged exactly ```` ```python ```` is executed; blocks
+within one file share a namespace (so a tutorial can build on earlier
+snippets), and each file starts fresh. Blocks whose info string carries
+``no-run`` (```` ```python no-run ````) are syntax-checked only — for
+snippets that need unavailable context (files, long-running workloads).
+
+This is the docs half of the CI pipeline: together with the
+``gen_api_docs.py`` freshness check it guarantees the prose can never
+drift from the code it demonstrates. Exit status 0 iff every block of
+every file ran (or compiled) cleanly.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+from typing import List, Tuple
+
+FENCE = re.compile(r"^```(\S*)[ \t]*(.*)$")
+
+
+def extract_blocks(text: str) -> List[Tuple[int, str, str]]:
+    """``(start_line, info_string, source)`` for every fenced code block."""
+    blocks: List[Tuple[int, str, str]] = []
+    lines = text.splitlines()
+    index = 0
+    while index < len(lines):
+        match = FENCE.match(lines[index])
+        if match and match.group(1):
+            language = match.group(1)
+            info = match.group(2).strip()
+            start = index + 1
+            body: List[str] = []
+            index += 1
+            while index < len(lines) and not lines[index].startswith("```"):
+                body.append(lines[index])
+                index += 1
+            blocks.append((start, f"{language} {info}".strip(), "\n".join(body)))
+        index += 1
+    return blocks
+
+
+def check_file(path: pathlib.Path) -> List[str]:
+    """Run the file's python blocks; returns error descriptions."""
+    errors: List[str] = []
+    namespace: dict = {"__name__": f"docs_check_{path.stem}"}
+    executed = compiled = 0
+    for start, info, source in extract_blocks(path.read_text(encoding="utf-8")):
+        parts = info.split()
+        if not parts or parts[0] != "python":
+            continue
+        run = "no-run" not in parts[1:]
+        label = f"{path}:{start}"
+        try:
+            code = compile(source, label, "exec")
+        except SyntaxError as exc:
+            errors.append(f"{label}: syntax error: {exc}")
+            continue
+        compiled += 1
+        if not run:
+            continue
+        try:
+            exec(code, namespace)
+        except Exception as exc:  # report and keep checking other blocks
+            errors.append(f"{label}: {type(exc).__name__}: {exc}")
+            continue
+        executed += 1
+    print(f"{path}: {executed} block(s) executed, {compiled - executed} compile-only")
+    return errors
+
+
+def main(argv: List[str]) -> int:
+    root = pathlib.Path(__file__).resolve().parent.parent
+    if argv:
+        paths = [pathlib.Path(arg) for arg in argv]
+    else:
+        paths = [root / "README.md", *sorted((root / "docs").glob("*.md"))]
+    all_errors: List[str] = []
+    for path in paths:
+        all_errors.extend(check_file(path))
+    for error in all_errors:
+        print(f"FAIL {error}", file=sys.stderr)
+    if all_errors:
+        print(f"{len(all_errors)} failing doc block(s)", file=sys.stderr)
+        return 1
+    print("all docs code blocks OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -4,11 +4,16 @@
 Usage::
 
     PYTHONPATH=src python scripts/differential_smoke.py [--schemas N]
-        [--updates N] [--seed N]
+        [--updates N] [--seed N] [--trace-out FILE.jsonl]
 
 Exit status 0 iff the three maintenance tracks (cached fast path, uncached
 evaluator, full recompute) agree on every step. See
 ``tests/differential/harness.py`` for the track definitions.
+
+``--trace-out`` enables tracing on the fast track and streams every
+refresh's span tree to a JSONL file (summarize it with
+``python -m repro obs report FILE``); CI uploads this file as a build
+artifact so differential failures are diagnosable from the trace alone.
 """
 
 from __future__ import annotations
@@ -28,15 +33,31 @@ def main(argv=None) -> int:
     parser.add_argument("--schemas", type=int, default=20)
     parser.add_argument("--updates", type=int, default=12)
     parser.add_argument("--seed", type=int, default=20260806)
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        help="write the fast track's refresh traces to this JSONL file",
+    )
     args = parser.parse_args(argv)
 
     config = DifferentialConfig(
         n_schemas=args.schemas, n_updates=args.updates, seed=args.seed
     )
+    sink = None
+    if args.trace_out:
+        from repro.obs import JsonlSink
+
+        sink = JsonlSink(args.trace_out, mode="w")
     started = time.perf_counter()
-    report = run_differential(config)
+    try:
+        report = run_differential(config, trace_sink=sink)
+    finally:
+        if sink is not None:
+            sink.close()
     elapsed = time.perf_counter() - started
     print(f"{report.summary()} in {elapsed:.1f}s")
+    if sink is not None:
+        print(f"fast-track traces written to {args.trace_out}")
     for disagreement in report.disagreements:
         print(f"  {disagreement}", file=sys.stderr)
     return 0 if report.ok else 1

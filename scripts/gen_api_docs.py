@@ -21,6 +21,7 @@ MODULES = [
     "repro.core.translation", "repro.core.maintenance", "repro.core.warehouse",
     "repro.core.minimality", "repro.core.selfmaint", "repro.core.star",
     "repro.core.aggregates", "repro.core.auxviews", "repro.core.hybrid",
+    "repro.obs.trace", "repro.obs.metrics", "repro.obs.explain", "repro.obs.report",
     "repro.integrator.source", "repro.integrator.channel", "repro.integrator.integrator",
     "repro.workloads.generator", "repro.workloads.queries", "repro.workloads.tpcd",
 ]

@@ -60,6 +60,13 @@ from repro.algebra import (
     substitute,
     union,
 )
+from repro.obs import (
+    JsonlSink,
+    MetricsRegistry,
+    RingBufferCollector,
+    Span,
+    Tracer,
+)
 from repro.views import PSJView, View, as_psj
 from repro.core import (
     ComplementView,
@@ -89,14 +96,19 @@ __all__ = [
     "EvaluationError",
     "ExpressionError",
     "InclusionDependency",
+    "JsonlSink",
     "KeyConstraint",
+    "MetricsRegistry",
     "PSJView",
     "ParseError",
     "Relation",
     "RelationSchema",
     "ReproError",
+    "RingBufferCollector",
     "SchemaError",
+    "Span",
     "StateVersion",
+    "Tracer",
     "TRUE",
     "Update",
     "View",

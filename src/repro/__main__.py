@@ -12,6 +12,13 @@ Commands
 ``tpcd [--scale S]``
     Generate a TPC-D-like instance, specify its warehouse, and print the
     storage breakdown.
+``obs explain``
+    Replay the Figure 1 refresh with tracing enabled and print the
+    annotated operator trees (``Warehouse.explain()``) plus the metric
+    registry — the quickest way to *see* the observability layer.
+``obs report FILE``
+    Summarize a JSONL trace file (written by a
+    :class:`~repro.obs.trace.JsonlSink`) into a per-operator table.
 
 ``spec`` input format::
 
@@ -90,6 +97,47 @@ def _cmd_spec(args) -> int:
     return 0
 
 
+def _cmd_obs(args) -> int:
+    if args.obs_command == "report":
+        from repro.obs.report import report_file
+
+        try:
+            print(report_file(args.file, sort=args.sort, limit=args.limit))
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        return 0
+
+    # obs explain: the Figure 1 refresh, traced end to end.
+    catalog = Catalog()
+    catalog.relation("Sale", ("item", "clerk"))
+    catalog.relation("Emp", ("clerk", "age"), key=("clerk",))
+    sources = Database(catalog)
+    sources.load("Sale", [("TV set", "Mary"), ("VCR", "Mary"), ("PC", "John")])
+    sources.load("Emp", [("Mary", 23), ("John", 25), ("Paula", 32)])
+
+    warehouse = Warehouse.specify(catalog, [View("Sold", parse("Sale join Emp"))])
+    sink = None
+    if args.trace_out:
+        from repro.obs import JsonlSink
+
+        sink = JsonlSink(args.trace_out)
+    warehouse.enable_tracing(sink=sink)
+    warehouse.initialize(sources)
+    print(warehouse.explain(name="initialize"))
+
+    update = sources.insert("Sale", [("Computer", "Paula")])
+    warehouse.apply(update)
+    print()
+    print(warehouse.explain(name="refresh"))
+    print("\nmetrics:")
+    print(warehouse.metrics.describe())
+    if sink is not None:
+        sink.close()
+        print(f"\ntrace written to {args.trace_out}")
+    return 0
+
+
 def _cmd_tpcd(args) -> int:
     from repro.workloads import tpcd_instance
 
@@ -129,8 +177,32 @@ def main(argv: Optional[List[str]] = None) -> int:
     tpcd_parser = commands.add_parser("tpcd", help="TPC-D-like warehouse summary")
     tpcd_parser.add_argument("--scale", type=float, default=1.0)
 
+    obs_parser = commands.add_parser(
+        "obs", help="observability: explain traces, summarize JSONL trace files"
+    )
+    obs_commands = obs_parser.add_subparsers(dest="obs_command", required=True)
+    explain_parser = obs_commands.add_parser(
+        "explain", help="trace the Figure 1 refresh and print explain() output"
+    )
+    explain_parser.add_argument(
+        "--trace-out", default=None, help="also write the spans to this JSONL file"
+    )
+    report_parser = obs_commands.add_parser(
+        "report", help="summarize a JSONL trace file into a per-operator table"
+    )
+    report_parser.add_argument("file", help="JSONL trace file (JsonlSink output)")
+    report_parser.add_argument(
+        "--sort", choices=("total", "count", "name"), default="total"
+    )
+    report_parser.add_argument("--limit", type=int, default=None)
+
     args = parser.parse_args(argv)
-    handlers = {"demo": _cmd_demo, "spec": _cmd_spec, "tpcd": _cmd_tpcd}
+    handlers = {
+        "demo": _cmd_demo,
+        "spec": _cmd_spec,
+        "tpcd": _cmd_tpcd,
+        "obs": _cmd_obs,
+    }
     return handlers[args.command](args)
 
 

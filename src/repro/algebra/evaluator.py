@@ -25,7 +25,15 @@ Beyond the per-call memo, two performance layers live here:
 
 :class:`EvalStats` counts what happened (nodes evaluated, cache hits and
 misses, rows joined, fast-path uses); the warehouse runtime and the
-benchmarks read it.
+benchmarks read it. It doubles as the hot-path facade of the metrics
+layer: the warehouse folds each refresh's snapshot into its
+:class:`~repro.obs.metrics.MetricsRegistry` under ``evaluator.*`` names.
+
+For *per-operator* visibility, :func:`evaluate` additionally accepts a
+:class:`~repro.obs.trace.Tracer`: every node actually computed gets a span
+(``join``/``project``/``read``/...) annotated with row counts, index hits,
+cross-update cache hits, and fast-path firings. ``tracer=None`` (the
+default) takes a branch-free path that allocates no spans at all.
 """
 
 from __future__ import annotations
@@ -220,7 +228,7 @@ _STATE_KEY = ("__state_version__",)
 class _Context:
     """Per-``evaluate``-call plumbing: memo, optional cache, stats, flags."""
 
-    __slots__ = ("state", "memo", "cache", "stats", "fastpath")
+    __slots__ = ("state", "memo", "cache", "stats", "fastpath", "tracer")
 
     def __init__(
         self,
@@ -229,12 +237,14 @@ class _Context:
         cache: Optional[EvaluationCache],
         stats: EvalStats,
         fastpath: bool,
+        tracer=None,
     ) -> None:
         self.state = state
         self.memo = memo
         self.cache = cache
         self.stats = stats
         self.fastpath = fastpath
+        self.tracer = tracer
 
 
 def evaluate(
@@ -244,6 +254,7 @@ def evaluate(
     *,
     stats: Optional[EvalStats] = None,
     fastpath: bool = True,
+    tracer=None,
 ) -> Relation:
     """Evaluate ``expression`` over ``state`` and return the result relation.
 
@@ -268,6 +279,12 @@ def evaluate(
         Enable the semi-join / anti-join evaluation fast paths (on by
         default; the differential oracle turns it off for its reference
         tracks).
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer`. When given, every node
+        actually computed opens a span annotated with operator kind and
+        row counts; cross-update cache hits appear as zero-work spans with
+        ``cached=True``. ``None`` (the default) disables tracing with no
+        per-node overhead.
 
     Examples
     --------
@@ -280,11 +297,11 @@ def evaluate(
     if stats is None:
         stats = EvalStats()
     if isinstance(cache, EvaluationCache):
-        ctx = _Context(state, {}, cache, stats, fastpath)
+        ctx = _Context(state, {}, cache, stats, fastpath, tracer)
     else:
         memo: Dict[tuple, object] = cache if cache is not None else {}
         _check_memo_state(memo, state)
-        ctx = _Context(state, memo, None, stats, fastpath)
+        ctx = _Context(state, memo, None, stats, fastpath, tracer)
     return _eval(expression, ctx)
 
 
@@ -307,7 +324,22 @@ def _check_memo_state(memo: Dict[tuple, object], state: State) -> None:
         )
 
 
+#: Span name per expression node type (tracing only).
+_SPAN_NAMES = {
+    RelationRef: "read",
+    Empty: "empty",
+    Project: "project",
+    Select: "select",
+    Join: "join",
+    Union: "union",
+    Difference: "difference",
+    Rename: "rename",
+}
+
+
 def _eval(expr: Expression, ctx: _Context) -> Relation:
+    if ctx.tracer is not None:
+        return _eval_traced(expr, ctx)
     key = expr._key()
     hit = ctx.memo.get(key)
     if hit is not None:
@@ -321,6 +353,42 @@ def _eval(expr: Expression, ctx: _Context) -> Relation:
             return cached
         ctx.stats.cache_misses += 1
     result = _eval_node(expr, ctx)
+    ctx.stats.nodes_evaluated += 1
+    ctx.memo[key] = result
+    if ctx.cache is not None:
+        ctx.cache.store(key, ctx.state, expr, result)
+    return result
+
+
+def _eval_traced(expr: Expression, ctx: _Context) -> Relation:
+    """The tracing twin of :func:`_eval`: same logic, plus per-node spans.
+
+    Kept separate so the default ``tracer=None`` path stays byte-for-byte
+    the PR 1 hot path (no extra branches inside the loop, no allocations).
+    Memo hits within one call are silent (they would dominate the trace);
+    cross-update cache hits get a zero-work span marked ``cached=True``.
+    """
+    key = expr._key()
+    hit = ctx.memo.get(key)
+    if hit is not None:
+        ctx.stats.memo_hits += 1
+        return hit  # type: ignore[return-value]
+    name = _SPAN_NAMES.get(type(expr), "node")
+    if ctx.cache is not None:
+        cached = ctx.cache.lookup(key, ctx.state)
+        if cached is not None:
+            ctx.stats.cache_hits += 1
+            ctx.memo[key] = cached
+            with ctx.tracer.span(name, cached=True, rows_out=len(cached)) as span:
+                if isinstance(expr, RelationRef):
+                    span.attributes["relation"] = expr.name
+            return cached
+        ctx.stats.cache_misses += 1
+    with ctx.tracer.span(name) as span:
+        result = _eval_node(expr, ctx)
+        span.attributes["rows_out"] = len(result)
+        if isinstance(expr, RelationRef):
+            span.attributes["relation"] = expr.name
     ctx.stats.nodes_evaluated += 1
     ctx.memo[key] = result
     if ctx.cache is not None:
@@ -350,6 +418,13 @@ def _join_operands(expr: Join) -> Tuple[Expression, ...]:
 
 
 def _natural_join(left: Relation, right: Relation, ctx: _Context) -> Relation:
+    if ctx.tracer is not None:
+        shared = left.attribute_set & right.attribute_set
+        ctx.tracer.annotate(
+            rows_in_left=len(left),
+            rows_in_right=len(right),
+            index_hit=left.has_join_index(shared) or right.has_join_index(shared),
+        )
     result = left.natural_join(right)
     ctx.stats.joins += 1
     ctx.stats.rows_joined += len(result)
@@ -374,9 +449,13 @@ def _eval_project(expr: Project, ctx: _Context) -> Relation:
     target = frozenset(expr.attrs)
     if target <= left.attribute_set:
         ctx.stats.semijoin_fastpaths += 1
+        if ctx.tracer is not None:
+            ctx.tracer.annotate(fastpath="semi_join")
         return left.semi_join(right).project(expr.attrs)
     if target <= right.attribute_set:
         ctx.stats.semijoin_fastpaths += 1
+        if ctx.tracer is not None:
+            ctx.tracer.annotate(fastpath="semi_join")
         return right.semi_join(left).project(expr.attrs)
     # No fast path applies: evaluate the join through _eval so the result is
     # memoized for other sub-trees that share it.
@@ -404,6 +483,12 @@ def _eval_difference(expr: Difference, ctx: _Context, left: Relation) -> Relatio
                 if operand._key() == left_key:
                     other = _eval(operands[1 - index], ctx)
                     ctx.stats.antijoin_fastpaths += 1
+                    if ctx.tracer is not None:
+                        shared = left.attribute_set & other.attribute_set
+                        ctx.tracer.annotate(
+                            fastpath="anti_join",
+                            index_hit=other.has_join_index(shared),
+                        )
                     return left.anti_join(other)
     return left.difference(_eval(right, ctx))
 
@@ -466,18 +551,19 @@ def evaluate_all(
     *,
     stats: Optional[EvalStats] = None,
     fastpath: bool = True,
+    tracer=None,
 ) -> Dict[str, Relation]:
     """Evaluate several named expressions over one state, sharing the memo.
 
-    Returns ``{name: result}`` in input order. ``cache``, ``stats``, and
-    ``fastpath`` behave as in :func:`evaluate`.
+    Returns ``{name: result}`` in input order. ``cache``, ``stats``,
+    ``fastpath``, and ``tracer`` behave as in :func:`evaluate`.
     """
     if stats is None:
         stats = EvalStats()
     if isinstance(cache, EvaluationCache):
-        ctx = _Context(state, {}, cache, stats, fastpath)
+        ctx = _Context(state, {}, cache, stats, fastpath, tracer)
     else:
         memo: Dict[tuple, object] = cache if cache is not None else {}
         _check_memo_state(memo, state)
-        ctx = _Context(state, memo, None, stats, fastpath)
+        ctx = _Context(state, memo, None, stats, fastpath, tracer)
     return {name: _eval(expr, ctx) for name, expr in expressions.items()}

@@ -153,6 +153,7 @@ def normalize_update(
     cache: Optional[EvaluationCache] = None,
     stats: Optional[EvalStats] = None,
     fastpath: bool = True,
+    tracer=None,
 ) -> Update:
     """The update's effective form w.r.t. the *reconstructed* base state.
 
@@ -160,19 +161,34 @@ def normalize_update(
     each, against warehouse relations — no source access). With a
     cross-update ``cache``, inverses of relations whose warehouse inputs
     did not change since the last refresh are served without evaluation.
+    With a ``tracer``, each inverse evaluation nests under a
+    ``reconstruct`` span carrying the relation name.
     """
     reconstructed: Dict[str, Relation] = {}
     memo = cache if cache is not None else {}
     for delta in update:
         if delta.relation not in spec.inverses:
             raise WarehouseError(f"update touches unknown relation {delta.relation!r}")
-        reconstructed[delta.relation] = evaluate(
-            spec.inverses[delta.relation],
-            warehouse,
-            cache=memo,
-            stats=stats,
-            fastpath=fastpath,
-        )
+        if tracer is not None:
+            with tracer.span("reconstruct", relation=delta.relation) as span:
+                result = evaluate(
+                    spec.inverses[delta.relation],
+                    warehouse,
+                    cache=memo,
+                    stats=stats,
+                    fastpath=fastpath,
+                    tracer=tracer,
+                )
+                span.attributes["rows_out"] = len(result)
+        else:
+            result = evaluate(
+                spec.inverses[delta.relation],
+                warehouse,
+                cache=memo,
+                stats=stats,
+                fastpath=fastpath,
+            )
+        reconstructed[delta.relation] = result
     return update.normalized(reconstructed)
 
 
@@ -184,6 +200,7 @@ def refresh_state(
     cache: Optional[EvaluationCache] = None,
     stats: Optional[EvalStats] = None,
     fastpath: bool = True,
+    tracer=None,
 ) -> Tuple[Dict[str, Relation], Dict[str, Delta]]:
     """Incrementally fold ``update`` into the warehouse state.
 
@@ -197,11 +214,24 @@ def refresh_state(
     one refresh to the next (see below), so cached sub-expressions stay
     valid and only delta-touched sub-trees re-evaluate. ``stats`` collects
     :class:`EvalStats` counters for this refresh; ``fastpath`` toggles the
-    evaluator's join fast paths.
+    evaluator's join fast paths. ``tracer`` (a
+    :class:`~repro.obs.trace.Tracer`, or ``None``) records the refresh as a
+    span tree: ``normalize_update``, then one ``maintain`` span per
+    warehouse relation wrapping its operator spans.
     """
-    effective = normalize_update(
-        spec, warehouse, update, cache=cache, stats=stats, fastpath=fastpath
-    )
+    if tracer is not None:
+        with tracer.span("normalize_update", relations=sorted(update.relations())) as span:
+            effective = normalize_update(
+                spec, warehouse, update, cache=cache, stats=stats,
+                fastpath=fastpath, tracer=tracer,
+            )
+            span.attributes["effective_rows"] = sum(
+                len(d.inserts) + len(d.deletes) for d in effective
+            )
+    else:
+        effective = normalize_update(
+            spec, warehouse, update, cache=cache, stats=stats, fastpath=fastpath
+        )
     if effective.is_empty():
         return dict(warehouse), {}
     updated = frozenset(effective.relations())
@@ -216,8 +246,20 @@ def refresh_state(
     applied: Dict[str, Delta] = {}
     new_state: Dict[str, Relation] = {}
     for name, exprs in plan.expressions.items():
-        inserts = evaluate(exprs.inserts, combined, cache=memo, stats=stats, fastpath=fastpath)
-        deletes = evaluate(exprs.deletes, combined, cache=memo, stats=stats, fastpath=fastpath)
+        if tracer is not None:
+            with tracer.span("maintain", relation=name) as span:
+                inserts = evaluate(
+                    exprs.inserts, combined, cache=memo, stats=stats,
+                    fastpath=fastpath, tracer=tracer,
+                )
+                deletes = evaluate(
+                    exprs.deletes, combined, cache=memo, stats=stats,
+                    fastpath=fastpath, tracer=tracer,
+                )
+                span.set(rows_inserted=len(inserts), rows_deleted=len(deletes))
+        else:
+            inserts = evaluate(exprs.inserts, combined, cache=memo, stats=stats, fastpath=fastpath)
+            deletes = evaluate(exprs.deletes, combined, cache=memo, stats=stats, fastpath=fastpath)
         current = warehouse[name]
         if inserts or deletes:
             new_state[name] = current.difference(deletes).union(inserts)

@@ -17,12 +17,16 @@ and updates arrive as plain :class:`~repro.storage.update.Update` objects.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Dict, Iterable, Mapping, Optional, Sequence, Union as TypingUnion
 
 from repro.errors import WarehouseError
 from repro.algebra.evaluator import EvalStats, EvaluationCache, evaluate, evaluate_all
 from repro.algebra.expressions import Expression
 from repro.algebra.parser import parse
+from repro.obs.explain import explain_refresh
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import RingBufferCollector, Span, TraceCollector, Tracer
 from repro.schema.catalog import Catalog
 from repro.storage.database import Database
 from repro.storage.relation import Relation
@@ -69,6 +73,12 @@ class Warehouse:
         self._cache: Optional[EvaluationCache] = EvaluationCache() if cached else None
         self._stats = EvalStats()
         self._last_refresh_stats = EvalStats()
+        # Observability: metrics are always on (a handful of counter bumps
+        # per refresh); tracing is opt-in via enable_tracing() and the
+        # engine takes the span-free path while self._tracer is None.
+        self._metrics = MetricsRegistry()
+        self._tracer: Optional[Tracer] = None
+        self._trace_buffer: Optional[RingBufferCollector] = None
 
     # ------------------------------------------------------------------
     # Performance introspection
@@ -88,6 +98,120 @@ class Warehouse:
     def evaluation_cache(self) -> Optional[EvaluationCache]:
         """The persistent cross-update cache (``None`` when ``cached=False``)."""
         return self._cache
+
+    # ------------------------------------------------------------------
+    # Observability (docs/observability.md)
+    # ------------------------------------------------------------------
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The warehouse's metric registry (catalog: docs/observability.md)."""
+        return self._metrics
+
+    @property
+    def tracer(self) -> Optional[Tracer]:
+        """The active tracer, or ``None`` while tracing is disabled."""
+        return self._tracer
+
+    def enable_tracing(
+        self,
+        capacity: int = 64,
+        sink: Optional[TraceCollector] = None,
+    ) -> Tracer:
+        """Turn on refresh tracing; returns the :class:`Tracer`.
+
+        Traces are kept in an in-memory ring buffer of the last
+        ``capacity`` refreshes (read by :meth:`explain` /
+        :meth:`last_trace`). Pass ``sink`` (e.g. a
+        :class:`~repro.obs.trace.JsonlSink`) to additionally stream every
+        span to a file; the caller owns closing such a sink. Idempotent in
+        effect: calling again replaces the tracer and buffer.
+        """
+        self._trace_buffer = RingBufferCollector(capacity)
+        collectors = [self._trace_buffer]
+        if sink is not None:
+            collectors.append(sink)
+        self._tracer = Tracer(collectors)
+        return self._tracer
+
+    def disable_tracing(self) -> None:
+        """Turn tracing back off (buffered traces are dropped)."""
+        self._tracer = None
+        self._trace_buffer = None
+
+    def last_trace(self, name: Optional[str] = None) -> Optional[Span]:
+        """The newest buffered trace root (optionally filtered by name)."""
+        if self._trace_buffer is None:
+            return None
+        return self._trace_buffer.last(name)
+
+    def explain(
+        self, max_depth: Optional[int] = None, name: Optional[str] = None
+    ) -> str:
+        """The newest trace as an annotated operator tree.
+
+        Shows per-operator wall time, rows in/out, cross-update cache
+        hits, index hits, and — starred — where the semi-join/anti-join
+        fast paths fired. By default explains the newest trace of any
+        kind (the last :meth:`apply`'s ``refresh``, or ``initialize``
+        right after initialization — where the Prop 2.2 complement shape
+        fires the anti-join rewrite); pass ``name="refresh"`` or
+        ``name="initialize"`` to pick one. Requires tracing
+        (:meth:`enable_tracing`) before the operation to explain.
+        """
+        if self._tracer is None:
+            raise WarehouseError(
+                "tracing is disabled; call enable_tracing() before apply()"
+            )
+        root = self.last_trace(name)
+        if root is None:
+            wanted = f"{name} trace" if name else "traced operation"
+            raise WarehouseError(
+                f"no {wanted} buffered yet; run initialize()/apply() with "
+                "tracing enabled first"
+            )
+        return explain_refresh(root, max_depth=max_depth)
+
+    def _record_refresh_metrics(
+        self, elapsed: float, applied: Dict[str, Delta], stats: EvalStats
+    ) -> None:
+        metrics = self._metrics
+        metrics.counter("warehouse.refreshes").inc()
+        metrics.histogram("warehouse.refresh_seconds").observe(elapsed)
+        metrics.counter("warehouse.relations_touched").inc(len(applied))
+        if not applied:
+            metrics.counter("warehouse.refreshes_noop").inc()
+        inserted = sum(len(d.inserts) for d in applied.values())
+        deleted = sum(len(d.deletes) for d in applied.values())
+        if inserted:
+            metrics.counter("warehouse.rows_inserted").inc(inserted)
+        if deleted:
+            metrics.counter("warehouse.rows_deleted").inc(deleted)
+        metrics.merge_eval_stats(stats)
+        self._update_storage_gauges()
+
+    def _update_storage_gauges(self) -> None:
+        if self._state is None:
+            return
+        metrics = self._metrics
+        complement_names = {c.name for c in self.spec.complements.values()}
+        total = view_rows = complement_rows = 0
+        for name, relation in self._state.items():
+            rows = len(relation)
+            total += rows
+            if name in complement_names:
+                complement_rows += rows
+                metrics.gauge(f"warehouse.complement_rows.{name}").set(rows)
+            else:
+                view_rows += rows
+        metrics.gauge("warehouse.rows").set(total)
+        metrics.gauge("warehouse.view_rows").set(view_rows)
+        metrics.gauge("warehouse.complement_rows").set(complement_rows)
+        metrics.histogram("warehouse.complement_rows_per_refresh").observe(
+            complement_rows
+        )
+        if self._cache is not None:
+            metrics.gauge("warehouse.cache_entries").set(len(self._cache))
 
     # ------------------------------------------------------------------
     # Construction (Section 5, Step 1)
@@ -115,7 +239,18 @@ class Warehouse:
         afterwards the warehouse lives off reported updates alone.
         """
         state = source.state() if isinstance(source, Database) else dict(source)
-        self._state = evaluate_all(self.spec.definitions_over_sources(), state)
+        started = perf_counter()
+        if self._tracer is not None:
+            with self._tracer.span("initialize"):
+                self._state = evaluate_all(
+                    self.spec.definitions_over_sources(), state, tracer=self._tracer
+                )
+        else:
+            self._state = evaluate_all(self.spec.definitions_over_sources(), state)
+        self._metrics.histogram("warehouse.initialize_seconds").observe(
+            perf_counter() - started
+        )
+        self._update_storage_gauges()
         for aggregate in self._aggregates:
             aggregate.recompute(self._state[aggregate.source])
         return dict(self._state)
@@ -152,10 +287,12 @@ class Warehouse:
 
     def answer(self, query: QueryLike) -> Relation:
         """Answer a source query from warehouse relations only."""
+        self._metrics.counter("warehouse.queries").inc()
         return answer_query(self.spec, self.state, self._as_expression(query))
 
     def reconstruct(self, relation: str) -> Relation:
         """Recompute one base relation via Equation (4)."""
+        self._metrics.counter("warehouse.reconstructions").inc()
         return evaluate(
             self.spec.inverse_for(relation), self.state, cache=self._cache
         )
@@ -204,12 +341,24 @@ class Warehouse:
         """
         plan = self.maintenance_plan(update.relations())
         stats = EvalStats()
-        new_state, applied = refresh_state(
-            self.spec, self.state, update, plan, cache=self._cache, stats=stats
-        )
+        started = perf_counter()
+        if self._tracer is not None:
+            with self._tracer.span(
+                "refresh", relations=sorted(update.relations())
+            ) as span:
+                new_state, applied = refresh_state(
+                    self.spec, self.state, update, plan,
+                    cache=self._cache, stats=stats, tracer=self._tracer,
+                )
+                span.set(relations_touched=len(applied))
+        else:
+            new_state, applied = refresh_state(
+                self.spec, self.state, update, plan, cache=self._cache, stats=stats
+            )
         self._last_refresh_stats = stats
         self._stats.merge(stats)
         self._state = new_state
+        self._record_refresh_metrics(perf_counter() - started, applied, stats)
         for aggregate in self._aggregates:
             delta = applied.get(aggregate.source)
             if delta is not None:
@@ -225,8 +374,11 @@ class Warehouse:
         notification. Equivalent to applying them in order.
         """
         batch: Optional[Update] = None
+        composed = 0
         for update in updates:
             batch = update if batch is None else batch.compose(update)
+            composed += 1
+        self._metrics.histogram("warehouse.batch_size").observe(composed)
         if batch is None:
             return {}
         return self.apply(batch)

@@ -77,6 +77,7 @@ class ComplementIntegrator:
         """Fold one reported update in — no source access."""
         self.warehouse.apply(notification.update)
         self._processed += 1
+        self._count_notifications((notification,))
 
     def process_batch(self, notifications: Sequence[Notification]) -> int:
         """Fold a batch of notifications in with a *single* refresh.
@@ -89,7 +90,18 @@ class ComplementIntegrator:
         notifications = list(notifications)
         self.warehouse.apply_batch(n.update for n in notifications)
         self._processed += len(notifications)
+        self._count_notifications(notifications)
+        self.metrics.counter("integrator.batches").inc()
+        self.metrics.histogram("integrator.batch_size").observe(len(notifications))
         return len(notifications)
+
+    def _count_notifications(self, notifications: Sequence[Notification]) -> None:
+        """Per-source update counters (`integrator.updates.<relation>`)."""
+        metrics = self.metrics
+        metrics.counter("integrator.notifications").inc(len(notifications))
+        for notification in notifications:
+            for delta in notification.update:
+                metrics.counter(f"integrator.updates.{delta.relation}").inc()
 
     def process_all(self, channel: Channel, batch_size: Optional[int] = None) -> int:
         """Drain a channel; returns the number of notifications processed.
@@ -130,6 +142,16 @@ class ComplementIntegrator:
     def eval_stats(self):
         """Cumulative :class:`~repro.algebra.evaluator.EvalStats`."""
         return self.warehouse.eval_stats
+
+    @property
+    def metrics(self):
+        """The underlying warehouse's :class:`~repro.obs.metrics.MetricsRegistry`.
+
+        The integrator records its own family there: ``integrator.notifications``,
+        ``integrator.batches``, ``integrator.batch_size``, and per-source
+        ``integrator.updates.<relation>`` counters.
+        """
+        return self.warehouse.metrics
 
     def __repr__(self) -> str:
         return f"ComplementIntegrator({self._processed} notifications processed)"

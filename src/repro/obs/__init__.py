@@ -1,0 +1,46 @@
+"""Observability for the maintenance engine: traces, metrics, explain.
+
+Three pieces, all optional and all zero-cost when unused:
+
+* :mod:`repro.obs.trace` — hierarchical :class:`Span` trees built by a
+  :class:`Tracer` and delivered to pluggable collectors
+  (:class:`RingBufferCollector` in memory, :class:`JsonlSink` on disk);
+* :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of named
+  counters/gauges/histograms; the evaluator's ``EvalStats`` remains as the
+  hot-path facade and is folded in under ``evaluator.*`` names;
+* :mod:`repro.obs.explain` / :mod:`repro.obs.report` — rendering the last
+  refresh's trace as an annotated operator tree
+  (:meth:`Warehouse.explain`) and summarizing JSONL trace files
+  (``python -m repro obs report``).
+
+See ``docs/observability.md`` for the span model, the metric catalog, and
+a worked Figure 1 walkthrough.
+"""
+
+from repro.obs.trace import (
+    JsonlSink,
+    RingBufferCollector,
+    Span,
+    TraceCollector,
+    Tracer,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.explain import explain_refresh, render_trace, source_relations_read
+from repro.obs.report import report_file, summarize
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonlSink",
+    "MetricsRegistry",
+    "RingBufferCollector",
+    "Span",
+    "TraceCollector",
+    "Tracer",
+    "explain_refresh",
+    "render_trace",
+    "report_file",
+    "source_relations_read",
+    "summarize",
+]

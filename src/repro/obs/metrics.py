@@ -1,0 +1,265 @@
+"""Named counters, gauges, and histograms for the warehouse runtime.
+
+A :class:`MetricsRegistry` is the engine's one place for numeric
+observability: the warehouse folds the evaluator's per-refresh
+:class:`~repro.algebra.evaluator.EvalStats` counters into it
+(``evaluator.*``), records refresh latencies and batch sizes, tracks
+storage gauges (total / view / complement rows, per-complement sizes),
+and the integrator counts notifications and per-source updates. The full
+metric catalog — every name, type, and unit — is documented in
+``docs/observability.md``.
+
+``EvalStats`` itself survives as the *compatibility facade*: it is the
+zero-dependency counter struct the evaluator increments on its hot path,
+and :meth:`MetricsRegistry.merge_eval_stats` is the bridge that publishes
+a snapshot of it under stable metric names. New code should read the
+registry; ``Warehouse.eval_stats`` keeps working for old code.
+
+Examples
+--------
+>>> registry = MetricsRegistry()
+>>> registry.counter("warehouse.refreshes").inc()
+>>> registry.histogram("warehouse.refresh_seconds").observe(0.002)
+>>> registry.counter("warehouse.refreshes").value
+1
+>>> registry.snapshot()["warehouse.refresh_seconds"]["count"]
+1
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+
+class Counter:
+    """A monotonically increasing count (events, rows, hits)."""
+
+    __slots__ = ("name", "value")
+
+    kind = "counter"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (by {amount})")
+        self.value += amount
+
+    def snapshot(self) -> int:
+        """The current count."""
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class Gauge:
+    """A point-in-time value that can move both ways (rows, cache entries)."""
+
+    __slots__ = ("name", "value")
+
+    kind = "gauge"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0
+
+    def set(self, value: float) -> None:
+        """Overwrite the gauge with ``value``."""
+        self.value = value
+
+    def inc(self, amount: float = 1) -> None:
+        """Move the gauge up by ``amount``."""
+        self.value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        """Move the gauge down by ``amount``."""
+        self.value -= amount
+
+    def snapshot(self) -> float:
+        """The current value."""
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, {self.value})"
+
+
+class Histogram:
+    """A distribution summary: count, sum, min, max, optional buckets.
+
+    ``buckets`` is an increasing sequence of upper bounds; each observation
+    increments the first bucket whose bound is >= the value (observations
+    above every bound land in the implicit overflow bucket, reported under
+    ``inf``). With no buckets the histogram is a plain summary.
+    """
+
+    __slots__ = ("name", "count", "total", "minimum", "maximum", "buckets", "bucket_counts")
+
+    kind = "histogram"
+
+    def __init__(self, name: str, buckets: Optional[Sequence[float]] = None) -> None:
+        self.name = name
+        self.count = 0
+        self.total: float = 0.0
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+        self.buckets: Tuple[float, ...] = tuple(buckets) if buckets else ()
+        if self.buckets and list(self.buckets) != sorted(self.buckets):
+            raise ValueError(f"histogram {name!r} buckets must be increasing")
+        self.bucket_counts: List[int] = [0] * (len(self.buckets) + 1)
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+        if self.buckets:
+            for index, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self.bucket_counts[index] += 1
+                    return
+            self.bucket_counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        """The mean of all observations (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> Dict[str, object]:
+        """Summary dict: count/sum/min/max/mean (+ buckets when configured)."""
+        out: Dict[str, object] = {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+            "mean": self.mean,
+        }
+        if self.buckets:
+            labels = [f"le_{bound:g}" for bound in self.buckets] + ["inf"]
+            out["buckets"] = dict(zip(labels, self.bucket_counts))
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"Histogram({self.name!r}, count={self.count}, mean={self.mean:.4g})"
+        )
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named instruments.
+
+    Names are dotted paths (``layer.metric`` or ``layer.metric.<relation>``
+    for per-relation families); units are part of the name by convention
+    (``*_seconds``, ``*_rows``). Re-requesting a name returns the existing
+    instrument; requesting it as a different kind raises ``ValueError``.
+
+    Examples
+    --------
+    >>> registry = MetricsRegistry()
+    >>> registry.counter("integrator.notifications").inc(3)
+    >>> registry.gauge("warehouse.rows").set(42)
+    >>> sorted(registry)
+    ['integrator.notifications', 'warehouse.rows']
+    """
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, object] = {}
+
+    def _get(self, name: str, cls, *args):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = cls(name, *args)
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, cls):
+            raise ValueError(
+                f"metric {name!r} already registered as {instrument.kind}, "
+                f"not {cls.kind}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        """The counter named ``name`` (created on first use)."""
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge named ``name`` (created on first use)."""
+        return self._get(name, Gauge)
+
+    def histogram(
+        self, name: str, buckets: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        """The histogram named ``name`` (``buckets`` applies on creation only)."""
+        return self._get(name, Histogram, buckets)
+
+    def get(self, name: str):
+        """The instrument named ``name``, or ``None``."""
+        return self._instruments.get(name)
+
+    def value(self, name: str, default: float = 0):
+        """Shortcut: the counter/gauge value under ``name`` (or ``default``)."""
+        instrument = self._instruments.get(name)
+        if instrument is None or isinstance(instrument, Histogram):
+            return default
+        return instrument.value
+
+    def ratio(self, numerator: str, denominator_extra: str) -> float:
+        """``n / (n + d)`` over two counters — e.g. a cache hit ratio.
+
+        ``registry.ratio("evaluator.cache_hits", "evaluator.cache_misses")``
+        is the fraction of cross-update lookups served from cache. Returns
+        0.0 when both counters are zero or missing.
+        """
+        n = self.value(numerator)
+        d = self.value(denominator_extra)
+        return n / (n + d) if (n + d) else 0.0
+
+    def merge_eval_stats(self, stats, prefix: str = "evaluator.") -> None:
+        """Fold an :class:`~repro.algebra.evaluator.EvalStats` snapshot in.
+
+        Each ``EvalStats`` field becomes the counter ``prefix + field`` —
+        the bridge between the evaluator's hot-path counter struct (kept as
+        a compatibility facade) and the canonical metric names.
+        """
+        for field, amount in stats.snapshot().items():
+            if amount:
+                self.counter(prefix + field).inc(amount)
+
+    def snapshot(self) -> Dict[str, object]:
+        """``{name: value-or-summary}`` for every instrument, sorted by name."""
+        return {
+            name: self._instruments[name].snapshot()
+            for name in sorted(self._instruments)
+        }
+
+    def describe(self) -> str:
+        """A human-readable table of every instrument."""
+        lines = []
+        for name in sorted(self._instruments):
+            instrument = self._instruments[name]
+            if isinstance(instrument, Histogram):
+                rendered = (
+                    f"count={instrument.count} sum={instrument.total:.6g} "
+                    f"mean={instrument.mean:.6g}"
+                )
+            else:
+                rendered = f"{instrument.value:g}"
+            lines.append(f"{name:<44} {instrument.kind:<9} {rendered}")
+        return "\n".join(lines) if lines else "(no metrics recorded)"
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._instruments)
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def __repr__(self) -> str:
+        return f"MetricsRegistry({len(self._instruments)} instruments)"

@@ -1,0 +1,159 @@
+"""Summarizing JSONL trace files (``python -m repro obs report``).
+
+A :class:`~repro.obs.trace.JsonlSink` flattens every finished trace into
+one JSON object per span. This module aggregates such a file back into a
+per-operator table — span count, total/mean wall time, rows produced,
+cache hits, fast-path firings — the offline counterpart of the in-process
+:meth:`Warehouse.explain`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+class SpanAggregate:
+    """Accumulated statistics for one span group (one table row)."""
+
+    __slots__ = ("key", "count", "total_ms", "rows_out", "cached", "fastpaths")
+
+    def __init__(self, key: str) -> None:
+        self.key = key
+        self.count = 0
+        self.total_ms = 0.0
+        self.rows_out = 0
+        self.cached = 0
+        self.fastpaths = 0
+
+    def add(self, record: Dict[str, object]) -> None:
+        """Fold one span record into the aggregate."""
+        self.count += 1
+        self.total_ms += float(record.get("duration_ms", 0.0))
+        attributes = record.get("attributes") or {}
+        rows = attributes.get("rows_out")
+        if isinstance(rows, int):
+            self.rows_out += rows
+        if attributes.get("cached"):
+            self.cached += 1
+        if attributes.get("fastpath"):
+            self.fastpaths += 1
+
+    @property
+    def mean_ms(self) -> float:
+        """Mean duration per span (milliseconds)."""
+        return self.total_ms / self.count if self.count else 0.0
+
+
+def load_spans(path: str) -> List[Dict[str, object]]:
+    """Parse a JSONL trace file into span records (blank lines skipped)."""
+    records: List[Dict[str, object]] = []
+    with open(path, encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: not a JSON span record: {exc}")
+    return records
+
+
+def group_key(record: Dict[str, object]) -> str:
+    """The aggregation key for one span record.
+
+    Operator name, refined by the attributes that matter for a summary:
+    ``read`` spans split per relation, fast-path spans split per rewrite
+    (``difference[anti_join]``), so the table separates "anti-join fired"
+    from "plain difference".
+    """
+    name = str(record.get("name", "?"))
+    attributes = record.get("attributes") or {}
+    relation = attributes.get("relation")
+    if relation is not None and name in ("read", "reconstruct", "maintain"):
+        return f"{name}:{relation}"
+    fastpath = attributes.get("fastpath")
+    if fastpath:
+        return f"{name}[{fastpath}]"
+    return name
+
+
+def summarize(records: Iterable[Dict[str, object]]) -> List[SpanAggregate]:
+    """Aggregate span records by :func:`group_key`."""
+    groups: Dict[str, SpanAggregate] = {}
+    for record in records:
+        key = group_key(record)
+        aggregate = groups.get(key)
+        if aggregate is None:
+            aggregate = groups[key] = SpanAggregate(key)
+        aggregate.add(record)
+    return list(groups.values())
+
+
+def render_report(
+    aggregates: List[SpanAggregate],
+    sort: str = "total",
+    limit: Optional[int] = None,
+) -> str:
+    """Render aggregates as a fixed-width table.
+
+    ``sort`` is one of ``total`` (total time, default), ``count``, or
+    ``name``; ``limit`` keeps only the first N rows after sorting.
+    """
+    orders = {
+        "total": lambda a: (-a.total_ms, a.key),
+        "count": lambda a: (-a.count, a.key),
+        "name": lambda a: a.key,
+    }
+    if sort not in orders:
+        raise ValueError(f"unknown sort order {sort!r} (use total, count, or name)")
+    rows = sorted(aggregates, key=orders[sort])
+    truncated = 0
+    if limit is not None and len(rows) > limit:
+        truncated = len(rows) - limit
+        rows = rows[:limit]
+
+    headers = ("span", "count", "total ms", "mean ms", "rows out", "cached", "fastpath")
+    table: List[Tuple[str, ...]] = [headers]
+    for aggregate in rows:
+        table.append(
+            (
+                aggregate.key,
+                str(aggregate.count),
+                f"{aggregate.total_ms:.3f}",
+                f"{aggregate.mean_ms:.4f}",
+                str(aggregate.rows_out),
+                str(aggregate.cached),
+                str(aggregate.fastpaths),
+            )
+        )
+    widths = [max(len(row[i]) for row in table) for i in range(len(headers))]
+    lines = []
+    for index, row in enumerate(table):
+        cells = [row[0].ljust(widths[0])]
+        cells += [cell.rjust(widths[i]) for i, cell in enumerate(row) if i > 0]
+        lines.append("  ".join(cells).rstrip())
+        if index == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    if truncated:
+        lines.append(f"... {truncated} more row(s); raise --limit to see them")
+    return "\n".join(lines)
+
+
+def report_file(path: str, sort: str = "total", limit: Optional[int] = None) -> str:
+    """Load, aggregate, and render one JSONL trace file (the CLI body)."""
+    records = load_spans(path)
+    if not records:
+        return f"{path}: no spans recorded"
+    traces = sum(1 for record in records if record.get("parent_id") is None)
+    total_ms = sum(
+        float(record.get("duration_ms", 0.0))
+        for record in records
+        if record.get("parent_id") is None
+    )
+    header = (
+        f"{path}: {len(records)} spans in {traces} trace(s), "
+        f"{total_ms:.3f}ms traced\n"
+    )
+    return header + render_report(summarize(records), sort=sort, limit=limit)

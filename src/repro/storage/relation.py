@@ -433,6 +433,21 @@ class Relation:
         self._index_cache[shared_set] = buckets
         return buckets
 
+    def has_join_index(self, attributes: Iterable[str]) -> bool:
+        """Whether a join index over ``attributes`` is already built.
+
+        Storage-level observability: the evaluator annotates join spans
+        with ``index_hit`` by asking this *before* joining, which makes
+        the persistent-index layer (indexes surviving delta-patched
+        unions/differences across refreshes) visible in traces. Read-only
+        — it never builds the index.
+        """
+        return frozenset(attributes) in self._index_cache
+
+    def cached_index_count(self) -> int:
+        """How many join indexes this instance currently holds (metrics)."""
+        return len(self._index_cache)
+
     # ------------------------------------------------------------------
     # Constraint-oriented helpers
     # ------------------------------------------------------------------

@@ -136,7 +136,9 @@ def _diff_states(
 
 
 def run_schema(
-    schema_seed: int, config: DifferentialConfig
+    schema_seed: int,
+    config: DifferentialConfig,
+    trace_sink=None,
 ) -> Optional[Tuple[int, List[Disagreement]]]:
     """One random schema: build the three tracks, replay one update stream.
 
@@ -144,6 +146,12 @@ def run_schema(
     draw is unusable (specification failed, or the update generator could
     not produce a single valid update — both legitimate outcomes of random
     schema generation, counted as skips by :func:`run_differential`).
+
+    ``trace_sink`` (a :class:`~repro.obs.trace.TraceCollector`, e.g. a
+    :class:`~repro.obs.trace.JsonlSink`) enables tracing on the *fast*
+    track and streams every refresh trace there — CI uploads the resulting
+    JSONL as an artifact, so a differential failure comes with the full
+    operator-level story of what the fast path executed.
     """
     rng = random.Random(schema_seed)
     catalog = random_catalog(rng, config.generator)
@@ -161,6 +169,8 @@ def run_schema(
     definitions = spec.definitions_over_sources()
 
     fast = Warehouse(spec, cached=True)
+    if trace_sink is not None:
+        fast.enable_tracing(capacity=1, sink=trace_sink)
     fast.initialize(database)
     uncached_state = {name: rel for name, rel in fast.state.items()}
     mirror = database.copy()
@@ -200,11 +210,16 @@ def run_schema(
     return steps, disagreements
 
 
-def run_differential(config: DifferentialConfig = DifferentialConfig()) -> DifferentialReport:
+def run_differential(
+    config: DifferentialConfig = DifferentialConfig(),
+    trace_sink=None,
+) -> DifferentialReport:
     """Run the full oracle: ``config.n_schemas`` usable schemas, step-locked.
 
     Unusable random draws are skipped (and counted) until the schema quota
     is met or ``config.max_schema_attempts`` candidates have been tried.
+    ``trace_sink`` is forwarded to every :func:`run_schema` (JSONL trace
+    output of the fast track).
     """
     schemas_run = 0
     skipped = 0
@@ -214,7 +229,7 @@ def run_differential(config: DifferentialConfig = DifferentialConfig()) -> Diffe
         if schemas_run >= config.n_schemas:
             break
         schema_seed = config.seed + attempt
-        outcome = run_schema(schema_seed, config)
+        outcome = run_schema(schema_seed, config, trace_sink=trace_sink)
         if outcome is None:
             skipped += 1
             continue

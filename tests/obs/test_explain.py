@@ -1,0 +1,117 @@
+"""Tests for trace rendering (explain) and JSONL report aggregation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.explain import explain_refresh, render_trace, source_relations_read
+from repro.obs.report import group_key, render_report, report_file, summarize
+from repro.obs.trace import JsonlSink, RingBufferCollector, Tracer
+
+
+def build_refresh_trace():
+    collector = RingBufferCollector()
+    tracer = Tracer([collector])
+    with tracer.span("refresh", relations=["Sale"]):
+        with tracer.span("normalize_update"):
+            with tracer.span("reconstruct", relation="Sale"):
+                with tracer.span("read", relation="C_Sale", rows_out=0):
+                    pass
+        with tracer.span("maintain", relation="Sold"):
+            with tracer.span("difference", fastpath="anti_join", rows_out=1):
+                pass
+            with tracer.span("read", relation="Sold", cached=True, rows_out=3):
+                pass
+    return collector.last("refresh")
+
+
+def test_render_trace_tree_shape():
+    text = render_trace(build_refresh_trace())
+    lines = text.splitlines()
+    assert lines[0].startswith("refresh ")
+    assert any(line.lstrip("│ ├└─").startswith("normalize_update") for line in lines)
+    # Tree connectors present and nesting is visible.
+    assert any("├─" in line for line in lines)
+    assert any("└─" in line for line in lines)
+    # The fast-path span is starred and carries its attribute.
+    starred = [line for line in lines if "difference*" in line]
+    assert starred and "fastpath=anti_join" in starred[0]
+
+
+def test_render_trace_max_depth_truncates():
+    text = render_trace(build_refresh_trace(), max_depth=1)
+    assert "..." in text
+    assert "reconstruct" not in text
+
+
+def test_explain_header_summarizes_fastpaths_and_reads():
+    text = explain_refresh(build_refresh_trace())
+    assert "fast paths fired: 1 (anti_join)" in text
+    assert "cached sub-results served: 1" in text
+    assert "relations read: C_Sale, Sold" in text
+
+
+def test_source_relations_read_detects_leaks():
+    trace = build_refresh_trace()
+    # The warehouse-only trace reads no source relation...
+    assert source_relations_read(trace, ["Sale", "Emp"]) == []
+    # ...and a trace that *did* read one is caught.
+    collector = RingBufferCollector()
+    tracer = Tracer([collector])
+    with tracer.span("refresh"):
+        with tracer.span("read", relation="Emp", rows_out=3):
+            pass
+    assert source_relations_read(collector.last(), ["Sale", "Emp"]) == ["Emp"]
+
+
+def test_group_key_refinement():
+    assert group_key({"name": "read", "attributes": {"relation": "Sold"}}) == "read:Sold"
+    assert (
+        group_key({"name": "difference", "attributes": {"fastpath": "anti_join"}})
+        == "difference[anti_join]"
+    )
+    assert group_key({"name": "join", "attributes": {}}) == "join"
+
+
+def test_summarize_and_render_report():
+    records = [
+        {"name": "join", "duration_ms": 2.0, "attributes": {"rows_out": 5}},
+        {"name": "join", "duration_ms": 4.0, "attributes": {"rows_out": 7}},
+        {"name": "read", "duration_ms": 0.5, "attributes": {"relation": "Sold", "cached": True}},
+    ]
+    aggregates = {a.key: a for a in summarize(records)}
+    assert aggregates["join"].count == 2
+    assert aggregates["join"].total_ms == pytest.approx(6.0)
+    assert aggregates["join"].mean_ms == pytest.approx(3.0)
+    assert aggregates["join"].rows_out == 12
+    assert aggregates["read:Sold"].cached == 1
+    table = render_report(list(aggregates.values()), sort="total")
+    first_data_row = table.splitlines()[2]
+    assert first_data_row.startswith("join")  # sorted by total time, descending
+    with pytest.raises(ValueError):
+        render_report([], sort="bogus")
+
+
+def test_report_file_round_trip(tmp_path):
+    path = str(tmp_path / "trace.jsonl")
+    with JsonlSink(path, mode="w") as sink:
+        tracer = Tracer([sink])
+        with tracer.span("refresh"):
+            with tracer.span("join", rows_out=4):
+                pass
+    text = report_file(path)
+    assert "1 trace(s)" in text
+    assert "join" in text and "refresh" in text
+
+
+def test_report_file_rejects_garbage(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text("not json\n")
+    with pytest.raises(ValueError):
+        report_file(str(path))
+
+
+def test_report_file_empty(tmp_path):
+    path = tmp_path / "empty.jsonl"
+    path.write_text("")
+    assert "no spans" in report_file(str(path))

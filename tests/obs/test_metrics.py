@@ -1,0 +1,119 @@
+"""Unit tests for the metrics registry: instruments, aggregation, facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra.evaluator import EvalStats
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+def test_counter_increments_and_rejects_decrease():
+    counter = Counter("warehouse.refreshes")
+    counter.inc()
+    counter.inc(4)
+    assert counter.value == 5
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+
+
+def test_gauge_moves_both_ways():
+    gauge = Gauge("warehouse.rows")
+    gauge.set(10)
+    gauge.inc(5)
+    gauge.dec(3)
+    assert gauge.value == 12
+
+
+def test_histogram_summary_statistics():
+    histogram = Histogram("warehouse.refresh_seconds")
+    for value in (0.5, 1.5, 1.0):
+        histogram.observe(value)
+    assert histogram.count == 3
+    assert histogram.total == pytest.approx(3.0)
+    assert histogram.minimum == 0.5
+    assert histogram.maximum == 1.5
+    assert histogram.mean == pytest.approx(1.0)
+    snap = histogram.snapshot()
+    assert snap["count"] == 3 and snap["mean"] == pytest.approx(1.0)
+
+
+def test_histogram_buckets():
+    histogram = Histogram("integrator.batch_size", buckets=(1, 10, 100))
+    for value in (1, 2, 50, 1000):
+        histogram.observe(value)
+    assert histogram.snapshot()["buckets"] == {
+        "le_1": 1,
+        "le_10": 1,
+        "le_100": 1,
+        "inf": 1,
+    }
+    with pytest.raises(ValueError):
+        Histogram("bad", buckets=(10, 1))
+
+
+def test_registry_get_or_create_and_kind_clash():
+    registry = MetricsRegistry()
+    counter = registry.counter("evaluator.joins")
+    assert registry.counter("evaluator.joins") is counter
+    with pytest.raises(ValueError):
+        registry.gauge("evaluator.joins")
+    assert registry.get("evaluator.joins") is counter
+    assert registry.get("missing") is None
+    assert "evaluator.joins" in registry
+    assert len(registry) == 1
+
+
+def test_registry_aggregation_across_sources():
+    """Several producers write into one registry; snapshot sees the union."""
+    registry = MetricsRegistry()
+    registry.counter("integrator.notifications").inc(7)
+    registry.counter("integrator.updates.Sale").inc(4)
+    registry.counter("integrator.updates.Emp").inc(3)
+    registry.gauge("warehouse.rows").set(120)
+    registry.histogram("warehouse.batch_size").observe(3)
+    registry.histogram("warehouse.batch_size").observe(5)
+    snapshot = registry.snapshot()
+    assert snapshot["integrator.notifications"] == 7
+    assert snapshot["integrator.updates.Sale"] == 4
+    assert snapshot["warehouse.batch_size"]["count"] == 2
+    assert snapshot["warehouse.batch_size"]["sum"] == 8
+    assert list(snapshot) == sorted(snapshot)  # deterministic ordering
+
+
+def test_merge_eval_stats_facade():
+    """EvalStats remains the hot-path struct; merging publishes it as metrics."""
+    registry = MetricsRegistry()
+    stats = EvalStats()
+    stats.nodes_evaluated = 10
+    stats.cache_hits = 4
+    stats.cache_misses = 6
+    stats.antijoin_fastpaths = 2
+    registry.merge_eval_stats(stats)
+    registry.merge_eval_stats(stats)  # counters accumulate across refreshes
+    assert registry.value("evaluator.nodes_evaluated") == 20
+    assert registry.value("evaluator.cache_hits") == 8
+    assert registry.value("evaluator.antijoin_fastpaths") == 4
+    # Zero-valued fields are not materialized as empty counters.
+    assert "evaluator.joins" not in registry
+
+
+def test_ratio_helper():
+    registry = MetricsRegistry()
+    assert registry.ratio("evaluator.cache_hits", "evaluator.cache_misses") == 0.0
+    registry.counter("evaluator.cache_hits").inc(3)
+    registry.counter("evaluator.cache_misses").inc(1)
+    assert registry.ratio(
+        "evaluator.cache_hits", "evaluator.cache_misses"
+    ) == pytest.approx(0.75)
+
+
+def test_describe_renders_every_instrument():
+    registry = MetricsRegistry()
+    assert "no metrics" in registry.describe()
+    registry.counter("a.count").inc(2)
+    registry.gauge("b.rows").set(9)
+    registry.histogram("c.seconds").observe(0.5)
+    text = registry.describe()
+    for fragment in ("a.count", "counter", "b.rows", "gauge", "c.seconds", "histogram"):
+        assert fragment in text

@@ -1,0 +1,142 @@
+"""End-to-end observability over the paper's workloads.
+
+Two theorems become *observable* here. Update independence (Thm 4.1):
+refresh traces contain zero ``read`` spans over source relations — the
+maintenance expressions only touch warehouse storage. And the PR 1 fast
+paths: on the E1 workload the Prop 2.2 complement shape drives the
+anti-join rewrite during initialization, and ``explain()`` names it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Catalog, Database, View, Warehouse, parse
+from repro.integrator import Channel, ComplementIntegrator, Source
+from repro.obs.explain import source_relations_read
+
+
+@pytest.fixture
+def traced_e1(figure1_catalog, figure1_database, sold_view):
+    """Figure 1 warehouse with tracing on from before initialization."""
+    warehouse = Warehouse.specify(figure1_catalog, [sold_view], method="prop22")
+    warehouse.enable_tracing()
+    warehouse.initialize(figure1_database)
+    return warehouse
+
+
+class TestE1Explain:
+    def test_initialize_explain_names_the_antijoin_fastpath(self, traced_e1):
+        # C_Sale = Sale - pi[item, clerk](Sale join Emp) has exactly the
+        # Prop 2.2 shape the anti-join rewrite targets.
+        text = traced_e1.explain(name="initialize")
+        assert "difference*" in text
+        assert "fastpath=anti_join" in text
+        assert "anti_join" in text.splitlines()[1]  # named in the summary header
+
+    def test_refresh_explain_names_the_semijoin_fastpath(self, traced_e1):
+        traced_e1.insert("Sale", [("Computer", "Paula")])
+        text = traced_e1.explain(name="refresh")
+        assert "refresh" in text.splitlines()[0] or "refresh" in text
+        assert "fastpath=semi_join" in text
+
+    def test_default_explain_is_newest_trace(self, traced_e1):
+        assert "initialize" in traced_e1.explain()
+        traced_e1.insert("Sale", [("Computer", "Paula")])
+        assert "refresh" in traced_e1.explain()
+
+    def test_explain_requires_tracing(
+        self, figure1_catalog, figure1_database, sold_view
+    ):
+        from repro.core.warehouse import WarehouseError
+
+        warehouse = Warehouse.specify(figure1_catalog, [sold_view])
+        warehouse.initialize(figure1_database)
+        with pytest.raises(WarehouseError):
+            warehouse.explain()
+
+    def test_refresh_reads_no_source_relation(self, traced_e1):
+        # Thm 4.1, observed: the Example 1.1 insertion is maintained
+        # entirely from {Sold, C_Emp, C_Sale}.
+        traced_e1.insert("Sale", [("Computer", "Paula")])
+        root = traced_e1.last_trace("refresh")
+        assert source_relations_read(root, ["Sale", "Emp"]) == []
+        read = {s.attributes.get("relation") for s in root.find_all("read")}
+        assert read  # the trace does record reads — warehouse relations and
+        # the in-memory delta placeholders (Sale__ins / Sale__del), never
+        # the source relation Sale itself.
+        warehouse_reads = {r for r in read if "__" not in r}
+        assert warehouse_reads <= {"Sold", "C_Emp", "C_Sale"}
+
+
+class TestExample22UpdateIndependence:
+    """Example 2.2: R(A,B,C) with V1 = pi_AB(R), V2 = pi_BC(R), V3 = sigma_B=b(R)."""
+
+    @pytest.fixture
+    def traced_warehouse(self):
+        catalog = Catalog()
+        catalog.relation("R", ("A", "B", "C"))
+        views = [
+            View("V1", parse("pi[A, B](R)")),
+            View("V2", parse("pi[B, C](R)")),
+            View("V3", parse("sigma[B = 'b'](R)")),
+        ]
+        warehouse = Warehouse.specify(catalog, views, method="prop22")
+        db = Database(catalog)
+        db.load("R", [("a", "a", "a"), ("a", "b", "c"), ("b", "a", "a")])
+        warehouse.initialize(db)
+        warehouse.enable_tracing()
+        return warehouse
+
+    def test_refresh_trace_shows_zero_source_reads(self, traced_warehouse):
+        traced_warehouse.insert("R", [("c", "b", "a"), ("c", "c", "c")])
+        root = traced_warehouse.last_trace("refresh")
+        assert root is not None
+        assert source_relations_read(root, ["R"]) == []
+
+    def test_deletion_refresh_is_also_source_free(self, traced_warehouse):
+        traced_warehouse.delete("R", [("a", "a", "a")])
+        root = traced_warehouse.last_trace("refresh")
+        assert source_relations_read(root, ["R"]) == []
+        # The warehouse still agrees with a source-side recomputation.
+        assert traced_warehouse.reconstruct("R").to_set() == {
+            ("a", "b", "c"),
+            ("b", "a", "a"),
+        }
+
+
+class TestMetricsEndToEnd:
+    def test_warehouse_refresh_metrics(self, traced_e1):
+        traced_e1.insert("Sale", [("Computer", "Paula")])
+        traced_e1.insert("Sale", [("Radio", "John")])
+        metrics = traced_e1.metrics
+        assert metrics.value("warehouse.refreshes") == 2
+        assert metrics.value("warehouse.rows_inserted") >= 2
+        assert metrics.get("warehouse.refresh_seconds").count == 2
+        # EvalStats is folded in under the evaluator.* prefix.
+        assert metrics.value("evaluator.nodes_evaluated") > 0
+        assert metrics.value("evaluator.semijoin_fastpaths") >= 1
+        # Storage gauges track the warehouse relations.
+        assert metrics.value("warehouse.rows") == traced_e1.storage_rows()
+        assert metrics.value("warehouse.complement_rows.C_Emp") == 0  # Paula sold
+
+    def test_integrator_metrics_share_the_registry(self, figure1_catalog):
+        channel = Channel()
+        sales = Source("SalesDB", figure1_catalog, ("Sale",), channel)
+        company = Source("CompanyDB", figure1_catalog, ("Emp",), channel)
+        sales.load("Sale", [("TV", "Mary")])
+        company.load("Emp", [("Mary", 23), ("Paula", 32)])
+        integrator = ComplementIntegrator(
+            figure1_catalog,
+            [View("Sold", parse("Sale join Emp"))],
+            method="prop22",
+        )
+        integrator.initialize([sales, company])
+        sales.insert("Sale", [("Computer", "Paula")])
+        sales.insert("Sale", [("Radio", "Mary")])
+        integrator.process_all(channel)
+        metrics = integrator.metrics
+        assert metrics.value("integrator.notifications") == 2
+        assert metrics.value("integrator.updates.Sale") == 2
+        assert "integrator.updates.Emp" not in metrics
+        assert metrics.value("warehouse.refreshes") == 2

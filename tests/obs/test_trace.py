@@ -1,0 +1,172 @@
+"""Unit tests for the span/tracer layer: nesting, timing, attributes, sinks."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.trace import JsonlSink, RingBufferCollector, Span, Tracer
+
+
+class FakeClock:
+    """A deterministic clock: each reading advances by ``step`` seconds."""
+
+    def __init__(self, step: float = 1.0) -> None:
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        value = self.now
+        self.now += self.step
+        return value
+
+
+def test_span_nesting_structure():
+    collector = RingBufferCollector()
+    tracer = Tracer([collector])
+    with tracer.span("refresh"):
+        with tracer.span("normalize_update"):
+            with tracer.span("reconstruct"):
+                pass
+        with tracer.span("maintain"):
+            pass
+    root = collector.last()
+    assert root.name == "refresh"
+    assert [c.name for c in root.children] == ["normalize_update", "maintain"]
+    assert [c.name for c in root.children[0].children] == ["reconstruct"]
+    assert root.children[0].children[0].parent_id == root.children[0].span_id
+    assert root.parent_id is None
+
+
+def test_span_timing_uses_clock():
+    clock = FakeClock(step=1.0)
+    collector = RingBufferCollector()
+    tracer = Tracer([collector], clock=clock)
+    with tracer.span("outer"):
+        with tracer.span("inner"):
+            pass
+    outer = collector.last("outer")
+    inner = outer.children[0]
+    # Clock readings: outer start=0, inner start=1, inner end=2, outer end=3.
+    assert inner.duration == pytest.approx(1.0)
+    assert outer.duration == pytest.approx(3.0)
+    assert outer.started_at < inner.started_at
+    assert inner.ended_at < outer.ended_at
+
+
+def test_attribute_capture_at_open_and_via_set_and_annotate():
+    collector = RingBufferCollector()
+    tracer = Tracer([collector])
+    with tracer.span("join", rows_in_left=10) as span:
+        tracer.annotate(index_hit=True)   # what the evaluator does mid-span
+        span.set(rows_out=7)
+    trace = collector.last("join")
+    assert trace.attributes == {"rows_in_left": 10, "index_hit": True, "rows_out": 7}
+
+
+def test_annotate_targets_innermost_open_span():
+    collector = RingBufferCollector()
+    tracer = Tracer([collector])
+    with tracer.span("outer"):
+        with tracer.span("inner"):
+            tracer.annotate(fastpath="anti_join")
+    root = collector.last("outer")
+    assert "fastpath" not in root.attributes
+    assert root.children[0].attributes["fastpath"] == "anti_join"
+    # Outside any span, annotate is a silent no-op.
+    tracer.annotate(ignored=True)
+
+
+def test_current_span_tracking():
+    tracer = Tracer()
+    assert tracer.current is None
+    with tracer.span("a") as a:
+        assert tracer.current is a
+        with tracer.span("b") as b:
+            assert tracer.current is b
+        assert tracer.current is a
+    assert tracer.current is None
+
+
+def test_span_survives_exception_and_is_still_collected():
+    collector = RingBufferCollector()
+    tracer = Tracer([collector])
+    with pytest.raises(ValueError):
+        with tracer.span("refresh"):
+            with tracer.span("maintain"):
+                raise ValueError("boom")
+    root = collector.last("refresh")
+    assert root is not None
+    assert root.ended_at is not None
+    assert [c.name for c in root.children] == ["maintain"]
+    assert tracer.current is None  # the stack unwound cleanly
+
+
+def test_walk_find_and_find_all():
+    tracer = Tracer([collector := RingBufferCollector()])
+    with tracer.span("refresh"):
+        with tracer.span("maintain"):
+            with tracer.span("read"):
+                tracer.annotate(relation="Sold")
+        with tracer.span("maintain"):
+            with tracer.span("read"):
+                tracer.annotate(relation="C_Emp")
+    root = collector.last()
+    assert [s.name for s in root.walk()][0] == "refresh"
+    assert len(list(root.walk())) == 5
+    assert root.find("read").attributes["relation"] == "Sold"  # pre-order: first
+    assert [s.attributes["relation"] for s in root.find_all("read")] == [
+        "Sold",
+        "C_Emp",
+    ]
+    assert root.find("nonexistent") is None
+
+
+def test_ring_buffer_capacity_and_last_filter():
+    collector = RingBufferCollector(capacity=2)
+    tracer = Tracer([collector])
+    for index in range(4):
+        with tracer.span("refresh", index=index):
+            pass
+    assert len(collector) == 2
+    assert [root.attributes["index"] for root in collector.roots] == [2, 3]
+    assert collector.last("refresh").attributes["index"] == 3
+    assert collector.last("initialize") is None
+    collector.clear()
+    assert len(collector) == 0
+    with pytest.raises(ValueError):
+        RingBufferCollector(capacity=0)
+
+
+def test_jsonl_sink_round_trip(tmp_path):
+    path = str(tmp_path / "trace.jsonl")
+    with JsonlSink(path, mode="w") as sink:
+        tracer = Tracer([sink], clock=FakeClock(step=0.001))
+        with tracer.span("refresh", relations=["Sale"]):
+            with tracer.span("read"):
+                tracer.annotate(relation="Sold", rows_out=3)
+    records = [json.loads(line) for line in open(path) if line.strip()]
+    assert [r["name"] for r in records] == ["refresh", "read"]
+    root, read = records
+    assert root["parent_id"] is None
+    assert read["parent_id"] == root["span_id"]
+    assert read["attributes"] == {"relation": "Sold", "rows_out": 3}
+    assert root["duration_ms"] == pytest.approx(3.0)
+
+
+def test_multiple_collectors_all_receive_roots():
+    first, second = RingBufferCollector(), RingBufferCollector()
+    tracer = Tracer([first, second])
+    with tracer.span("refresh"):
+        pass
+    assert first.last("refresh") is second.last("refresh")
+
+
+def test_only_roots_are_collected():
+    collector = RingBufferCollector()
+    tracer = Tracer([collector])
+    with tracer.span("refresh"):
+        with tracer.span("maintain"):
+            pass
+    assert len(collector) == 1  # the child arrived inside the root, not separately

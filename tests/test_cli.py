@@ -70,6 +70,46 @@ class TestTpcd:
         assert "complements proven empty" in out
 
 
+class TestObs:
+    def test_obs_explain_replays_figure1(self, capsys):
+        assert main(["obs", "explain"]) == 0
+        out = capsys.readouterr().out
+        assert "initialize" in out
+        assert "refresh" in out
+        assert "fastpath=anti_join" in out
+        assert "fastpath=semi_join" in out
+        assert "warehouse.refreshes" in out  # metrics dump at the end
+
+    def test_obs_explain_trace_out(self, tmp_path, capsys):
+        path = tmp_path / "figure1.jsonl"
+        assert main(["obs", "explain", "--trace-out", str(path)]) == 0
+        lines = [line for line in path.read_text().splitlines() if line.strip()]
+        records = [json.loads(line) for line in lines]
+        assert any(r["name"] == "refresh" for r in records)
+        assert any(r["name"] == "read" for r in records)
+
+    def test_obs_report_on_trace_file(self, tmp_path, capsys):
+        path = tmp_path / "figure1.jsonl"
+        assert main(["obs", "explain", "--trace-out", str(path)]) == 0
+        capsys.readouterr()  # discard the explain output
+        assert main(["obs", "report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "trace(s)" in out
+        assert "read:" in out  # per-relation read rows
+
+    def test_obs_report_sort_and_limit(self, tmp_path, capsys):
+        path = tmp_path / "figure1.jsonl"
+        main(["obs", "explain", "--trace-out", str(path)])
+        capsys.readouterr()
+        assert main(["obs", "report", str(path), "--sort", "count", "--limit", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "trace(s)" in out
+
+    def test_obs_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["obs"])
+
+
 class TestArgErrors:
     def test_missing_command(self):
         with pytest.raises(SystemExit):
