@@ -1,0 +1,177 @@
+#!/usr/bin/env python
+"""AST lint for the evaluator's untraced hot path.
+
+The evaluator keeps two entry points: ``_eval`` (the default, untraced
+path — called once per operator per evaluation, often inside per-row
+loops higher up) and ``_eval_traced`` (taken only when a tracer is
+installed). The untraced path must stay allocation-free with respect to
+observability: no ``Span`` objects, no timing calls, no unguarded tracer
+method calls. This script enforces that invariant structurally so a
+refactor cannot quietly put span construction back on the hot path.
+
+Rules (over ``src/repro/algebra/evaluator.py`` by default):
+
+R1  ``*.span(...)`` calls may appear only inside functions on the
+    allowlist (``_eval_traced``) — span construction is what makes the
+    traced path cost something, and it must stay quarantined there.
+R2  No references to ``perf_counter``, ``monotonic``, ``time`` or
+    ``datetime``: the evaluator itself never reads clocks; timing lives
+    in ``repro.obs`` behind the tracer.
+R3  Any other ``*.tracer.method(...)`` call outside the allowlist must
+    be lexically inside an ``if <obj>.tracer is not None`` guard, so the
+    ``tracer=None`` default never pays an attribute lookup on a dead
+    branch. (Guarded calls inside loops are fine — e.g. the per-operand
+    annotate in ``_eval_difference``.)
+R4  The name ``Span`` must not be referenced at all: the evaluator
+    receives spans only through the tracer's context manager.
+
+Exit status: 0 when clean, 1 with one violation per line otherwise.
+Usage: ``python scripts/check_hotpath.py [FILE ...]``.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import List
+
+SPAN_ALLOWLIST = frozenset({"_eval_traced"})
+TIMING_NAMES = frozenset({"perf_counter", "monotonic", "time", "datetime"})
+
+DEFAULT_TARGET = (
+    Path(__file__).resolve().parent.parent
+    / "src"
+    / "repro"
+    / "algebra"
+    / "evaluator.py"
+)
+
+
+def _is_tracer_guard(test: ast.expr) -> bool:
+    """True for ``<expr>.tracer is not None`` (or ``is None``, for else-guards)."""
+    return (
+        isinstance(test, ast.Compare)
+        and isinstance(test.left, ast.Attribute)
+        and test.left.attr == "tracer"
+        and len(test.ops) == 1
+        and isinstance(test.ops[0], (ast.Is, ast.IsNot))
+        and len(test.comparators) == 1
+        and isinstance(test.comparators[0], ast.Constant)
+        and test.comparators[0].value is None
+    )
+
+
+def _is_tracer_call(node: ast.Call) -> bool:
+    """True for ``<expr>.tracer.method(...)``."""
+    func = node.func
+    return (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Attribute)
+        and func.value.attr == "tracer"
+    )
+
+
+class _HotPathChecker(ast.NodeVisitor):
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.violations: List[str] = []
+        self._function = "<module>"
+        self._guard_depth = 0
+
+    def _report(self, node: ast.AST, rule: str, message: str) -> None:
+        line = getattr(node, "lineno", 0)
+        self.violations.append(f"{self.path}:{line}: {rule}: {message}")
+
+    # -- scope tracking -------------------------------------------------
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        previous = self._function
+        self._function = node.name
+        self.generic_visit(node)
+        self._function = previous
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_If(self, node: ast.If) -> None:
+        self.visit(node.test)
+        if _is_tracer_guard(node.test):
+            self._guard_depth += 1
+            for child in node.body:
+                self.visit(child)
+            for child in node.orelse:
+                self.visit(child)
+            self._guard_depth -= 1
+        else:
+            for child in node.body + node.orelse:
+                self.visit(child)
+
+    # -- rules ----------------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr == "span":
+            if self._function not in SPAN_ALLOWLIST:
+                self._report(
+                    node,
+                    "R1",
+                    f"span() call in '{self._function}' — spans may only be "
+                    f"built in {sorted(SPAN_ALLOWLIST)}",
+                )
+        elif _is_tracer_call(node):
+            if self._function not in SPAN_ALLOWLIST and not self._guard_depth:
+                self._report(
+                    node,
+                    "R3",
+                    f"unguarded tracer call in '{self._function}' — wrap in "
+                    "'if <obj>.tracer is not None'",
+                )
+        self.generic_visit(node)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if node.id in TIMING_NAMES:
+            self._report(node, "R2", f"timing name '{node.id}' on the hot path")
+        elif node.id == "Span":
+            self._report(node, "R4", "'Span' referenced in the evaluator")
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if node.attr in TIMING_NAMES:
+            self._report(node, "R2", f"timing attribute '.{node.attr}' on the hot path")
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        for alias in node.names:
+            if alias.name == "Span":
+                self._report(node, "R4", "'Span' imported into the evaluator")
+            if alias.name in TIMING_NAMES:
+                self._report(node, "R2", f"timing import '{alias.name}'")
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name.split(".")[0] in TIMING_NAMES:
+                self._report(node, "R2", f"timing import '{alias.name}'")
+
+
+def check_file(path: str) -> List[str]:
+    """Check one file; returns a list of ``path:line: rule: message`` strings."""
+    source = Path(path).read_text()
+    tree = ast.parse(source, filename=str(path))
+    checker = _HotPathChecker(str(path))
+    checker.visit(tree)
+    return checker.violations
+
+
+def main(argv: List[str]) -> int:
+    targets = argv or [str(DEFAULT_TARGET)]
+    violations: List[str] = []
+    for target in targets:
+        violations.extend(check_file(target))
+    for violation in violations:
+        print(violation)
+    if violations:
+        print(f"check_hotpath: {len(violations)} violation(s)")
+        return 1
+    print(f"check_hotpath: OK ({len(targets)} file(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -16,7 +16,11 @@ MODULES = [
     "repro.algebra.conditions", "repro.algebra.expressions", "repro.algebra.evaluator",
     "repro.algebra.parser", "repro.algebra.simplify", "repro.algebra.optimize",
     "repro.algebra.rewriting", "repro.algebra.deltas", "repro.algebra.containment",
+    "repro.algebra.visitors",
     "repro.views.psj", "repro.views.analysis",
+    "repro.analysis.diagnostics", "repro.analysis.typecheck",
+    "repro.analysis.satisfiability", "repro.analysis.lint",
+    "repro.analysis.specfile", "repro.analysis.report",
     "repro.core.covers", "repro.core.complement", "repro.core.independence",
     "repro.core.translation", "repro.core.maintenance", "repro.core.warehouse",
     "repro.core.minimality", "repro.core.selfmaint", "repro.core.star",

@@ -68,6 +68,14 @@ from repro.obs import (
     Tracer,
 )
 from repro.views import PSJView, View, as_psj
+from repro.analysis import (
+    Diagnostic,
+    Severity,
+    SourceSpan,
+    lint_spec,
+    lint_views,
+    typecheck_expression,
+)
 from repro.core import (
     ComplementView,
     Warehouse,
@@ -91,6 +99,7 @@ __all__ = [
     "ConstraintViolation",
     "Database",
     "Delta",
+    "Diagnostic",
     "EvalStats",
     "EvaluationCache",
     "EvaluationError",
@@ -106,6 +115,8 @@ __all__ = [
     "ReproError",
     "RingBufferCollector",
     "SchemaError",
+    "Severity",
+    "SourceSpan",
     "Span",
     "StateVersion",
     "Tracer",
@@ -127,6 +138,8 @@ __all__ = [
     "evaluate",
     "evaluate_all",
     "join",
+    "lint_spec",
+    "lint_views",
     "maintenance_expressions",
     "parse",
     "parse_condition",
@@ -137,6 +150,7 @@ __all__ = [
     "simplify",
     "specify",
     "translate_query",
+    "typecheck_expression",
     "union",
     "verify_complement",
     "verify_one_to_one",

@@ -9,6 +9,13 @@ Commands
     Read a schema-and-views description (JSON, see below) and print the
     computed warehouse specification — complements, inverses, minimality
     certificate, and self-maintenance analysis.
+``lint FILE [FILE ...]``
+    Statically analyze spec files: expression typechecking (E01xx) plus
+    the paper-semantics lint pass (W00xx — PSJ form, condition
+    satisfiability, Theorem 2.2 preconditions, complement quality, view
+    hygiene). ``--format json`` emits the CI artifact format; ``--strict``
+    fails on INFO-level findings too. Exit status: 0 clean, 1 findings,
+    2 unreadable input. The diagnostic catalog is docs/lint.md.
 ``tpcd [--scale S]``
     Generate a TPC-D-like instance, specify its warehouse, and print the
     storage breakdown.
@@ -97,6 +104,29 @@ def _cmd_spec(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.analysis.report import (
+        exit_code,
+        lint_file,
+        render_json,
+        render_text,
+    )
+
+    extra_ignore = []
+    for chunk in args.ignore or ():
+        extra_ignore.extend(code.strip() for code in chunk.split(",") if code.strip())
+    reports = [
+        lint_file(path, method=args.method, extra_ignore=extra_ignore)
+        for path in args.files
+    ]
+    if args.format == "json":
+        output = render_json(reports, strict=args.strict)
+    else:
+        output = render_text(reports, strict=args.strict)
+    print(output)
+    return exit_code(reports, strict=args.strict)
+
+
 def _cmd_obs(args) -> int:
     if args.obs_command == "report":
         from repro.obs.report import report_file
@@ -174,6 +204,31 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="complement computation method (default: thm22)",
     )
 
+    lint_parser = commands.add_parser(
+        "lint", help="statically analyze warehouse spec files (docs/lint.md)"
+    )
+    lint_parser.add_argument("files", nargs="+", help="spec JSON file(s)")
+    lint_parser.add_argument(
+        "--method",
+        choices=("thm22", "prop22", "trivial"),
+        default="thm22",
+        help="complement method for the spec-level checks (default: thm22)",
+    )
+    lint_parser.add_argument(
+        "--format", choices=("text", "json"), default="text"
+    )
+    lint_parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail on INFO-level findings too",
+    )
+    lint_parser.add_argument(
+        "--ignore",
+        action="append",
+        metavar="CODES",
+        help="comma-separated diagnostic codes to suppress (repeatable)",
+    )
+
     tpcd_parser = commands.add_parser("tpcd", help="TPC-D-like warehouse summary")
     tpcd_parser.add_argument("--scale", type=float, default=1.0)
 
@@ -200,6 +255,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {
         "demo": _cmd_demo,
         "spec": _cmd_spec,
+        "lint": _cmd_lint,
         "tpcd": _cmd_tpcd,
         "obs": _cmd_obs,
     }

@@ -1,0 +1,69 @@
+"""Static analysis of warehouse specifications (deploy-time checking).
+
+The paper's guarantees — Propositions 2.1/2.2, Theorems 2.2 and 4.1 — hold
+only when a warehouse specification satisfies structural preconditions: PSJ
+form, declared keys, covers from ``V_K^ind``, acyclic INDs. This package
+decides those preconditions *statically*, before any data flows:
+
+* :mod:`~repro.analysis.typecheck` — a schema-aware typechecker for algebra
+  expressions (``E01xx``), the diagnostic twin of the runtime's
+  :meth:`~repro.algebra.expressions.Expression.attributes`;
+* :mod:`~repro.analysis.lint` — the paper-semantics lint pass over view
+  sets and specs (``W00xx``);
+* :mod:`~repro.analysis.satisfiability` — static condition analysis;
+* :mod:`~repro.analysis.report` / :mod:`~repro.analysis.specfile` — the
+  ``python -m repro lint`` engine and its JSON spec-file format.
+
+The diagnostic catalog is documented in ``docs/lint.md``; every code has a
+stable meaning, a paper reference, and a triggering test.
+"""
+
+from repro.analysis.diagnostics import (
+    CATALOG,
+    Diagnostic,
+    Severity,
+    SourceSpan,
+    filter_ignored,
+    has_errors,
+    max_severity,
+    sort_diagnostics,
+)
+from repro.analysis.lint import lint_spec, lint_views, psj_parts
+from repro.analysis.report import (
+    FileReport,
+    exit_code,
+    lint_file,
+    render_json,
+    render_text,
+)
+from repro.analysis.satisfiability import (
+    tautological_conjuncts,
+    unsatisfiable_reason,
+)
+from repro.analysis.specfile import LintTarget, load_target
+from repro.analysis.typecheck import typecheck_aggregate, typecheck_expression
+
+__all__ = [
+    "CATALOG",
+    "Diagnostic",
+    "Severity",
+    "SourceSpan",
+    "FileReport",
+    "LintTarget",
+    "exit_code",
+    "filter_ignored",
+    "has_errors",
+    "lint_file",
+    "lint_spec",
+    "lint_views",
+    "load_target",
+    "max_severity",
+    "psj_parts",
+    "render_json",
+    "render_text",
+    "sort_diagnostics",
+    "tautological_conjuncts",
+    "typecheck_aggregate",
+    "typecheck_expression",
+    "unsatisfiable_reason",
+]

@@ -1,0 +1,452 @@
+"""The warehouse lint pass: paper-semantics checks over view sets and specs.
+
+The checks mirror the preconditions of the paper's results (codes detailed
+in ``docs/lint.md``):
+
+* **W001x — PSJ form.** Warehouse views must be PSJ views (Section 2);
+  Section 5's union-integrated fact tables — a union whose members are PSJ
+  over the same attributes — are recognized and accepted.
+* **W002x — selection conditions.** Statically unsatisfiable conditions
+  (the view is empty on every state) and tautological conjuncts, via
+  :mod:`repro.analysis.satisfiability` with the conjunctive-query
+  containment machinery as a second opinion.
+* **W003x — Theorem 2.2 preconditions.** A relation whose attributes are
+  projected away by every view needs a declared key and a cover from
+  ``V_K^ind`` for the theorem's reconstruction to exist; these diagnostics
+  name the missing key or the uncoverable attributes.
+* **W004x — complement quality.** Stored complements that constraint
+  analysis proves empty (Examples 2.3/2.4) and specs without a minimality
+  certificate (Theorem 2.1 / Example 2.2).
+* **W005x — view-set hygiene.** Duplicate names, names shadowing base
+  relations, and provably equivalent view pairs.
+
+Entry points: :func:`lint_views` for a catalog plus view definitions,
+:func:`lint_spec` for a computed :class:`~repro.core.complement.WarehouseSpec`
+(adds the W004x spec-level checks). Both also run the ``E01xx`` expression
+typechecker. ``deep=False`` skips the potentially quadratic or
+containment-based checks (W0041/W0042/W0052 and the CQ second opinion) —
+the mode :meth:`~repro.core.warehouse.Warehouse.validate` uses on every
+initialization.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import ExpressionError
+from repro.algebra.conditions import TrueCondition
+from repro.algebra.containment import UnsupportedFragment, is_equivalent, to_union_of_cqs
+from repro.algebra.expressions import Expression, Scope, Union as UnionExpr
+from repro.schema.catalog import Catalog
+from repro.views.analysis import is_join_connected
+from repro.views.psj import PSJView, View, as_psj
+from repro.core.covers import ind_views
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    SourceSpan,
+    filter_ignored,
+    has_errors,
+    make,
+    sort_diagnostics,
+)
+from repro.analysis.satisfiability import (
+    tautological_conjuncts,
+    unsatisfiable_reason,
+)
+from repro.analysis.typecheck import typecheck_expression
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.complement import WarehouseSpec
+
+
+def _union_branches(expression: Expression) -> List[Expression]:
+    """The non-union leaves of a (possibly nested) union tree."""
+    branches: List[Expression] = []
+    stack = [expression]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, UnionExpr):
+            stack.extend((node.right, node.left))
+        else:
+            branches.append(node)
+    return branches
+
+
+def _repeats_relation(expression: Expression) -> Optional[str]:
+    """A relation name occurring more than once in the tree, if any."""
+    from repro.algebra.expressions import RelationRef
+
+    seen: Dict[str, int] = {}
+    for node in expression.walk():
+        if isinstance(node, RelationRef):
+            seen[node.name] = seen.get(node.name, 0) + 1
+    for name, count in seen.items():
+        if count > 1:
+            return name
+    return None
+
+
+def psj_parts(view: View) -> Tuple[List[PSJView], List[Diagnostic]]:
+    """The view's PSJ members, plus W001x diagnostics when it has none.
+
+    A plain PSJ view yields one part. A union-integrated fact table
+    (Section 5) yields one part per member. A definition outside both
+    shapes yields no parts and a ``W0012`` (self-join) or ``W0011``
+    (general non-PSJ) diagnostic.
+    """
+    branches = _union_branches(view.definition)
+    parts: List[PSJView] = []
+    diagnostics: List[Diagnostic] = []
+    for branch in branches:
+        try:
+            parts.append(as_psj(branch))
+            continue
+        except ExpressionError as exc:
+            where = SourceSpan(
+                context=f"view {view.name}", snippet=str(branch)
+            )
+            repeated = _repeats_relation(branch)
+            if repeated is not None:
+                diagnostics.append(
+                    make(
+                        "W0012",
+                        f"the join repeats relation {repeated!r}",
+                        span=where,
+                        hint="self-joins need a renamed copy of the relation; "
+                        "they are outside the paper's PSJ fragment",
+                    )
+                )
+            else:
+                member = (
+                    "a union member of the definition"
+                    if len(branches) > 1
+                    else "the definition"
+                )
+                diagnostics.append(
+                    make(
+                        "W0011",
+                        f"{member} is not a PSJ view: {exc}",
+                        span=where,
+                        hint="write the view as pi_Z(sigma_C(R1 join ... "
+                        "join Rk)), or as a union of such members sharing "
+                        "one schema (a Section 5 fact table)",
+                    )
+                )
+    if diagnostics:
+        return [], diagnostics
+    return parts, []
+
+
+class _ViewRecord:
+    """Per-view analysis state shared by the relation-level checks."""
+
+    __slots__ = ("view", "parts", "clean", "part_attrs")
+
+    def __init__(
+        self,
+        view: View,
+        parts: List[PSJView],
+        clean: bool,
+        part_attrs: List[Tuple[str, ...]],
+    ) -> None:
+        self.view = view
+        self.parts = parts
+        self.clean = clean
+        self.part_attrs = part_attrs
+
+
+def _lint_conditions(
+    record: _ViewRecord, catalog: Catalog, scope: Scope, deep: bool
+) -> List[Diagnostic]:
+    diagnostics: List[Diagnostic] = []
+    name = record.view.name
+    for part in record.parts:
+        span = SourceSpan(context=f"view {name}", snippet=str(part.condition))
+        reason = unsatisfiable_reason(part.condition)
+        if reason is not None:
+            diagnostics.append(
+                make(
+                    "W0021",
+                    f"the selection condition can never hold: {reason}",
+                    span=span,
+                    hint="the view is empty on every state; fix the "
+                    "condition or drop the view",
+                )
+            )
+        elif deep and record.clean:
+            # Second opinion: the CQ compiler returns no disjunct exactly
+            # when equality reasoning proves the condition unsatisfiable.
+            try:
+                if not to_union_of_cqs(part.expression(), scope):
+                    diagnostics.append(
+                        make(
+                            "W0021",
+                            "containment analysis proves the view empty on "
+                            "every state",
+                            span=span,
+                            hint="the equality conjuncts are contradictory",
+                        )
+                    )
+            except (UnsupportedFragment, ExpressionError):
+                pass
+        if isinstance(part.condition, TrueCondition):
+            # No selection at all — nothing the author could "drop".
+            continue
+        for conjunct in tautological_conjuncts(part.condition):
+            diagnostics.append(
+                make(
+                    "W0022",
+                    f"the conjunct {conjunct} is always true and filters "
+                    "nothing",
+                    span=span,
+                    hint="drop the conjunct",
+                )
+            )
+    return diagnostics
+
+
+def _lint_join_graphs(
+    record: _ViewRecord, catalog: Catalog
+) -> List[Diagnostic]:
+    diagnostics: List[Diagnostic] = []
+    for part in record.parts:
+        if len(part.relations) <= 1:
+            continue
+        if any(relation not in catalog for relation in part.relations):
+            continue  # E0101 already reported
+        if not is_join_connected(part, catalog):
+            diagnostics.append(
+                make(
+                    "W0013",
+                    f"the join of {list(part.relations)} has a disconnected "
+                    "join graph: some relations share no attributes "
+                    "(cartesian product)",
+                    span=SourceSpan(
+                        context=f"view {record.view.name}",
+                        snippet=str(part.expression()),
+                    ),
+                    hint="add the linking relation or attribute, or split "
+                    "the view",
+                )
+            )
+    return diagnostics
+
+
+def _lint_coverage(
+    records: Sequence[_ViewRecord], catalog: Catalog
+) -> List[Diagnostic]:
+    """The W003x pass: Theorem 2.2 preconditions, relation by relation."""
+    diagnostics: List[Diagnostic] = []
+    for schema in catalog.schemas():
+        relation = schema.name
+        attr_set = set(schema.attribute_set)
+        involving: List[Tuple[_ViewRecord, PSJView, Tuple[str, ...]]] = []
+        for record in records:
+            for part, attrs in zip(record.parts, record.part_attrs):
+                if part.involves(relation):
+                    involving.append((record, part, attrs))
+        span = SourceSpan(context=f"relation {relation}")
+        if not involving:
+            diagnostics.append(
+                make(
+                    "W0033",
+                    f"no view involves {relation!r}; its complement stores "
+                    "the relation in full",
+                    span=span,
+                    hint="add a view over the relation (even a plain copy) "
+                    "or remove it from the catalog",
+                )
+            )
+            continue
+        if any(attr_set <= set(attrs) for _, _, attrs in involving):
+            continue  # some view retains attr(R): R̂ is non-empty
+        if schema.key is None:
+            viewed = sorted({rec.view.name for rec, _, _ in involving})
+            diagnostics.append(
+                make(
+                    "W0031",
+                    f"views {viewed} project away attributes of "
+                    f"{relation!r}, which declares no key: Theorem 2.2's "
+                    "V_K^ind reconstruction is unavailable and the "
+                    "complement stores the relation in full",
+                    span=span,
+                    hint=f"declare a key for {relation!r} so key-retaining "
+                    "views can form covers",
+                )
+            )
+            continue
+        key = set(schema.key)
+        covered: Set[str] = set()
+        for record, part, attrs in involving:
+            if key <= set(attrs):
+                covered |= attr_set & set(attrs)
+        for element in ind_views(catalog, relation):
+            covered |= set(element.attributes)
+        missing = sorted(attr_set - covered)
+        if missing:
+            diagnostics.append(
+                make(
+                    "W0032",
+                    f"no cover of attr({relation}) exists: attributes "
+                    f"{missing} are projected away by every key-retaining "
+                    "view and no inclusion dependency supplies them",
+                    span=span,
+                    hint=f"retain {missing} in some view keeping the key "
+                    f"{sorted(key)}, or declare a suitable inclusion "
+                    "dependency",
+                )
+            )
+    return diagnostics
+
+
+def _lint_equivalence(
+    records: Sequence[_ViewRecord], scope: Scope
+) -> List[Diagnostic]:
+    diagnostics: List[Diagnostic] = []
+    clean = [record for record in records if record.clean]
+    for i, first in enumerate(clean):
+        for second in clean[i + 1 :]:
+            if first.view.name == second.view.name:
+                continue  # W0051 already covers duplicates
+            try:
+                equivalent = is_equivalent(
+                    first.view.definition, second.view.definition, scope
+                )
+            except (UnsupportedFragment, ExpressionError):
+                continue
+            if equivalent:
+                diagnostics.append(
+                    make(
+                        "W0052",
+                        f"views {first.view.name!r} and {second.view.name!r} "
+                        "are provably equivalent; materializing both stores "
+                        "the same tuples twice",
+                        span=SourceSpan(context=f"view {second.view.name}"),
+                        hint="drop one of the two views",
+                    )
+                )
+    return diagnostics
+
+
+def lint_views(
+    catalog: Catalog,
+    views: Sequence[View],
+    deep: bool = True,
+    ignore: Sequence[str] = (),
+) -> List[Diagnostic]:
+    """Lint a warehouse definition: typecheck plus W001x-W003x, W005x.
+
+    ``deep=False`` skips the pairwise-equivalence check (W0052) and the
+    containment-based condition analysis — everything that remains is
+    linear in the size of the definitions.
+
+    Examples
+    --------
+    >>> from repro.schema import Catalog
+    >>> from repro.algebra.parser import parse
+    >>> catalog = Catalog()
+    >>> _ = catalog.relation("Sale", ("item", "clerk"))
+    >>> _ = catalog.relation("Emp", ("clerk", "age"), key=("clerk",))
+    >>> lint_views(catalog, [View("Sold", parse("Sale join Emp"))])
+    []
+    """
+    scope: Dict[str, Tuple[str, ...]] = {
+        s.name: s.attributes for s in catalog.schemas()
+    }
+    diagnostics: List[Diagnostic] = []
+    records: List[_ViewRecord] = []
+    seen: Set[str] = set()
+    for view in views:
+        context = f"view {view.name}"
+        if view.name in seen:
+            diagnostics.append(
+                make(
+                    "W0051",
+                    f"view name {view.name!r} is defined more than once",
+                    span=SourceSpan(context=context),
+                    hint="rename one of the definitions",
+                )
+            )
+        seen.add(view.name)
+        if view.name in catalog:
+            diagnostics.append(
+                make(
+                    "W0053",
+                    f"view name {view.name!r} shadows a base relation",
+                    span=SourceSpan(context=context),
+                    hint="rename the view; base and warehouse names share "
+                    "one namespace in translated queries",
+                )
+            )
+        _, type_diags = typecheck_expression(view.definition, scope, context)
+        diagnostics.extend(type_diags)
+        clean = not has_errors(type_diags)
+        parts, form_diags = psj_parts(view)
+        diagnostics.extend(form_diags)
+        part_attrs: List[Tuple[str, ...]] = []
+        usable_parts: List[PSJView] = []
+        for part in parts:
+            try:
+                attrs = part.attributes(scope)
+            except ExpressionError:
+                continue  # E01xx already reported for this subtree
+            usable_parts.append(part)
+            part_attrs.append(attrs)
+        record = _ViewRecord(view, usable_parts, clean, part_attrs)
+        records.append(record)
+        diagnostics.extend(_lint_join_graphs(record, catalog))
+        diagnostics.extend(_lint_conditions(record, catalog, scope, deep))
+    diagnostics.extend(_lint_coverage(records, catalog))
+    if deep:
+        diagnostics.extend(_lint_equivalence(records, scope))
+    return sort_diagnostics(filter_ignored(diagnostics, ignore))
+
+
+def lint_spec(
+    spec: "WarehouseSpec",
+    deep: bool = True,
+    ignore: Sequence[str] = (),
+) -> List[Diagnostic]:
+    """Lint a computed spec: :func:`lint_views` plus the W004x checks.
+
+    The W004x checks need the computed complement, so they only exist at
+    spec level; ``deep=False`` skips them (they re-run the constraint
+    emptiness analysis, which is the expensive part of ``specify``).
+    """
+    diagnostics = lint_views(spec.catalog, spec.views, deep=deep)
+    if deep:
+        from repro.core.complement import provably_empty_complements
+        from repro.core.minimality import is_minimal_certificate
+
+        for relation in sorted(
+            provably_empty_complements(spec.catalog, spec.views)
+        ):
+            complement = spec.complements.get(relation)
+            if complement is None or complement.provably_empty:
+                continue
+            diagnostics.append(
+                make(
+                    "W0041",
+                    f"the stored complement {complement.name!r} of "
+                    f"{relation!r} is empty on every "
+                    "constraint-satisfying state",
+                    span=SourceSpan(context=f"complement {complement.name}"),
+                    hint="specify with prune_empty=True (method 'thm22') "
+                    "to drop it from storage",
+                )
+            )
+        try:
+            certificate = is_minimal_certificate(spec)
+        except ExpressionError:
+            certificate = None
+        if certificate is not None and not certificate.certified:
+            diagnostics.append(
+                make(
+                    "W0042",
+                    f"no minimality certificate: {certificate.reason}",
+                    span=None,
+                    hint="use method 'thm22', or restrict the definition "
+                    "to SJ views (Theorem 2.1)",
+                )
+            )
+    return sort_diagnostics(filter_ignored(diagnostics, ignore))

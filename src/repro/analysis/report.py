@@ -1,0 +1,135 @@
+"""Lint runs over spec files: reports, text/JSON rendering, exit codes.
+
+This is the engine behind ``python -m repro lint``. Each file becomes a
+:class:`FileReport`; the collection renders as human-readable text or as a
+stable JSON document (the CI artifact format), and :func:`exit_code` turns
+it into the process's verdict:
+
+* ``0`` — no findings at or above the gate;
+* ``1`` — findings at or above the gate (``WARNING`` by default; every
+  severity with ``--strict``);
+* ``2`` — a file could not be loaded at all.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, NamedTuple, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.lint import lint_spec, lint_views
+from repro.analysis.specfile import load_target
+
+REPORT_VERSION = 1
+
+
+class FileReport(NamedTuple):
+    """The lint outcome for one spec file."""
+
+    path: str
+    diagnostics: List[Diagnostic]
+    ignored: Dict[str, str]
+    error: Optional[str] = None
+
+
+def lint_file(
+    path: str,
+    method: str = "thm22",
+    deep: bool = True,
+    extra_ignore: Sequence[str] = (),
+) -> FileReport:
+    """Lint one spec file end to end.
+
+    Runs the definition-level lint first; when it reports no errors and
+    every view is in the PSJ fragment, the warehouse specification is
+    computed with ``method`` and the spec-level checks (W004x) run too —
+    mirroring what a deployment would do. Union-of-PSJ fact tables
+    (Section 5) are linted branch-by-branch only: they are specified by
+    the star pipeline, not by :func:`repro.core.complement.specify`.
+    """
+    try:
+        target = load_target(path)
+    except (OSError, ValueError, ReproError) as exc:
+        return FileReport(path, [], {}, error=str(exc))
+    ignore = list(target.ignore) + list(extra_ignore)
+    diagnostics = lint_views(target.catalog, target.views, deep=deep, ignore=ignore)
+    clean = not any(d.severity is Severity.ERROR for d in diagnostics)
+    if clean and all(view.is_psj() for view in target.views):
+        from repro.core.complement import specify
+
+        try:
+            spec = specify(target.catalog, target.views, method=method)
+        except ReproError as exc:
+            return FileReport(path, diagnostics, target.ignore, error=str(exc))
+        diagnostics = lint_spec(spec, deep=deep, ignore=ignore)
+    return FileReport(path, diagnostics, target.ignore)
+
+
+def exit_code(reports: Sequence[FileReport], strict: bool = False) -> int:
+    """The process verdict for a lint run (see module docstring)."""
+    if any(report.error is not None for report in reports):
+        return 2
+    gate = Severity.INFO if strict else Severity.WARNING
+    for report in reports:
+        if any(d.severity >= gate for d in report.diagnostics):
+            return 1
+    return 0
+
+
+def _summary(reports: Sequence[FileReport]) -> Dict[str, int]:
+    counts = {"errors": 0, "warnings": 0, "infos": 0, "files": len(reports)}
+    for report in reports:
+        for diagnostic in report.diagnostics:
+            if diagnostic.severity is Severity.ERROR:
+                counts["errors"] += 1
+            elif diagnostic.severity is Severity.WARNING:
+                counts["warnings"] += 1
+            else:
+                counts["infos"] += 1
+    return counts
+
+
+def render_text(reports: Sequence[FileReport], strict: bool = False) -> str:
+    """The human-readable rendering used by ``--format text``."""
+    lines: List[str] = []
+    for report in reports:
+        if report.error is not None:
+            lines.append(f"{report.path}: failed to lint: {report.error}")
+            continue
+        if not report.diagnostics:
+            lines.append(f"{report.path}: clean")
+        else:
+            lines.append(f"{report.path}:")
+            for diagnostic in report.diagnostics:
+                for line in diagnostic.render().splitlines():
+                    lines.append(f"  {line}")
+        for code, justification in report.ignored.items():
+            lines.append(f"  ignored {code}: {justification}")
+    counts = _summary(reports)
+    verdict = "FAIL" if exit_code(reports, strict=strict) else "OK"
+    lines.append(
+        f"{verdict}: {counts['files']} file(s), {counts['errors']} error(s), "
+        f"{counts['warnings']} warning(s), {counts['infos']} info(s)"
+    )
+    return "\n".join(lines)
+
+
+def render_json(reports: Sequence[FileReport], strict: bool = False) -> str:
+    """The machine-readable rendering used by ``--format json`` (CI artifact)."""
+    document = {
+        "version": REPORT_VERSION,
+        "strict": strict,
+        "ok": exit_code(reports, strict=strict) == 0,
+        "summary": _summary(reports),
+        "files": [
+            {
+                "path": report.path,
+                "error": report.error,
+                "ignored": report.ignored,
+                "diagnostics": [d.to_dict() for d in report.diagnostics],
+            }
+            for report in reports
+        ],
+    }
+    return json.dumps(document, indent=1, sort_keys=True)

@@ -1,0 +1,178 @@
+"""Static satisfiability analysis of selection conditions (W002x).
+
+Decides two cheap, sound properties of a condition's top-level conjuncts:
+
+* **unsatisfiable** — no row can satisfy the condition. Detected from the
+  constant ``false``, from a constant-constant conjunct that evaluates
+  false, or from contradictory constraints on one attribute (two different
+  required equalities, an equality excluded by a disequality, or an empty
+  ordering interval). Sound but incomplete; cross-attribute reasoning is
+  left to the conjunctive-query machinery in
+  :mod:`repro.algebra.containment`, which the lint pass consults as a
+  second opinion.
+* **tautological conjuncts** — conjuncts that filter nothing: the constant
+  ``true`` or a constant-constant comparison that evaluates true. These are
+  reported individually (the rest of the condition may still be doing
+  work).
+
+Only conjunctive structure is analyzed: a top-level ``Or``/``Not`` is one
+opaque conjunct. Attribute-self comparisons (``a < a``) are deliberately
+skipped here — the typechecker reports them as ``E0108``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.algebra.conditions import (
+    AttributeRef,
+    Comparison,
+    Condition,
+    Constant,
+    FalseCondition,
+    TrueCondition,
+    _OPS,
+)
+
+
+def _evaluate_constant(comparison: Comparison) -> Optional[bool]:
+    """The truth value of a constant-constant comparison, else ``None``."""
+    if isinstance(comparison.left, Constant) and isinstance(
+        comparison.right, Constant
+    ):
+        return _OPS[comparison.op](comparison.left.value, comparison.right.value)
+    return None
+
+
+class _Bounds:
+    """Accumulated constraints on one attribute across conjuncts."""
+
+    def __init__(self) -> None:
+        self.equal: Optional[object] = None
+        self.not_equal: List[object] = []
+        # (value, strict): x > value / x >= value and x < value / x <= value.
+        self.lower: List[Tuple[object, bool]] = []
+        self.upper: List[Tuple[object, bool]] = []
+
+    def add(self, op: str, value: object) -> Optional[str]:
+        """Fold one comparison in; returns a contradiction reason or None."""
+        if op == "=":
+            if self.equal is not None and not _same(self.equal, value):
+                return (
+                    f"required to equal both {self.equal!r} and {value!r}"
+                )
+            if any(_same(value, other) for other in self.not_equal):
+                return f"required to equal and not equal {value!r}"
+            self.equal = value
+        elif op == "!=":
+            if self.equal is not None and _same(self.equal, value):
+                return f"required to equal and not equal {value!r}"
+            self.not_equal.append(value)
+        elif op in (">", ">="):
+            self.lower.append((value, op == ">"))
+        elif op in ("<", "<="):
+            self.upper.append((value, op == "<"))
+        return self._interval_contradiction()
+
+    def _interval_contradiction(self) -> Optional[str]:
+        points: List[Tuple[object, bool]] = list(self.lower)
+        if self.equal is not None:
+            points.append((self.equal, False))
+        for low, low_strict in points:
+            for high, high_strict in self.upper:
+                verdict = _empty_interval(low, low_strict, high, high_strict)
+                if verdict:
+                    return verdict
+        if self.equal is not None:
+            for low, low_strict in self.lower:
+                verdict = _empty_interval(low, low_strict, self.equal, False)
+                if verdict:
+                    return verdict
+        return None
+
+
+def _same(left: object, right: object) -> bool:
+    return type(left) is type(right) and left == right
+
+
+def _empty_interval(
+    low: object, low_strict: bool, high: object, high_strict: bool
+) -> Optional[str]:
+    """Whether ``low < x < high`` (strictness as flagged) has no solution.
+
+    Conservative: values of different types are never reported (the
+    engine's total order over mixed types makes such comparisons legal,
+    but reasoning about them statically would be fragile).
+    """
+    if type(low) is not type(high):
+        return None
+    try:
+        above = low > high  # type: ignore[operator]
+        equal = low == high
+    except TypeError:
+        return None
+    if above:
+        return f"requires a value both > {high!r} and < {low!r}"
+    if equal and (low_strict or high_strict):
+        return f"requires a value both above and below {low!r}"
+    return None
+
+
+def unsatisfiable_reason(condition: Condition) -> Optional[str]:
+    """Why no row can satisfy ``condition``, or ``None`` if undecided.
+
+    Examples
+    --------
+    >>> from repro.algebra.parser import parse_condition
+    >>> unsatisfiable_reason(parse_condition("a = 1 and a = 2"))
+    "attribute 'a' required to equal both 1 and 2"
+    >>> unsatisfiable_reason(parse_condition("a > 5 and a < 3"))
+    "attribute 'a' requires a value both > 3 and < 5"
+    >>> unsatisfiable_reason(parse_condition("a = 1 and b = 2")) is None
+    True
+    """
+    if isinstance(condition, FalseCondition):
+        return "the condition is the constant false"
+    bounds: Dict[str, _Bounds] = {}
+    for conjunct in condition.conjuncts():
+        if isinstance(conjunct, FalseCondition):
+            return "a conjunct is the constant false"
+        if not isinstance(conjunct, Comparison):
+            continue
+        verdict = _evaluate_constant(conjunct)
+        if verdict is False:
+            return f"the constant conjunct {conjunct} is false"
+        if verdict is not None:
+            continue
+        oriented = conjunct.canonical()
+        if not (
+            isinstance(oriented.left, AttributeRef)
+            and isinstance(oriented.right, Constant)
+        ):
+            continue
+        name = oriented.left.name
+        reason = bounds.setdefault(name, _Bounds()).add(
+            oriented.op, oriented.right.value
+        )
+        if reason:
+            return f"attribute {name!r} {reason}"
+    return None
+
+
+def tautological_conjuncts(condition: Condition) -> List[Condition]:
+    """The conjuncts of ``condition`` that provably filter nothing.
+
+    Examples
+    --------
+    >>> from repro.algebra.parser import parse_condition
+    >>> [str(c) for c in tautological_conjuncts(parse_condition("1 = 1 and a = 2"))]
+    ['1 = 1']
+    """
+    out: List[Condition] = []
+    for conjunct in condition.conjuncts():
+        if isinstance(conjunct, TrueCondition):
+            out.append(conjunct)
+        elif isinstance(conjunct, Comparison):
+            if _evaluate_constant(conjunct) is True:
+                out.append(conjunct)
+    return out

@@ -1,0 +1,90 @@
+"""Loading lintable warehouse definitions from JSON spec files.
+
+The file format is the one ``python -m repro spec`` already consumes
+(relations, inclusions, checks, views — see :mod:`repro.__main__`), plus an
+optional ``"lint"`` section for per-file suppressions::
+
+    {
+      "relations": [...],
+      "inclusions": [...],
+      "views": [{"name": "Sold", "definition": "Sale join Emp"}],
+      "lint": {
+        "ignore": {
+          "W0033": "Audit is intentionally warehouse-only replicated"
+        }
+      }
+    }
+
+Every ignored code must exist in the diagnostic catalog and must carry a
+non-empty justification string — a suppression without a reason is itself a
+spec bug.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Mapping, NamedTuple
+
+from repro.errors import SchemaError
+from repro.algebra.parser import parse
+from repro.schema.catalog import Catalog
+from repro.storage.persist import catalog_from_dict
+from repro.views.psj import View
+from repro.analysis.diagnostics import CATALOG
+
+
+class LintTarget(NamedTuple):
+    """One loaded spec file, ready for :func:`repro.analysis.lint.lint_views`."""
+
+    path: str
+    catalog: Catalog
+    views: List[View]
+    ignore: Dict[str, str]
+
+    def ignored_codes(self) -> List[str]:
+        """The suppressed diagnostic codes."""
+        return list(self.ignore)
+
+
+def _parse_ignore(data: Mapping[str, Any], path: str) -> Dict[str, str]:
+    lint_section = data.get("lint", {})
+    if not isinstance(lint_section, Mapping):
+        raise SchemaError(f"{path}: 'lint' must be an object")
+    raw = lint_section.get("ignore", {})
+    if not isinstance(raw, Mapping):
+        raise SchemaError(
+            f"{path}: 'lint.ignore' must map diagnostic codes to justifications"
+        )
+    ignore: Dict[str, str] = {}
+    for code, justification in raw.items():
+        if code not in CATALOG:
+            raise SchemaError(
+                f"{path}: unknown diagnostic code {code!r} in lint.ignore"
+            )
+        if not isinstance(justification, str) or not justification.strip():
+            raise SchemaError(
+                f"{path}: lint.ignore[{code!r}] needs a non-empty justification"
+            )
+        ignore[code] = justification
+    return ignore
+
+
+def load_target(path: str) -> LintTarget:
+    """Load a spec file into a :class:`LintTarget`.
+
+    Raises :class:`~repro.errors.ReproError` subclasses for malformed
+    content and ``OSError``/``json.JSONDecodeError`` for unreadable files.
+    """
+    with open(path) as handle:
+        data = json.load(handle)
+    if not isinstance(data, Mapping):
+        raise SchemaError(f"{path}: spec file must contain a JSON object")
+    catalog = catalog_from_dict(
+        {
+            "relations": data.get("relations", []),
+            "inclusions": data.get("inclusions", []),
+            "checks": data.get("checks", {}),
+        }
+    )
+    views = [View(v["name"], parse(v["definition"])) for v in data.get("views", [])]
+    return LintTarget(path, catalog, views, _parse_ignore(data, path))

@@ -1,0 +1,296 @@
+"""Schema-aware static typechecking of algebra expressions.
+
+:meth:`Expression.attributes` is the library's *runtime* typechecker: it
+raises :class:`~repro.errors.ExpressionError` at the first defect. This
+module is its *static* twin: it infers output schemata bottom-up against a
+scope, keeps going past defects, and reports every one as a structured
+:class:`~repro.analysis.diagnostics.Diagnostic` with a path into the tree
+(``E01xx`` codes). Where inference cannot recover (an unknown relation), the
+affected subtree is skipped rather than cascading follow-on errors.
+
+The guarantee tied to this module (property-tested in
+``tests/analysis/test_property_lint.py``): an expression with no ``ERROR``
+diagnostics under a scope never raises a schema error when its attributes
+are computed or when it is evaluated over a state matching that scope.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from repro.algebra.conditions import (
+    AttributeRef,
+    Comparison,
+    Condition,
+    And,
+    Not,
+    Or,
+)
+from repro.algebra.expressions import (
+    Difference,
+    Empty,
+    Expression,
+    Join,
+    Project,
+    Rename,
+    RelationRef,
+    Scope,
+    Select,
+    Union,
+)
+from repro.algebra.visitors import Path, format_path
+from repro.analysis.diagnostics import Diagnostic, SourceSpan, make
+
+
+def comparisons(condition: Condition) -> Iterator[Comparison]:
+    """All :class:`Comparison` atoms inside a condition tree."""
+    stack: List[Condition] = [condition]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Comparison):
+            yield node
+        elif isinstance(node, (And, Or)):
+            stack.extend(node.parts)
+        elif isinstance(node, Not):
+            stack.append(node.part)
+
+
+class _Checker:
+    """One typechecking run: accumulates diagnostics while inferring."""
+
+    def __init__(self, root: Expression, scope: Scope, context: str) -> None:
+        self.root = root
+        self.scope = scope
+        self.context = context
+        self.diagnostics: List[Diagnostic] = []
+
+    def span(self, path: Path, node: Expression) -> SourceSpan:
+        return SourceSpan(
+            context=self.context,
+            path=format_path(self.root, path),
+            snippet=str(node),
+        )
+
+    def emit(
+        self,
+        code: str,
+        message: str,
+        path: Path,
+        node: Expression,
+        hint: str = "",
+    ) -> None:
+        self.diagnostics.append(
+            make(code, message, span=self.span(path, node), hint=hint)
+        )
+
+    # ------------------------------------------------------------------
+
+    def infer(self, node: Expression, path: Path) -> Optional[Tuple[str, ...]]:
+        """The output attributes of ``node``, or ``None`` after an E0101.
+
+        Other defects report a diagnostic but keep the *declared* output
+        schema (a bad projection still outputs its projection list), so one
+        mistake does not drown the rest of the tree in follow-on errors.
+        """
+        if isinstance(node, RelationRef):
+            attrs = self.scope.get(node.name)
+            if attrs is None:
+                self.emit(
+                    "E0101",
+                    f"relation {node.name!r} is not declared",
+                    path,
+                    node,
+                    hint="declare the relation in the catalog or fix the name",
+                )
+                return None
+            return tuple(attrs)
+        if isinstance(node, Empty):
+            return node.attrs
+        if isinstance(node, Project):
+            return self._infer_project(node, path)
+        if isinstance(node, Select):
+            return self._infer_select(node, path)
+        if isinstance(node, Join):
+            return self._infer_join(node, path)
+        if isinstance(node, (Union, Difference)):
+            return self._infer_union_like(node, path)
+        if isinstance(node, Rename):
+            return self._infer_rename(node, path)
+        raise TypeError(f"unknown expression node {type(node).__name__}")
+
+    def _infer_project(
+        self, node: Project, path: Path
+    ) -> Optional[Tuple[str, ...]]:
+        child = self.infer(node.child, path + (0,))
+        if child is not None:
+            missing = set(node.attrs) - set(child)
+            if missing:
+                self.emit(
+                    "E0102",
+                    f"projection onto {sorted(missing)}: the input only "
+                    f"produces {sorted(child)}",
+                    path,
+                    node,
+                    hint="project onto a subset of the input's attributes",
+                )
+        return node.attrs
+
+    def _infer_select(
+        self, node: Select, path: Path
+    ) -> Optional[Tuple[str, ...]]:
+        child = self.infer(node.child, path + (0,))
+        if child is not None:
+            missing = node.condition.attributes() - set(child)
+            if missing:
+                self.emit(
+                    "E0103",
+                    f"condition {node.condition} mentions {sorted(missing)}, "
+                    f"not attributes of the input {sorted(child)}",
+                    path,
+                    node,
+                    hint="apply the selection below the projection that "
+                    "drops these attributes, or keep them",
+                )
+        for comparison in comparisons(node.condition):
+            if (
+                isinstance(comparison.left, AttributeRef)
+                and isinstance(comparison.right, AttributeRef)
+                and comparison.left.name == comparison.right.name
+            ):
+                verdict = (
+                    "constant true"
+                    if comparison.op in ("=", "<=", ">=")
+                    else "constant false"
+                )
+                self.emit(
+                    "E0108",
+                    f"comparison {comparison} relates the attribute "
+                    f"{comparison.left.name!r} to itself ({verdict})",
+                    path,
+                    node,
+                    hint="compare against a different attribute or a constant",
+                )
+        return child
+
+    def _infer_join(self, node: Join, path: Path) -> Optional[Tuple[str, ...]]:
+        left = self.infer(node.left, path + (0,))
+        right = self.infer(node.right, path + (1,))
+        if left is None or right is None:
+            return None
+        left_set = set(left)
+        return left + tuple(a for a in right if a not in left_set)
+
+    def _infer_union_like(
+        self, node: Expression, path: Path
+    ) -> Optional[Tuple[str, ...]]:
+        code = "E0104" if isinstance(node, Union) else "E0105"
+        word = "union" if isinstance(node, Union) else "difference"
+        left_node, right_node = node.children()
+        left = self.infer(left_node, path + (0,))
+        right = self.infer(right_node, path + (1,))
+        if left is None or right is None:
+            return left or right
+        if set(left) != set(right):
+            self.emit(
+                code,
+                f"{word} of incompatible schemata: left produces "
+                f"{sorted(left)}, right produces {sorted(right)}",
+                path,
+                node,
+                hint="project both sides onto the same attribute set first",
+            )
+        return left
+
+    def _infer_rename(
+        self, node: Rename, path: Path
+    ) -> Optional[Tuple[str, ...]]:
+        child = self.infer(node.child, path + (0,))
+        if child is None:
+            return None
+        unknown = set(node.mapping) - set(child)
+        if unknown:
+            self.emit(
+                "E0106",
+                f"rename of {sorted(unknown)}: not attributes of the input "
+                f"{sorted(child)}",
+                path,
+                node,
+                hint="rename only attributes the input produces",
+            )
+        out = tuple(node.mapping.get(a, a) for a in child)
+        if len(set(out)) != len(out):
+            collided = sorted({a for a in out if out.count(a) > 1})
+            self.emit(
+                "E0107",
+                f"rename {node.mapping} collides on {collided}",
+                path,
+                node,
+                hint="pick target names distinct from the surviving attributes",
+            )
+            return None
+        return out
+
+
+def typecheck_expression(
+    expression: Expression, scope: Scope, context: str = "expression"
+) -> Tuple[Optional[Tuple[str, ...]], List[Diagnostic]]:
+    """Typecheck ``expression`` against ``scope``.
+
+    Returns ``(attributes, diagnostics)`` where ``attributes`` is the
+    inferred output schema (``None`` when inference could not complete) and
+    ``diagnostics`` the ``E01xx`` findings, outermost-first.
+
+    Examples
+    --------
+    >>> from repro.algebra.parser import parse
+    >>> attrs, diags = typecheck_expression(
+    ...     parse("pi[item, age](Sale)"), {"Sale": ("item", "clerk")}
+    ... )
+    >>> attrs
+    ('item', 'age')
+    >>> [d.code for d in diags]
+    ['E0102']
+    """
+    checker = _Checker(expression, scope, context)
+    attributes = checker.infer(expression, ())
+    return attributes, checker.diagnostics
+
+
+def typecheck_aggregate(
+    name: str,
+    group_by: Tuple[str, ...],
+    measure_attributes: Tuple[Optional[str], ...],
+    source_attributes: Tuple[str, ...],
+) -> List[Diagnostic]:
+    """Typecheck an aggregate view's grouping and measures (E0109/E0110).
+
+    ``measure_attributes`` lists each measure's input attribute (``None``
+    for ``count``); ``source_attributes`` is the schema of the warehouse
+    relation the aggregate rides on.
+    """
+    diagnostics: List[Diagnostic] = []
+    available = set(source_attributes)
+    span = SourceSpan(context=f"aggregate {name}")
+    for attribute in group_by:
+        if attribute not in available:
+            diagnostics.append(
+                make(
+                    "E0109",
+                    f"group-by attribute {attribute!r} is not produced by "
+                    f"the source ({sorted(available)})",
+                    span=span,
+                    hint="group by attributes of the source relation",
+                )
+            )
+    for attribute in measure_attributes:
+        if attribute is not None and attribute not in available:
+            diagnostics.append(
+                make(
+                    "E0110",
+                    f"measure attribute {attribute!r} is not produced by "
+                    f"the source ({sorted(available)})",
+                    span=span,
+                    hint="measure an attribute of the source relation",
+                )
+            )
+    return diagnostics

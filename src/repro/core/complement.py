@@ -306,6 +306,40 @@ def _provably_empty(
     return bool(covers)
 
 
+def provably_empty_complements(
+    catalog: Catalog, views: Sequence[View], use_keys: bool = True
+) -> FrozenSet[str]:
+    """Relations whose complement is empty on every legal state.
+
+    The public face of the emptiness analysis that ``prune_empty`` uses
+    internally (see :func:`_provably_empty` for the two sufficient
+    conditions); the lint pass reports a stored-but-empty complement as
+    ``W0041``. Views that are not PSJ (e.g. union-integrated fact tables)
+    are skipped, which can only make the result smaller — the analysis
+    stays sound.
+
+    Examples
+    --------
+    >>> from repro.schema import Catalog
+    >>> from repro.algebra.parser import parse
+    >>> catalog = Catalog()
+    >>> _ = catalog.relation("Sale", ("item", "clerk"))
+    >>> _ = catalog.relation("Emp", ("clerk", "age"), key=("clerk",))
+    >>> _ = catalog.inclusion("Sale", ("clerk",), "Emp")
+    >>> sorted(provably_empty_complements(
+    ...     catalog, [View("Sold", parse("Sale join Emp"))]
+    ... ))
+    ['Sale']
+    """
+    scope = {s.name: s.attributes for s in catalog.schemas()}
+    psj_views = [view for view in views if view.is_psj()]
+    return frozenset(
+        schema.name
+        for schema in catalog.schemas()
+        if _provably_empty(catalog, psj_views, schema.name, scope, use_keys=use_keys)
+    )
+
+
 # ----------------------------------------------------------------------
 # Proposition 2.2
 # ----------------------------------------------------------------------

@@ -229,6 +229,39 @@ class Warehouse:
         return cls(specify(catalog, views, method=method, **options))
 
     # ------------------------------------------------------------------
+    # Static validation (repro.analysis)
+    # ------------------------------------------------------------------
+
+    def validate(self, strict: bool = False, deep: bool = False) -> list:
+        """Statically check the specification; raise on defects.
+
+        Runs the :mod:`repro.analysis` lint pass over the spec and raises
+        :class:`~repro.errors.WarehouseError` listing every diagnostic at
+        or above the gate — ``ERROR`` by default, ``WARNING`` too with
+        ``strict=True``. Returns the full diagnostic list (including
+        findings below the gate) for inspection. ``deep=True`` adds the
+        containment- and emptiness-based checks (W0041/W0042/W0052),
+        which cost about as much as ``specify`` itself.
+
+        :meth:`initialize` calls this (non-strict, shallow) before
+        materializing, so misconfigured warehouses fail at deploy time
+        with structured diagnostics instead of raising mid-evaluation.
+        """
+        from repro.analysis.diagnostics import Severity
+        from repro.analysis.lint import lint_spec
+
+        diagnostics = lint_spec(self.spec, deep=deep)
+        gate = Severity.WARNING if strict else Severity.ERROR
+        failing = [d for d in diagnostics if d.severity >= gate]
+        if failing:
+            rendered = "\n".join(d.render() for d in failing)
+            raise WarehouseError(
+                f"invalid warehouse specification "
+                f"({len(failing)} finding(s)):\n{rendered}"
+            )
+        return diagnostics
+
+    # ------------------------------------------------------------------
     # State
     # ------------------------------------------------------------------
 
@@ -236,8 +269,11 @@ class Warehouse:
         """Materialize the warehouse from an initial source snapshot.
 
         This is the only moment source data is read (the initial extract);
-        afterwards the warehouse lives off reported updates alone.
+        afterwards the warehouse lives off reported updates alone. The
+        spec is statically validated first (:meth:`validate`) so schema
+        defects surface as structured diagnostics, not evaluation errors.
         """
+        self.validate()
         state = source.state() if isinstance(source, Database) else dict(source)
         started = perf_counter()
         if self._tracer is not None:

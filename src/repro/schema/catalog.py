@@ -13,11 +13,14 @@ paper's structural assumptions at definition time:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from repro.errors import SchemaError
 from repro.schema.constraints import InclusionDependency, KeyConstraint
 from repro.schema.schema import RelationSchema
+
+if TYPE_CHECKING:
+    from repro.algebra.conditions import Condition
 
 
 class Catalog:
@@ -36,7 +39,7 @@ class Catalog:
     def __init__(self) -> None:
         self._relations: Dict[str, RelationSchema] = {}
         self._inclusions: List[InclusionDependency] = []
-        self._checks: Dict[str, list] = {}
+        self._checks: Dict[str, List[Condition]] = {}
 
     # ------------------------------------------------------------------
     # Construction
@@ -85,7 +88,7 @@ class Catalog:
         lhs: str,
         lhs_attributes: Iterable[str],
         rhs: str,
-        rhs_attributes: Iterable[str] = None,
+        rhs_attributes: Optional[Iterable[str]] = None,
     ) -> InclusionDependency:
         """Convenience: build and register an :class:`InclusionDependency`."""
         return self.add_inclusion(
@@ -107,7 +110,7 @@ class Catalog:
             InclusionDependency(lhs, attributes, rhs, rhs_schema.key)
         )
 
-    def add_check(self, relation: str, condition) -> None:
+    def add_check(self, relation: str, condition: Condition) -> None:
         """Declare a check constraint: every tuple of ``relation`` satisfies
         ``condition`` (equivalently, ``sigma_condition(R) = R``).
 
@@ -125,7 +128,7 @@ class Catalog:
             )
         self._checks.setdefault(relation, []).append(condition)
 
-    def checks(self, relation: str) -> tuple:
+    def checks(self, relation: str) -> Tuple[Condition, ...]:
         """The declared check constraints of ``relation`` (possibly empty)."""
         self._require(relation)
         return tuple(self._checks.get(relation, ()))
@@ -158,7 +161,7 @@ class Catalog:
         """All relation schemata, in declaration order."""
         return tuple(self._relations.values())
 
-    def attributes(self, name: str) -> frozenset:
+    def attributes(self, name: str) -> FrozenSet[str]:
         """``attr(R)`` for the relation named ``name``."""
         return self._require(name).attribute_set
 

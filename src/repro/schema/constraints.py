@@ -19,7 +19,7 @@ Theorem 2.2 handles these combinations directly.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Tuple
+from typing import Dict, FrozenSet, Iterable, Optional, Tuple
 
 from repro.errors import SchemaError
 from repro.schema.schema import check_name
@@ -54,7 +54,7 @@ class KeyConstraint:
         return self._attributes
 
     @property
-    def attribute_set(self) -> frozenset:
+    def attribute_set(self) -> FrozenSet[str]:
         """The key attributes as a frozen set."""
         return frozenset(self._attributes)
 
@@ -104,7 +104,7 @@ class InclusionDependency:
         lhs: str,
         lhs_attributes: Iterable[str],
         rhs: str,
-        rhs_attributes: Iterable[str] = None,
+        rhs_attributes: Optional[Iterable[str]] = None,
     ) -> None:
         self._lhs = check_name(lhs, "relation")
         self._rhs = check_name(rhs, "relation")

@@ -9,7 +9,7 @@ named-attribute relational algebra with natural joins.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Tuple
+from typing import FrozenSet, Iterable, Optional, Tuple
 
 from repro.errors import SchemaError
 
@@ -100,7 +100,7 @@ class RelationSchema:
         return self._attributes
 
     @property
-    def attribute_set(self) -> frozenset:
+    def attribute_set(self) -> FrozenSet[str]:
         """Attribute names as a frozen set (``attr(R)`` in the paper)."""
         return self._attribute_set
 
@@ -110,7 +110,7 @@ class RelationSchema:
         return self._key
 
     @property
-    def key_set(self) -> Optional[frozenset]:
+    def key_set(self) -> Optional[FrozenSet[str]]:
         """The declared key as a frozen set, or ``None``."""
         return frozenset(self._key) if self._key is not None else None
 

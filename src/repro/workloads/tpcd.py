@@ -81,8 +81,13 @@ def standard_views() -> List[View]:
     """A representative warehouse definition over the TPC-D catalog.
 
     * ``SalesFact`` — the central PSJ fact view joining lineitems, orders,
-      and customers (projected onto the reporting attributes);
+      and customers (projected onto the reporting attributes; ``status``
+      and ``totalprice`` are retained so the key-keeping fact view covers
+      all of ``attr(Orders)``, satisfying Theorem 2.2's cover
+      precondition — flagged as W0032 by ``repro.analysis`` otherwise);
     * ``SupplierDim`` — suppliers with nation and region names;
+    * ``PartDim`` — a dimension copy of ``Part`` (without it, no view
+      involves the relation and its complement stores it in full: W0033);
     * ``CustomerDim`` — a dimension copy (select-only view: the Section 4
       closing case, update-independent without auxiliary data).
     """
@@ -96,16 +101,20 @@ def standard_views() -> List[View]:
             "custkey",
             "quantity",
             "price",
+            "status",
+            "totalprice",
             "mktsegment",
         ),
     )
     supplier_dim = join(
         RelationRef("Supplier"), RelationRef("Nation"), RelationRef("Region")
     )
+    part_dim = parse("Part")
     customer_dim = parse("Customer")
     return [
         View("SalesFact", sales),
         View("SupplierDim", supplier_dim),
+        View("PartDim", part_dim),
         View("CustomerDim", customer_dim),
     ]
 

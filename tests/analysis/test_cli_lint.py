@@ -1,0 +1,123 @@
+"""Unit tests for ``python -m repro lint``."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.__main__ import main
+
+CLEAN_SPEC = {
+    "relations": [
+        {"name": "Sale", "attributes": ["item", "clerk"]},
+        {"name": "Emp", "attributes": ["clerk", "age"], "key": ["clerk"]},
+    ],
+    "inclusions": [
+        {
+            "lhs": "Sale",
+            "lhs_attributes": ["clerk"],
+            "rhs": "Emp",
+            "rhs_attributes": ["clerk"],
+        }
+    ],
+    "views": [{"name": "Sold", "definition": "Sale join Emp"}],
+}
+
+
+def write(tmp_path, data, name="spec.json"):
+    path = tmp_path / name
+    path.write_text(json.dumps(data))
+    return str(path)
+
+
+def dirty_spec():
+    spec = json.loads(json.dumps(CLEAN_SPEC))
+    spec["relations"].append({"name": "Archive", "attributes": ["item", "year"]})
+    return spec
+
+
+class TestExitCodes:
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        path = write(tmp_path, CLEAN_SPEC)
+        assert main(["lint", path]) == 0
+        out = capsys.readouterr().out
+        assert "clean" in out
+        assert out.strip().endswith("0 info(s)")
+
+    def test_warning_exits_one(self, tmp_path, capsys):
+        assert main(["lint", write(tmp_path, dirty_spec())]) == 1
+        out = capsys.readouterr().out
+        assert "W0033" in out
+        assert "FAIL" in out
+
+    def test_unreadable_file_exits_two(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path / "missing.json")]) == 2
+        assert "failed to lint" in capsys.readouterr().out
+
+    def test_invalid_json_exits_two(self, tmp_path, capsys):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        assert main(["lint", str(path)]) == 2
+
+    def test_info_gates_only_with_strict(self, tmp_path, capsys):
+        spec = json.loads(json.dumps(CLEAN_SPEC))
+        # A tautological conjunct is INFO-level (W0022).
+        spec["views"][0]["definition"] = "sigma[1 = 1 and age > 0](Sale join Emp)"
+        path = write(tmp_path, spec)
+        assert main(["lint", path]) == 0
+        capsys.readouterr()
+        assert main(["lint", "--strict", path]) == 1
+        assert "W0022" in capsys.readouterr().out
+
+
+class TestFlags:
+    def test_ignore_flag_suppresses(self, tmp_path, capsys):
+        path = write(tmp_path, dirty_spec())
+        assert main(["lint", "--ignore", "W0033", path]) == 0
+
+    def test_json_format(self, tmp_path, capsys):
+        path = write(tmp_path, dirty_spec())
+        assert main(["lint", "--format", "json", path]) == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["version"] == 1
+        assert document["ok"] is False
+        assert document["summary"]["warnings"] == 1
+        [entry] = document["files"]
+        [diagnostic] = entry["diagnostics"]
+        assert diagnostic["code"] == "W0033"
+        assert diagnostic["severity"] == "warning"
+        assert diagnostic["paper"]
+
+    def test_method_flag(self, tmp_path, capsys):
+        path = write(tmp_path, CLEAN_SPEC)
+        # prop22 keeps the provably-empty C_Sale: INFO finding, strict gate.
+        assert main(["lint", "--method", "prop22", "--strict", path]) == 1
+        assert "W0041" in capsys.readouterr().out
+
+    def test_multiple_files(self, tmp_path, capsys):
+        clean = write(tmp_path, CLEAN_SPEC, "clean.json")
+        dirty = write(tmp_path, dirty_spec(), "dirty.json")
+        assert main(["lint", clean, dirty]) == 1
+        out = capsys.readouterr().out
+        assert "clean.json: clean" in out
+        assert "2 file(s)" in out
+
+
+class TestSpecFileIgnores:
+    def test_inline_ignore_block(self, tmp_path, capsys):
+        spec = dirty_spec()
+        spec["lint"] = {"ignore": {"W0033": "Archive intentionally cold"}}
+        assert main(["lint", write(tmp_path, spec)]) == 0
+        out = capsys.readouterr().out
+        assert "ignored W0033: Archive intentionally cold" in out
+
+    def test_unknown_ignore_code_rejected(self, tmp_path, capsys):
+        spec = dirty_spec()
+        spec["lint"] = {"ignore": {"W9999": "nope"}}
+        assert main(["lint", write(tmp_path, spec)]) == 2
+        assert "W9999" in capsys.readouterr().out
+
+    def test_empty_justification_rejected(self, tmp_path, capsys):
+        spec = dirty_spec()
+        spec["lint"] = {"ignore": {"W0033": ""}}
+        assert main(["lint", write(tmp_path, spec)]) == 2

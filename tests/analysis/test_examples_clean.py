@@ -1,0 +1,35 @@
+"""The shipped example specs and workloads must lint clean (strict gate).
+
+This is the test-side mirror of the CI gate: every spec under
+``examples/specs/`` and every programmatic workload definition stays free
+of findings, so ``python -m repro lint --strict examples/specs/*.json``
+exits 0.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import exit_code, lint_file, lint_views
+
+EXAMPLES = sorted((Path(__file__).parents[2] / "examples" / "specs").glob("*.json"))
+
+
+def test_examples_exist():
+    assert EXAMPLES, "examples/specs/ must ship at least one spec"
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_spec_lints_clean_strict(path):
+    report = lint_file(str(path))
+    assert report.error is None
+    assert report.diagnostics == []
+    assert exit_code([report], strict=True) == 0
+
+
+def test_tpcd_workload_lints_clean():
+    from repro.workloads.tpcd import standard_views, tpcd_catalog
+
+    assert lint_views(tpcd_catalog(), standard_views()) == []

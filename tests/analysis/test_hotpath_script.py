@@ -1,0 +1,111 @@
+"""Tests for ``scripts/check_hotpath.py`` (the evaluator hot-path AST lint)."""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).parents[2]
+
+
+def load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_hotpath", REPO / "scripts" / "check_hotpath.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+CHECKER = load_checker()
+
+
+def violations_for(tmp_path, source):
+    path = tmp_path / "candidate.py"
+    path.write_text(source)
+    return CHECKER.check_file(str(path))
+
+
+class TestRealEvaluator:
+    def test_shipped_evaluator_is_clean(self):
+        assert CHECKER.check_file(str(CHECKER.DEFAULT_TARGET)) == []
+
+    def test_main_exit_codes(self, capsys):
+        assert CHECKER.main([]) == 0
+        assert "OK" in capsys.readouterr().out
+
+
+class TestRules:
+    def test_r1_span_outside_allowlist(self, tmp_path):
+        found = violations_for(
+            tmp_path,
+            "def _eval(expr, ctx):\n"
+            "    with ctx.tracer.span('x'):\n"
+            "        pass\n",
+        )
+        assert any("R1" in v for v in found)
+
+    def test_r1_span_allowed_in_eval_traced(self, tmp_path):
+        found = violations_for(
+            tmp_path,
+            "def _eval_traced(expr, ctx):\n"
+            "    with ctx.tracer.span('x'):\n"
+            "        pass\n",
+        )
+        assert found == []
+
+    def test_r2_timing_calls(self, tmp_path):
+        found = violations_for(
+            tmp_path,
+            "from time import perf_counter\n"
+            "def f():\n"
+            "    return perf_counter()\n",
+        )
+        assert any("R2" in v for v in found)
+
+    def test_r3_unguarded_tracer_call(self, tmp_path):
+        found = violations_for(
+            tmp_path,
+            "def _natural_join(ctx):\n"
+            "    ctx.tracer.annotate(rows=1)\n",
+        )
+        assert any("R3" in v for v in found)
+
+    def test_r3_guarded_tracer_call_ok(self, tmp_path):
+        found = violations_for(
+            tmp_path,
+            "def _natural_join(ctx):\n"
+            "    if ctx.tracer is not None:\n"
+            "        ctx.tracer.annotate(rows=1)\n",
+        )
+        assert found == []
+
+    def test_r3_guarded_call_inside_loop_ok(self, tmp_path):
+        # The per-operand annotate in _eval_difference: guarded calls are
+        # fine even inside loops; only *unguarded* ones are flagged.
+        found = violations_for(
+            tmp_path,
+            "def _eval_difference(ctx, operands):\n"
+            "    for index, operand in enumerate(operands):\n"
+            "        if ctx.tracer is not None:\n"
+            "            ctx.tracer.annotate(step=index)\n",
+        )
+        assert found == []
+
+    def test_r4_span_reference(self, tmp_path):
+        found = violations_for(
+            tmp_path,
+            "from repro.obs import Span\n"
+            "def f():\n"
+            "    return Span('x', 0.0)\n",
+        )
+        assert any("R4" in v for v in found)
+
+    def test_main_reports_violations(self, tmp_path, capsys):
+        path = tmp_path / "bad.py"
+        path.write_text("import time\n")
+        assert CHECKER.main([str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "R2" in out
+        assert "violation" in out

@@ -1,0 +1,240 @@
+"""Unit tests for :mod:`repro.analysis.lint` (W00xx codes) and
+:meth:`repro.core.warehouse.Warehouse.validate`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    Catalog,
+    Database,
+    Severity,
+    View,
+    Warehouse,
+    WarehouseError,
+    parse,
+    specify,
+)
+from repro.analysis import lint_spec, lint_views, psj_parts
+
+
+def codes(diagnostics):
+    return sorted(d.code for d in diagnostics)
+
+
+def figure1_catalog(with_ind=True):
+    catalog = Catalog()
+    catalog.relation("Sale", ("item", "clerk"))
+    catalog.relation("Emp", ("clerk", "age"), key=("clerk",))
+    if with_ind:
+        catalog.inclusion("Sale", ("clerk",), "Emp")
+    return catalog
+
+
+class TestPsjParts:
+    def test_single_psj_view(self):
+        parts, diags = psj_parts(View("Sold", parse("Sale join Emp")))
+        assert diags == []
+        assert len(parts) == 1
+        assert parts[0].relations == ("Sale", "Emp")
+
+    def test_union_fact_table_yields_one_part_per_member(self):
+        view = View("Fact", parse("sigma[loc = 1](A) union sigma[loc = 2](B)"))
+        parts, diags = psj_parts(view)
+        assert diags == []
+        assert [p.relations for p in parts] == [("A",), ("B",)]
+
+    def test_w0011_non_psj(self):
+        parts, diags = psj_parts(View("Bad", parse("Sale minus Emp")))
+        assert parts == []
+        assert codes(diags) == ["W0011"]
+
+    def test_w0012_self_join(self):
+        parts, diags = psj_parts(View("Bad", parse("Sale join Sale")))
+        assert parts == []
+        assert codes(diags) == ["W0012"]
+
+
+class TestLintViews:
+    def test_figure1_clean(self):
+        catalog = figure1_catalog()
+        assert lint_views(catalog, [View("Sold", parse("Sale join Emp"))]) == []
+
+    def test_w0013_cartesian_product(self):
+        catalog = Catalog()
+        catalog.relation("A", ("x",))
+        catalog.relation("B", ("y",))
+        diags = lint_views(catalog, [View("V", parse("A join B"))])
+        assert "W0013" in codes(diags)
+
+    def test_w0021_unsatisfiable_condition(self):
+        catalog = Catalog()
+        catalog.relation("A", ("x", "y"))
+        diags = lint_views(catalog, [View("V", parse("sigma[x = 1 and x = 2](A)"))])
+        assert "W0021" in codes(diags)
+        w21 = next(d for d in diags if d.code == "W0021")
+        assert w21.severity is Severity.WARNING
+
+    def test_w0022_tautological_conjunct(self):
+        catalog = Catalog()
+        catalog.relation("A", ("x",))
+        diags = lint_views(catalog, [View("V", parse("sigma[1 = 1 and x = 2](A)"))])
+        assert "W0022" in codes(diags)
+
+    def test_no_w0022_for_selection_free_view(self):
+        catalog = figure1_catalog()
+        diags = lint_views(catalog, [View("Sold", parse("Sale join Emp"))])
+        assert "W0022" not in codes(diags)
+
+    def test_w0031_projection_without_key(self):
+        catalog = Catalog()
+        catalog.relation("Sale", ("item", "clerk", "price"))
+        diags = lint_views(catalog, [View("V", parse("pi[item, clerk](Sale)"))])
+        assert codes(diags) == ["W0031"]
+        assert "'Sale'" in diags[0].message
+        assert "key" in diags[0].message
+
+    def test_w0032_no_cover(self):
+        catalog = Catalog()
+        catalog.relation("Emp", ("clerk", "age", "dept"), key=("clerk",))
+        diags = lint_views(catalog, [View("V", parse("pi[clerk, age](Emp)"))])
+        assert codes(diags) == ["W0032"]
+        assert "['dept']" in diags[0].message
+
+    def test_w0032_resolved_by_covering_view(self):
+        catalog = Catalog()
+        catalog.relation("Emp", ("clerk", "age", "dept"), key=("clerk",))
+        views = [
+            View("V", parse("pi[clerk, age](Emp)")),
+            View("Depts", parse("pi[clerk, dept](Emp)")),
+        ]
+        assert lint_views(catalog, views) == []
+
+    def test_w0032_resolved_by_inclusion_dependency(self):
+        # Sale[clerk] <= Emp[clerk] makes pi[clerk](Emp) an IND view, so
+        # the key attribute stays covered even when every retaining view
+        # projects Emp down to it.
+        catalog = figure1_catalog(with_ind=True)
+        views = [View("Sold", parse("pi[item, clerk](Sale join Emp)"))]
+        diags = lint_views(catalog, views)
+        assert "W0031" not in codes(diags)
+
+    def test_w0033_unused_relation(self):
+        catalog = figure1_catalog()
+        catalog.relation("Archive", ("item", "year"))
+        diags = lint_views(catalog, [View("Sold", parse("Sale join Emp"))])
+        assert codes(diags) == ["W0033"]
+        assert "'Archive'" in diags[0].message
+
+    def test_w0051_duplicate_view_name(self):
+        catalog = figure1_catalog()
+        views = [
+            View("Sold", parse("Sale join Emp")),
+            View("Sold", parse("Sale")),
+        ]
+        diags = lint_views(catalog, views)
+        assert "W0051" in codes(diags)
+
+    def test_w0052_equivalent_views(self):
+        catalog = figure1_catalog()
+        views = [
+            View("Sold", parse("Sale join Emp")),
+            View("Sold2", parse("Emp join Sale")),
+        ]
+        diags = lint_views(catalog, views)
+        assert "W0052" in codes(diags)
+
+    def test_w0052_needs_deep(self):
+        catalog = figure1_catalog()
+        views = [
+            View("Sold", parse("Sale join Emp")),
+            View("Sold2", parse("Emp join Sale")),
+        ]
+        assert "W0052" not in codes(lint_views(catalog, views, deep=False))
+
+    def test_w0053_view_shadows_relation(self):
+        catalog = figure1_catalog()
+        diags = lint_views(catalog, [View("Sale", parse("Sale"))])
+        assert "W0053" in codes(diags)
+
+    def test_ignore_filters_codes(self):
+        catalog = figure1_catalog()
+        catalog.relation("Archive", ("item", "year"))
+        views = [View("Sold", parse("Sale join Emp"))]
+        assert lint_views(catalog, views, ignore=("W0033",)) == []
+
+    def test_typecheck_errors_surface(self):
+        catalog = figure1_catalog()
+        diags = lint_views(catalog, [View("V", parse("pi[wage](Emp)"))])
+        assert "E0102" in codes(diags)
+
+    def test_sorted_most_severe_first(self):
+        catalog = figure1_catalog()
+        catalog.relation("Archive", ("item", "year"))
+        views = [
+            View("Sold", parse("Sale join Emp")),
+            View("V", parse("pi[wage](Emp)")),
+        ]
+        diags = lint_views(catalog, views)
+        severities = [d.severity for d in diags]
+        assert severities == sorted(severities, reverse=True)
+
+
+class TestLintSpec:
+    def test_thm22_figure1_clean(self):
+        catalog = figure1_catalog()
+        spec = specify(catalog, [View("Sold", parse("Sale join Emp"))])
+        assert lint_spec(spec) == []
+
+    def test_w0041_unpruned_empty_complement(self):
+        catalog = figure1_catalog()
+        spec = specify(
+            catalog, [View("Sold", parse("Sale join Emp"))], method="prop22"
+        )
+        diags = lint_spec(spec)
+        assert "W0041" in codes(diags)
+
+    def test_w0042_no_minimality_certificate(self):
+        catalog = Catalog()
+        catalog.relation("Sale", ("item", "clerk", "price"))
+        catalog.relation("Emp", ("clerk", "age"), key=("clerk",))
+        views = [View("Sold", parse("pi[item, clerk, age](Sale join Emp)"))]
+        spec = specify(catalog, views, method="trivial")
+        diags = lint_spec(spec)
+        assert "W0042" in codes(diags)
+
+    def test_w004x_skipped_when_shallow(self):
+        catalog = figure1_catalog()
+        spec = specify(
+            catalog, [View("Sold", parse("Sale join Emp"))], method="prop22"
+        )
+        assert "W0041" not in codes(lint_spec(spec, deep=False))
+
+
+class TestWarehouseValidate:
+    def sources(self, catalog):
+        db = Database(catalog)
+        db.load("Emp", [("Mary", 23), ("Paula", 32)])
+        db.load("Sale", [("TV", "Mary")])
+        return db
+
+    def test_clean_spec_initializes(self):
+        catalog = figure1_catalog()
+        wh = Warehouse.specify(catalog, [View("Sold", parse("Sale join Emp"))])
+        assert wh.validate() == []
+        wh.initialize(self.sources(catalog))
+
+    def test_validate_reports_warnings_without_raising(self):
+        catalog = figure1_catalog()
+        catalog.relation("Archive", ("item", "year"))
+        wh = Warehouse.specify(catalog, [View("Sold", parse("Sale join Emp"))])
+        diags = wh.validate()
+        assert codes(diags) == ["W0033"]
+
+    def test_validate_strict_raises_on_warnings(self):
+        catalog = figure1_catalog()
+        catalog.relation("Archive", ("item", "year"))
+        wh = Warehouse.specify(catalog, [View("Sold", parse("Sale join Emp"))])
+        with pytest.raises(WarehouseError) as excinfo:
+            wh.validate(strict=True)
+        assert "W0033" in str(excinfo.value)

@@ -1,0 +1,126 @@
+"""Property tests tying the static analysis to the runtime.
+
+The contract (module docstring of :mod:`repro.analysis.typecheck`): an
+expression with no ERROR-level diagnostic never raises a schema error at
+runtime — neither when its attributes are computed nor when it is
+evaluated — and a view set that lints without errors can always be
+specified and initialized.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    Catalog,
+    Database,
+    Severity,
+    View,
+    Warehouse,
+    evaluate,
+    parse_condition,
+)
+from repro.algebra import expressions as E
+from repro.analysis import lint_views, typecheck_expression
+from repro.storage.relation import Relation
+
+ATTRS = ("a", "b", "c", "d")
+RELATIONS = {"R": ("a", "b"), "S": ("b", "c"), "T": ("c", "d")}
+
+
+def expression_strategy():
+    """Random small algebra expressions over R/S/T, valid or not."""
+    leaves = st.sampled_from([E.RelationRef(name) for name in RELATIONS] + [
+        E.RelationRef("Unknown")
+    ])
+
+    def extend(children):
+        attrs = st.lists(
+            st.sampled_from(ATTRS), min_size=1, max_size=3, unique=True
+        ).map(tuple)
+        condition = st.sampled_from(ATTRS).flatmap(
+            lambda a: st.integers(0, 3).map(
+                lambda v: parse_condition(f"{a} = {v}")
+            )
+        )
+        return st.one_of(
+            st.tuples(children, attrs).map(lambda t: E.Project(t[0], t[1])),
+            st.tuples(children, condition).map(lambda t: E.Select(t[0], t[1])),
+            st.tuples(children, children).map(lambda t: E.Join(t[0], t[1])),
+            st.tuples(children, children).map(lambda t: E.Union(t[0], t[1])),
+            st.tuples(children, children).map(lambda t: E.Difference(t[0], t[1])),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=6)
+
+
+def small_state():
+    return {
+        "R": Relation(("a", "b"), [(1, 2), (2, 2)]),
+        "S": Relation(("b", "c"), [(2, 3)]),
+        "T": Relation(("c", "d"), [(3, 4)]),
+    }
+
+
+class TestTypecheckSoundness:
+    @settings(max_examples=200, deadline=None)
+    @given(expression_strategy())
+    def test_no_errors_implies_runtime_safety(self, expression):
+        attrs, diags = typecheck_expression(expression, RELATIONS)
+        if any(d.severity is Severity.ERROR for d in diags):
+            return
+        # Static OK: the runtime schema computation and the evaluator must
+        # both accept the expression, and agree with the inferred schema.
+        runtime_attrs = expression.attributes(RELATIONS)
+        assert attrs is not None
+        assert tuple(runtime_attrs) == attrs
+        result = evaluate(expression, small_state())
+        assert result.attributes == attrs
+
+    @settings(max_examples=200, deadline=None)
+    @given(expression_strategy())
+    def test_runtime_acceptance_implies_no_errors(self, expression):
+        # Contrapositive direction: whatever the runtime accepts, the
+        # typechecker accepts too (no false ERROR positives).
+        try:
+            expression.attributes(RELATIONS)
+        except Exception:
+            return
+        _, diags = typecheck_expression(expression, RELATIONS)
+        assert not any(d.severity is Severity.ERROR for d in diags)
+
+
+def view_set_strategy():
+    definitions = st.sampled_from(
+        [
+            "R join S",
+            "pi[a, b](R)",
+            "sigma[a = 1](R)",
+            "R",
+            "S join T",
+            "pi[b, c](S join T)",
+        ]
+    )
+    return st.lists(definitions, min_size=1, max_size=3, unique=True)
+
+
+class TestLintSoundness:
+    @settings(max_examples=50, deadline=None)
+    @given(view_set_strategy())
+    def test_error_free_lint_implies_initializable(self, definitions):
+        catalog = Catalog()
+        for name, attrs in RELATIONS.items():
+            catalog.relation(name, attrs, key=(attrs[0],))
+        views = [
+            View(f"V{i}", parse_expr) for i, parse_expr in enumerate(
+                map(__import__("repro").parse, definitions)
+            )
+        ]
+        diags = lint_views(catalog, views)
+        assert not any(d.severity is Severity.ERROR for d in diags)
+        warehouse = Warehouse.specify(catalog, views)
+        db = Database(catalog)
+        for name, relation in small_state().items():
+            db.load(name, relation.rows)
+        warehouse.initialize(db)

@@ -1,0 +1,119 @@
+"""Unit tests for :mod:`repro.analysis.typecheck` (E01xx codes)."""
+
+from __future__ import annotations
+
+from repro import parse
+from repro.analysis import Severity, typecheck_aggregate, typecheck_expression
+
+SCOPE = {
+    "Sale": ("item", "clerk"),
+    "Emp": ("clerk", "age"),
+}
+
+
+def codes(diagnostics):
+    return [d.code for d in diagnostics]
+
+
+class TestCleanExpressions:
+    def test_relation(self):
+        attrs, diags = typecheck_expression(parse("Sale"), SCOPE)
+        assert attrs == ("item", "clerk")
+        assert diags == []
+
+    def test_join_merges_schemas(self):
+        attrs, diags = typecheck_expression(parse("Sale join Emp"), SCOPE)
+        assert attrs == ("item", "clerk", "age")
+        assert diags == []
+
+    def test_projection_and_selection(self):
+        attrs, diags = typecheck_expression(
+            parse("pi[clerk](sigma[age > 21](Sale join Emp))"), SCOPE
+        )
+        assert attrs == ("clerk",)
+        assert diags == []
+
+    def test_rename(self):
+        attrs, diags = typecheck_expression(
+            parse("rho[clerk -> person](Emp)"), SCOPE
+        )
+        assert attrs == ("person", "age")
+        assert diags == []
+
+
+class TestErrors:
+    def test_e0101_unknown_relation(self):
+        attrs, diags = typecheck_expression(parse("Nope"), SCOPE)
+        assert attrs is None
+        assert codes(diags) == ["E0101"]
+        assert "Nope" in diags[0].message
+
+    def test_e0101_does_not_cascade(self):
+        # The unknown relation poisons the join, but no follow-on E0102.
+        attrs, diags = typecheck_expression(
+            parse("pi[item](Nope join Sale)"), SCOPE
+        )
+        assert codes(diags) == ["E0101"]
+        assert attrs == ("item",)  # projection keeps its declared schema
+
+    def test_e0102_bad_projection(self):
+        attrs, diags = typecheck_expression(parse("pi[item, age](Sale)"), SCOPE)
+        assert codes(diags) == ["E0102"]
+        assert attrs == ("item", "age")
+        assert "age" in diags[0].message
+
+    def test_e0103_condition_unknown_attribute(self):
+        _, diags = typecheck_expression(parse("sigma[age > 21](Sale)"), SCOPE)
+        assert codes(diags) == ["E0103"]
+
+    def test_e0104_union_mismatch(self):
+        _, diags = typecheck_expression(parse("Sale union Emp"), SCOPE)
+        assert codes(diags) == ["E0104"]
+
+    def test_e0105_difference_mismatch(self):
+        _, diags = typecheck_expression(parse("Sale minus Emp"), SCOPE)
+        assert codes(diags) == ["E0105"]
+
+    def test_e0106_rename_unknown_attribute(self):
+        _, diags = typecheck_expression(parse("rho[wage -> pay](Emp)"), SCOPE)
+        assert codes(diags) == ["E0106"]
+
+    def test_e0107_rename_collision(self):
+        attrs, diags = typecheck_expression(parse("rho[age -> clerk](Emp)"), SCOPE)
+        assert codes(diags) == ["E0107"]
+        assert attrs is None
+
+    def test_e0108_self_comparison(self):
+        _, diags = typecheck_expression(parse("sigma[age = age](Emp)"), SCOPE)
+        assert codes(diags) == ["E0108"]
+        assert diags[0].severity is Severity.WARNING
+        assert "constant true" in diags[0].message
+
+    def test_e0108_constant_false(self):
+        _, diags = typecheck_expression(parse("sigma[age < age](Emp)"), SCOPE)
+        assert codes(diags) == ["E0108"]
+        assert "constant false" in diags[0].message
+
+    def test_multiple_defects_all_reported(self):
+        _, diags = typecheck_expression(
+            parse("pi[item, age](Sale) union pi[wage](Emp)"), SCOPE
+        )
+        assert sorted(codes(diags)) == ["E0102", "E0102", "E0104"]
+
+    def test_span_has_path_into_tree(self):
+        _, diags = typecheck_expression(parse("Sale join Nope"), SCOPE)
+        assert diags[0].span is not None
+        assert diags[0].span.path == "root.right"
+
+
+class TestAggregates:
+    def test_clean(self):
+        assert typecheck_aggregate("A", ("clerk",), ("age",), ("clerk", "age")) == []
+
+    def test_e0109_bad_group_by(self):
+        diags = typecheck_aggregate("A", ("dept",), (), ("clerk", "age"))
+        assert codes(diags) == ["E0109"]
+
+    def test_e0110_bad_measure(self):
+        diags = typecheck_aggregate("A", ("clerk",), ("pay", None), ("clerk", "age"))
+        assert codes(diags) == ["E0110"]

@@ -91,8 +91,14 @@ class TestHybridAtScale:
 
         virtual_name = spec.complements["Orders"].name
         assert virtual_name in spec.complement_names()
+        # Since SalesFact retains all of attr(Orders) (the Theorem 2.2 cover),
+        # C_Orders only holds orders without lineitems — none in this instance.
+        assert full.storage_by_relation()[virtual_name] == 0
+        region_name = spec.complements["Region"].name
         hybrid = HybridWarehouse(
-            spec, [virtual_name], source_access=lambda name: inst.database[name]
+            spec,
+            [virtual_name, region_name],
+            source_access=lambda name: inst.database[name],
         )
         hybrid.initialize(inst.database)
         assert hybrid.storage_rows() < full.storage_rows()

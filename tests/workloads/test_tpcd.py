@@ -87,4 +87,9 @@ class TestWarehouseOverTpcd:
 
     def test_standard_views_shape(self):
         views = standard_views()
-        assert [v.name for v in views] == ["SalesFact", "SupplierDim", "CustomerDim"]
+        assert [v.name for v in views] == [
+            "SalesFact",
+            "SupplierDim",
+            "PartDim",
+            "CustomerDim",
+        ]
