@@ -24,6 +24,10 @@ R3  Any other ``*.tracer.method(...)`` call outside the allowlist must
     annotate in ``_eval_difference``.)
 R4  The name ``Span`` must not be referenced at all: the evaluator
     receives spans only through the tracer's context manager.
+R5  No environment reads: ``environ``/``getenv`` (and the sanitizer's
+    ``REPRO_CHECK_INVARIANTS`` variable name) must never appear — the
+    sanitizer flag is read once per ``Warehouse`` construction, never
+    per-operator.
 
 Exit status: 0 when clean, 1 with one violation per line otherwise.
 Usage: ``python scripts/check_hotpath.py [FILE ...]``.
@@ -38,6 +42,8 @@ from typing import List
 
 SPAN_ALLOWLIST = frozenset({"_eval_traced"})
 TIMING_NAMES = frozenset({"perf_counter", "monotonic", "time", "datetime"})
+ENVIRON_NAMES = frozenset({"environ", "getenv"})
+SANITIZER_ENV = "REPRO_CHECK_INVARIANTS"
 
 DEFAULT_TARGET = (
     Path(__file__).resolve().parent.parent
@@ -131,11 +137,28 @@ class _HotPathChecker(ast.NodeVisitor):
             self._report(node, "R2", f"timing name '{node.id}' on the hot path")
         elif node.id == "Span":
             self._report(node, "R4", "'Span' referenced in the evaluator")
+        elif node.id in ENVIRON_NAMES:
+            self._report(
+                node, "R5", f"environment read '{node.id}' on the hot path"
+            )
 
     def visit_Attribute(self, node: ast.Attribute) -> None:
         if node.attr in TIMING_NAMES:
             self._report(node, "R2", f"timing attribute '.{node.attr}' on the hot path")
+        elif node.attr in ENVIRON_NAMES:
+            self._report(
+                node, "R5", f"environment read '.{node.attr}' on the hot path"
+            )
         self.generic_visit(node)
+
+    def visit_Constant(self, node: ast.Constant) -> None:
+        if node.value == SANITIZER_ENV:
+            self._report(
+                node,
+                "R5",
+                f"'{SANITIZER_ENV}' mentioned in the evaluator — the "
+                "sanitizer flag is read once per Warehouse, never here",
+            )
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
         for alias in node.names:

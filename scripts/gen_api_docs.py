@@ -21,6 +21,8 @@ MODULES = [
     "repro.analysis.diagnostics", "repro.analysis.typecheck",
     "repro.analysis.satisfiability", "repro.analysis.lint",
     "repro.analysis.specfile", "repro.analysis.report",
+    "repro.analysis.dataflow", "repro.analysis.counterexample",
+    "repro.analysis.prover",
     "repro.core.covers", "repro.core.complement", "repro.core.independence",
     "repro.core.translation", "repro.core.maintenance", "repro.core.warehouse",
     "repro.core.minimality", "repro.core.selfmaint", "repro.core.star",

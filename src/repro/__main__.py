@@ -16,6 +16,14 @@ Commands
     hygiene). ``--format json`` emits the CI artifact format; ``--strict``
     fails on INFO-level findings too. Exit status: 0 clean, 1 findings,
     2 unreadable input. The diagnostic catalog is docs/lint.md.
+``prove FILE [FILE ...]``
+    Statically decide independence per spec file: PROVED emits a
+    machine-checkable certificate (Equation (4) inversions + the facts
+    they rest on), REFUTED a shrunk two-database witness of
+    non-injectivity (Proposition 2.1), UNKNOWN neither. ``--certificates
+    DIR`` writes one JSON document per file (the CI artifact);
+    ``--strict`` makes UNKNOWN a failure. Exit status: 0 every verdict
+    matches its spec's expectation, 1 otherwise, 2 unreadable input.
 ``tpcd [--scale S]``
     Generate a TPC-D-like instance, specify its warehouse, and print the
     storage breakdown.
@@ -127,6 +135,35 @@ def _cmd_lint(args) -> int:
     return exit_code(reports, strict=args.strict)
 
 
+def _cmd_prove(args) -> int:
+    from pathlib import Path
+
+    from repro.analysis.prover import (
+        certificate_json,
+        prove_exit_code,
+        prove_file,
+        render_json,
+        render_text,
+    )
+
+    results = [
+        prove_file(path, method=args.method, max_model_size=args.max_model_size)
+        for path in args.files
+    ]
+    if args.certificates:
+        directory = Path(args.certificates)
+        directory.mkdir(parents=True, exist_ok=True)
+        for result in results:
+            name = Path(result.path).stem + ".cert.json"
+            (directory / name).write_text(certificate_json(result))
+    if args.format == "json":
+        output = render_json(results, strict=args.strict)
+    else:
+        output = render_text(results, strict=args.strict)
+    print(output)
+    return prove_exit_code(results, strict=args.strict)
+
+
 def _cmd_obs(args) -> int:
     if args.obs_command == "report":
         from repro.obs.report import report_file
@@ -229,6 +266,40 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="comma-separated diagnostic codes to suppress (repeatable)",
     )
 
+    prove_parser = commands.add_parser(
+        "prove",
+        help="statically prove or refute spec independence (docs/prover.md)",
+    )
+    prove_parser.add_argument("files", nargs="+", help="spec JSON file(s)")
+    prove_parser.add_argument(
+        "--method",
+        choices=("thm22", "prop22", "trivial"),
+        default="thm22",
+        help="complement construction method (default: thm22)",
+    )
+    prove_parser.add_argument(
+        "--format", choices=("text", "json"), default="text"
+    )
+    prove_parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="treat UNKNOWN verdicts as failures",
+    )
+    prove_parser.add_argument(
+        "--max-model-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="max rows per relation in the counterexample search "
+        "(default: the spec file's prover.max_model_size, or 2)",
+    )
+    prove_parser.add_argument(
+        "--certificates",
+        default=None,
+        metavar="DIR",
+        help="write one certificate JSON per input file into DIR",
+    )
+
     tpcd_parser = commands.add_parser("tpcd", help="TPC-D-like warehouse summary")
     tpcd_parser.add_argument("--scale", type=float, default=1.0)
 
@@ -256,6 +327,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "demo": _cmd_demo,
         "spec": _cmd_spec,
         "lint": _cmd_lint,
+        "prove": _cmd_prove,
         "tpcd": _cmd_tpcd,
         "obs": _cmd_obs,
     }

@@ -12,7 +12,12 @@ decides those preconditions *statically*, before any data flows:
   sets and specs (``W00xx``);
 * :mod:`~repro.analysis.satisfiability` — static condition analysis;
 * :mod:`~repro.analysis.report` / :mod:`~repro.analysis.specfile` — the
-  ``python -m repro lint`` engine and its JSON spec-file format.
+  ``python -m repro lint`` engine and its JSON spec-file format;
+* :mod:`~repro.analysis.prover` — the ``python -m repro prove`` decision
+  layer: symbolic inversion certificates, bounded counterexample search
+  (:mod:`~repro.analysis.counterexample`), and the plan-dataflow analysis
+  (:mod:`~repro.analysis.dataflow`) with its ``REPRO_CHECK_INVARIANTS``
+  runtime sanitizer.
 
 The diagnostic catalog is documented in ``docs/lint.md``; every code has a
 stable meaning, a paper reference, and a triggering test.
@@ -28,9 +33,33 @@ from repro.analysis.diagnostics import (
     max_severity,
     sort_diagnostics,
 )
+from repro.analysis.counterexample import (
+    SearchOutcome,
+    Witness,
+    search_counterexample,
+    verify_witness,
+)
+from repro.analysis.dataflow import (
+    DataflowReport,
+    UpdateShape,
+    check_refresh_reads,
+    sanitizer_enabled,
+    spec_read_sets,
+    static_refresh_reads,
+    views_only_read_sets,
+)
 from repro.analysis.lint import lint_spec, lint_views, psj_parts
+from repro.analysis.prover import (
+    ProofResult,
+    build_certificate,
+    check_certificate,
+    prove_exit_code,
+    prove_file,
+    prove_target,
+)
 from repro.analysis.report import (
     FileReport,
+    display_path,
     exit_code,
     lint_file,
     render_json,
@@ -40,16 +69,26 @@ from repro.analysis.satisfiability import (
     tautological_conjuncts,
     unsatisfiable_reason,
 )
-from repro.analysis.specfile import LintTarget, load_target
+from repro.analysis.specfile import LintTarget, ProverOptions, load_target
 from repro.analysis.typecheck import typecheck_aggregate, typecheck_expression
 
 __all__ = [
     "CATALOG",
+    "DataflowReport",
     "Diagnostic",
-    "Severity",
-    "SourceSpan",
     "FileReport",
     "LintTarget",
+    "ProofResult",
+    "ProverOptions",
+    "SearchOutcome",
+    "Severity",
+    "SourceSpan",
+    "UpdateShape",
+    "Witness",
+    "build_certificate",
+    "check_certificate",
+    "check_refresh_reads",
+    "display_path",
     "exit_code",
     "filter_ignored",
     "has_errors",
@@ -58,12 +97,21 @@ __all__ = [
     "lint_views",
     "load_target",
     "max_severity",
+    "prove_exit_code",
+    "prove_file",
+    "prove_target",
     "psj_parts",
     "render_json",
     "render_text",
+    "sanitizer_enabled",
+    "search_counterexample",
     "sort_diagnostics",
+    "spec_read_sets",
+    "static_refresh_reads",
     "tautological_conjuncts",
     "typecheck_aggregate",
     "typecheck_expression",
     "unsatisfiable_reason",
+    "verify_witness",
+    "views_only_read_sets",
 ]

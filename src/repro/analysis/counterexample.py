@@ -1,0 +1,310 @@
+"""Bounded small-model counterexample search for injectivity (Prop. 2.1).
+
+Proposition 2.1 characterizes complements as injectivity witnesses: ``C``
+complements ``V`` iff ``d -> (V(d), C(d))`` is injective on database
+states. Contrapositively, a warehouse mapping ``W`` that is *not* a
+complement of the identity admits two distinct source databases with the
+same warehouse image. This module searches for such a pair over small
+per-attribute domains:
+
+* :func:`attribute_domains` — derive tiny candidate domains from the
+  constants the views and check constraints mention, padded with fresh
+  values so at least two choices exist per attribute;
+* :func:`search_counterexample` — enumerate constraint-satisfying states
+  (:func:`repro.core.independence.enumerate_states`), hash each warehouse
+  image, and stop at the first collision between distinct states;
+* :func:`shrink` — greedily delete rows from both sides while the pair
+  stays a witness, yielding a minimal, human-readable counterexample;
+* :func:`verify_witness` — the independent checker the certificates (and
+  the differential replay in ``tests/differential``) call: images equal,
+  states distinct, constraints satisfied.
+
+Everything here is deterministic — same catalog and definitions, same
+witness — so refuted certificates can be pinned as golden files.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Mapping, NamedTuple, Optional, Set, Tuple
+
+from repro.algebra.conditions import And, Comparison, Condition, Constant, Not, Or
+from repro.algebra.evaluator import evaluate_all
+from repro.algebra.expressions import Expression, Select
+from repro.schema.catalog import Catalog
+from repro.storage.database import Database
+from repro.storage.relation import Relation
+from repro.core.independence import enumerate_states
+
+State = Dict[str, Relation]
+FrozenRows = FrozenSet[tuple]
+ImageKey = Tuple[Tuple[str, FrozenRows], ...]
+
+DEFAULT_MAX_MODEL_SIZE = 2
+DEFAULT_DOMAIN_SIZE = 2
+DEFAULT_MAX_STATES = 50000
+
+
+def _sort_key(value: object) -> Tuple[str, str]:
+    return (type(value).__name__, repr(value))
+
+
+def _row_key(row: tuple) -> Tuple[Tuple[str, str], ...]:
+    return tuple(_sort_key(value) for value in row)
+
+
+class Witness(NamedTuple):
+    """Two distinct source states with identical warehouse images."""
+
+    left: State
+    right: State
+
+    def max_rows_per_relation(self) -> int:
+        """The larger side's largest relation — the witness's "size"."""
+        sizes = [len(rel) for state in (self.left, self.right) for rel in state.values()]
+        return max(sizes) if sizes else 0
+
+    def differing_relations(self) -> Tuple[str, ...]:
+        """Relations on which the two states disagree."""
+        return tuple(
+            sorted(
+                name
+                for name in self.left
+                if self.left[name] != self.right[name]
+            )
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """A deterministic JSON-ready rendering (rows sorted)."""
+
+        def render(state: State) -> Dict[str, List[List[object]]]:
+            return {
+                name: [list(row) for row in sorted(state[name].rows, key=_row_key)]
+                for name in sorted(state)
+            }
+
+        return {
+            "attributes": {
+                name: list(self.left[name].attributes) for name in sorted(self.left)
+            },
+            "left": render(self.left),
+            "right": render(self.right),
+            "differs_in": list(self.differing_relations()),
+            "max_rows_per_relation": self.max_rows_per_relation(),
+        }
+
+    def describe(self) -> str:
+        """Human-readable two-column rendering of the pair."""
+        lines = []
+        for name in sorted(self.left):
+            left_rows = sorted(self.left[name].rows, key=_row_key)
+            right_rows = sorted(self.right[name].rows, key=_row_key)
+            marker = "  <- differs" if left_rows != right_rows else ""
+            lines.append(f"{name}: {left_rows} vs {right_rows}{marker}")
+        return "\n".join(lines)
+
+
+class SearchOutcome(NamedTuple):
+    """Result of :func:`search_counterexample`.
+
+    ``witness`` is ``None`` when no collision was found; ``exhausted``
+    records whether the bounded space was fully enumerated (an exhausted
+    search without witness supports — but does not prove — injectivity).
+    """
+
+    witness: Optional[Witness]
+    states_examined: int
+    exhausted: bool
+
+
+def _conditions_of(expression: Expression) -> List[Condition]:
+    return [
+        node.condition for node in expression.walk() if isinstance(node, Select)
+    ]
+
+
+def _comparisons(condition: Condition) -> List[Comparison]:
+    if isinstance(condition, Comparison):
+        return [condition]
+    if isinstance(condition, (And, Or)):
+        out: List[Comparison] = []
+        for part in condition.parts:
+            out.extend(_comparisons(part))
+        return out
+    if isinstance(condition, Not):
+        return _comparisons(condition.part)
+    return []
+
+
+def attribute_domains(
+    catalog: Catalog,
+    definitions: Mapping[str, Expression],
+    size: int = DEFAULT_DOMAIN_SIZE,
+) -> Dict[str, List[object]]:
+    """Small candidate domains per attribute, seeded from mentioned constants.
+
+    Constants compared against an attribute (in view definitions or check
+    constraints) are relevant boundary values; the domain is padded with
+    small integers until it holds at least ``size`` values, so selections
+    can both pass and fail.
+    """
+    mentioned: Dict[str, Set[object]] = {}
+    conditions: List[Condition] = []
+    for definition in definitions.values():
+        conditions.extend(_conditions_of(definition))
+    for schema in catalog.schemas():
+        conditions.extend(catalog.checks(schema.name))
+    for condition in conditions:
+        for comparison in _comparisons(condition):
+            oriented = comparison.canonical()
+            if isinstance(oriented.right, Constant):
+                for name in oriented.left.attributes():
+                    mentioned.setdefault(name, set()).add(oriented.right.value)
+    domains: Dict[str, List[object]] = {}
+    for schema in catalog.schemas():
+        for attribute in schema.attributes:
+            values = sorted(mentioned.get(attribute, set()), key=_sort_key)
+            filler = 0
+            while len(values) < size:
+                if all(not _same_value(filler, v) for v in values):
+                    values.append(filler)
+                filler += 1
+            domains[attribute] = values
+    return domains
+
+
+def _same_value(left: object, right: object) -> bool:
+    return type(left) is type(right) and left == right
+
+
+def _image_key(image: State) -> ImageKey:
+    return tuple((name, frozenset(image[name].rows)) for name in sorted(image))
+
+
+def _states_equal(catalog: Catalog, left: State, right: State) -> bool:
+    return all(
+        left[name] == right[name] for name in catalog.relation_names()
+    )
+
+
+def _state_valid(catalog: Catalog, state: State) -> bool:
+    return Database(catalog, state, check=False).satisfies_constraints()
+
+
+def verify_witness(
+    catalog: Catalog,
+    definitions: Mapping[str, Expression],
+    witness: Witness,
+) -> List[str]:
+    """Independently check a witness; returns problem descriptions.
+
+    A valid witness has (i) two constraint-satisfying states that (ii)
+    differ on some base relation yet (iii) produce identical images under
+    every definition in ``definitions``. Empty result = genuine
+    counterexample to injectivity (Proposition 2.1).
+    """
+    problems: List[str] = []
+    for side, state in (("left", witness.left), ("right", witness.right)):
+        if not _state_valid(catalog, state):
+            problems.append(f"{side} state violates the catalog's constraints")
+    if _states_equal(catalog, witness.left, witness.right):
+        problems.append("the two states are identical")
+    left_image = evaluate_all(definitions, witness.left)
+    right_image = evaluate_all(definitions, witness.right)
+    for name in definitions:
+        if left_image[name] != right_image[name]:
+            problems.append(f"images differ on warehouse relation {name!r}")
+    return problems
+
+
+def _is_witness(
+    catalog: Catalog, definitions: Mapping[str, Expression], left: State, right: State
+) -> bool:
+    return not verify_witness(catalog, definitions, Witness(left, right))
+
+
+def shrink(
+    witness: Witness,
+    catalog: Catalog,
+    definitions: Mapping[str, Expression],
+) -> Witness:
+    """Greedily remove rows (from both sides) while the pair stays a witness.
+
+    Deterministic: relations in catalog order, rows in sorted order. The
+    result is locally minimal — removing any single remaining row breaks
+    the witness property.
+    """
+    left = dict(witness.left)
+    right = dict(witness.right)
+    changed = True
+    while changed:
+        changed = False
+        for relation in catalog.relation_names():
+            rows = sorted(
+                left[relation].rows | right[relation].rows, key=_row_key
+            )
+            for row in rows:
+                candidate_left = dict(left)
+                candidate_right = dict(right)
+                candidate_left[relation] = _without(left[relation], row)
+                candidate_right[relation] = _without(right[relation], row)
+                if _is_witness(catalog, definitions, candidate_left, candidate_right):
+                    left = candidate_left
+                    right = candidate_right
+                    changed = True
+    return Witness(left, right)
+
+
+def _without(relation: Relation, row: tuple) -> Relation:
+    return Relation(
+        relation.attributes, [r for r in relation.rows if r != row]
+    )
+
+
+def search_counterexample(
+    catalog: Catalog,
+    definitions: Mapping[str, Expression],
+    max_model_size: int = DEFAULT_MAX_MODEL_SIZE,
+    domain_size: int = DEFAULT_DOMAIN_SIZE,
+    max_states: int = DEFAULT_MAX_STATES,
+) -> SearchOutcome:
+    """Search for two states with equal images under ``definitions``.
+
+    Enumerates every constraint-satisfying state with at most
+    ``max_model_size`` rows per relation over the derived small domains,
+    hashing images; the first collision between distinct states is shrunk
+    (:func:`shrink`) and returned. ``max_states`` bounds the enumeration
+    (``exhausted`` is false when it bites).
+
+    Examples
+    --------
+    A lossy projection is not injective — one row suffices to show it:
+
+    >>> from repro.schema import Catalog
+    >>> from repro.algebra.parser import parse
+    >>> catalog = Catalog()
+    >>> _ = catalog.relation("Emp", ("clerk", "age"))
+    >>> outcome = search_counterexample(catalog, {"V": parse("pi[clerk](Emp)")})
+    >>> outcome.witness.max_rows_per_relation()
+    1
+    """
+    domains = attribute_domains(catalog, definitions, size=domain_size)
+    seen: Dict[ImageKey, State] = {}
+    examined = 0
+    exhausted = True
+    for state in enumerate_states(
+        catalog, domains, max_rows_per_relation=max_model_size
+    ):
+        examined += 1
+        if examined > max_states:
+            exhausted = False
+            break
+        image = evaluate_all(definitions, state)
+        key = _image_key(image)
+        previous = seen.get(key)
+        if previous is not None:
+            if not _states_equal(catalog, previous, state):
+                witness = shrink(Witness(previous, state), catalog, definitions)
+                return SearchOutcome(witness, examined, True)
+        else:
+            seen[key] = state
+    return SearchOutcome(None, examined, exhausted)

@@ -1,0 +1,558 @@
+"""The static independence prover behind ``python -m repro prove``.
+
+The paper's guarantees are decision-shaped: Proposition 2.1 says a
+complement is exactly an injectivity witness for the warehouse mapping
+``W``, and Theorems 3.1/4.1 say that storing ``W = V ∪ C`` buys query and
+update independence. This module decides those questions per spec file and
+emits evidence either way:
+
+* **PROVED** — an explicit inversion plan exists: per base relation, the
+  Equation (4) reconstruction expression over warehouse names, packaged
+  with the key/inclusion/cover facts it depends on as a machine-checkable
+  JSON **certificate** (:func:`build_certificate`). Certificates are
+  self-validating: :func:`check_certificate` re-parses every expression,
+  checks the structural invariants, and replays the ``W -> W^{-1}``
+  round-trip on randomly generated constraint-satisfying databases. The
+  differential suite (``tests/differential/test_certificates.py``) replays
+  each shipped golden certificate the same way in CI.
+* **REFUTED** — no proof exists and the bounded small-model search
+  (:mod:`repro.analysis.counterexample`) found two distinct source
+  databases with identical warehouse images — an injectivity violation per
+  Proposition 2.1, shrunk to a minimal pair.
+* **UNKNOWN** — neither: the sufficient conditions did not apply and the
+  bounded search found no collision. The prover is sound, not complete.
+
+Two modes per spec file (the ``"prover"`` section, see
+:mod:`repro.analysis.specfile`): ``with-complement`` proves the derived
+``V ∪ C`` invertible; ``views-only`` asks whether ``V`` alone already
+determines the sources (Example 2.3/2.4 shapes, select-only warehouses).
+Every certificate also embeds the plan-dataflow verdict
+(:mod:`repro.analysis.dataflow`): which source relations each update shape
+must read — empty everywhere iff the spec is update-independent
+(Theorem 4.1).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Mapping, NamedTuple, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.algebra.evaluator import evaluate_all
+from repro.algebra.expressions import Expression
+from repro.algebra.parser import parse
+from repro.schema.catalog import Catalog
+from repro.views.psj import View
+from repro.core.complement import (
+    WarehouseSpec,
+    provably_empty_complements,
+    specify,
+)
+from repro.core.covers import enumerate_covers, ind_key_views
+from repro.analysis.counterexample import (
+    SearchOutcome,
+    Witness,
+    search_counterexample,
+    verify_witness,
+)
+from repro.analysis.dataflow import (
+    DataflowReport,
+    spec_read_sets,
+    views_only_read_sets,
+)
+from repro.analysis.report import display_path
+from repro.analysis.specfile import LintTarget, ProverOptions, load_target
+
+CERTIFICATE_VERSION = 1
+
+PROVED = "PROVED"
+REFUTED = "REFUTED"
+UNKNOWN = "UNKNOWN"
+
+_REPLAY_SEEDS = (0, 1, 2)
+_REPLAY_ROWS = 12
+_REPLAY_DOMAIN = 8
+
+
+class ProofResult(NamedTuple):
+    """The prover's verdict for one spec file."""
+
+    path: str
+    verdict: str
+    mode: str
+    method: str
+    detail: str
+    certificate: Optional[Dict[str, object]] = None
+    witness: Optional[Witness] = None
+    expect: str = "proved"
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the verdict matches the spec's declared expectation."""
+        if self.error is not None:
+            return False
+        return self.verdict.lower() == self.expect
+
+    def document(self) -> Dict[str, object]:
+        """The per-file JSON document (written as the certificate artifact)."""
+        out: Dict[str, object] = {
+            "version": CERTIFICATE_VERSION,
+            "spec": display_path(self.path),
+            "verdict": self.verdict,
+            "mode": self.mode,
+            "method": self.method,
+            "expect": self.expect,
+            "detail": self.detail,
+        }
+        if self.certificate is not None:
+            out["certificate"] = self.certificate
+        if self.witness is not None:
+            out["witness"] = self.witness.to_dict()
+        if self.error is not None:
+            out["error"] = self.error
+        return out
+
+
+# ----------------------------------------------------------------------
+# Certificates
+# ----------------------------------------------------------------------
+
+
+def _catalog_facts(catalog: Catalog) -> List[Dict[str, object]]:
+    facts: List[Dict[str, object]] = []
+    for schema in catalog.schemas():
+        if schema.key is not None:
+            facts.append(
+                {
+                    "kind": "key",
+                    "relation": schema.name,
+                    "attributes": list(schema.key),
+                }
+            )
+    for ind in catalog.inclusions():
+        facts.append(
+            {
+                "kind": "inclusion",
+                "lhs": ind.lhs,
+                "lhs_attributes": list(ind.lhs_attributes),
+                "rhs": ind.rhs,
+                "rhs_attributes": list(ind.rhs_attributes),
+            }
+        )
+    return facts
+
+
+def _cover_facts(spec: WarehouseSpec) -> List[Dict[str, object]]:
+    """The Theorem 2.2 cover structure each inversion draws on."""
+    if spec.method != "thm22":
+        return []
+    facts: List[Dict[str, object]] = []
+    for schema in spec.catalog.schemas():
+        elements = ind_key_views(spec.catalog, list(spec.views), schema.name)
+        covers = enumerate_covers(elements, frozenset(schema.attribute_set))
+        for cover in covers:
+            facts.append(
+                {
+                    "kind": "cover",
+                    "relation": schema.name,
+                    "elements": [element.label for element in cover],
+                }
+            )
+    return facts
+
+
+def _empty_complement_facts(spec: WarehouseSpec) -> List[Dict[str, object]]:
+    return [
+        {
+            "kind": "empty_complement",
+            "relation": complement.relation,
+            "complement": complement.name,
+        }
+        for complement in spec.complements.values()
+        if complement.provably_empty
+    ]
+
+
+def build_certificate(
+    spec: WarehouseSpec, dataflow: DataflowReport, mode: str
+) -> Dict[str, object]:
+    """The machine-checkable certificate for a successfully inverted spec.
+
+    Contains the warehouse mapping ``W`` (every stored relation as an
+    expression over sources), the per-relation Equation (4) inversion with
+    the warehouse relations it references, the key/inclusion/cover/
+    emptiness facts the construction used, and the dataflow read sets.
+    All expressions are serialized in the parseable algebra syntax, so a
+    consumer needs only :func:`repro.algebra.parser.parse` to re-check it.
+    """
+    catalog = spec.catalog
+    warehouse = {
+        name: str(expression)
+        for name, expression in spec.definitions_over_sources().items()
+    }
+    warehouse_names = frozenset(spec.warehouse_names())
+    inversion: Dict[str, object] = {}
+    for relation in catalog.relation_names():
+        expression = spec.inverse_for(relation)
+        inversion[relation] = {
+            "expression": str(expression),
+            "references": sorted(
+                expression.relation_names() & warehouse_names
+            ),
+        }
+    facts = (
+        _catalog_facts(catalog)
+        + _empty_complement_facts(spec)
+        + _cover_facts(spec)
+    )
+    return {
+        "version": CERTIFICATE_VERSION,
+        "mode": mode,
+        "method": spec.method,
+        "source_relations": {
+            schema.name: list(schema.attributes) for schema in catalog.schemas()
+        },
+        "warehouse": warehouse,
+        "inversion": inversion,
+        "facts": facts,
+        "dataflow": dataflow.to_dict(),
+    }
+
+
+def check_certificate(
+    catalog: Catalog, certificate: Mapping[str, object]
+) -> List[str]:
+    """Independently validate a certificate; returns problem descriptions.
+
+    Structural checks: every inversion references only declared warehouse
+    relations (never a source — that would break update independence), and
+    every key/inclusion fact is actually declared in the catalog. Numeric
+    replay: for several seeded random constraint-satisfying databases,
+    evaluate ``W``, then the inversions over the image alone, and require
+    the exact original state back (the Proposition 2.1 round-trip).
+
+    An empty result means the certificate stands on its own: nothing here
+    consults the spec object that produced it.
+    """
+    from repro.workloads.generator import random_database
+
+    problems: List[str] = []
+    warehouse_raw = certificate.get("warehouse")
+    inversion_raw = certificate.get("inversion")
+    if not isinstance(warehouse_raw, Mapping) or not isinstance(
+        inversion_raw, Mapping
+    ):
+        return ["certificate lacks 'warehouse'/'inversion' sections"]
+
+    sources = frozenset(catalog.relation_names())
+    warehouse_names = frozenset(str(name) for name in warehouse_raw)
+    definitions: Dict[str, Expression] = {}
+    inverses: Dict[str, Expression] = {}
+    try:
+        for name, text in warehouse_raw.items():
+            definitions[str(name)] = parse(str(text))
+        for relation, entry in inversion_raw.items():
+            if not isinstance(entry, Mapping):
+                problems.append(f"inversion of {relation!r} is not an object")
+                continue
+            inverses[str(relation)] = parse(str(entry["expression"]))
+    except ReproError as exc:
+        return [f"certificate expression failed to parse: {exc}"]
+
+    missing = sources - frozenset(inverses)
+    if missing:
+        problems.append(f"no inversion recorded for relation(s) {sorted(missing)}")
+    for relation, expression in inverses.items():
+        source_refs = sorted(expression.relation_names() & sources)
+        if source_refs:
+            problems.append(
+                f"inversion of {relation!r} references source relation(s) "
+                f"{source_refs} — reconstruction must read the warehouse only"
+            )
+        unknown = sorted(
+            expression.relation_names() - warehouse_names - sources
+        )
+        if unknown:
+            problems.append(
+                f"inversion of {relation!r} references undeclared relation(s) "
+                f"{unknown}"
+            )
+    facts_raw = certificate.get("facts", [])
+    if not isinstance(facts_raw, Sequence) or isinstance(facts_raw, str):
+        problems.append("certificate 'facts' is not a list")
+    else:
+        for fact in facts_raw:
+            if not isinstance(fact, Mapping):
+                problems.append(f"malformed fact {fact!r}")
+                continue
+            problems.extend(_check_fact(catalog, fact))
+    if problems:
+        return problems
+
+    # Numeric replay: W then W^{-1} must be the identity on random
+    # constraint-satisfying states (sampled, seeded, deterministic).
+    for seed in _REPLAY_SEEDS:
+        state = random_database(
+            seed, catalog, rows_per_relation=_REPLAY_ROWS, domain_size=_REPLAY_DOMAIN
+        ).state()
+        image = evaluate_all(definitions, state)
+        rebuilt = evaluate_all(inverses, image)
+        for relation in catalog.relation_names():
+            if rebuilt[relation] != state[relation]:
+                problems.append(
+                    f"replay (seed {seed}): reconstruction of {relation!r} "
+                    "does not match the source state"
+                )
+    return problems
+
+
+def _check_fact(catalog: Catalog, fact: Mapping[str, object]) -> List[str]:
+    kind = fact.get("kind")
+    if kind == "key":
+        relation = str(fact.get("relation"))
+        if relation not in catalog:
+            return [f"key fact names unknown relation {relation!r}"]
+        declared = catalog.key(relation)
+        if declared is None or list(declared) != list(fact.get("attributes", [])):
+            return [
+                f"key fact on {relation!r} does not match the declared key "
+                f"{declared!r}"
+            ]
+        return []
+    if kind == "inclusion":
+        wanted = (
+            str(fact.get("lhs")),
+            tuple(str(a) for a in fact.get("lhs_attributes", ())),
+            str(fact.get("rhs")),
+            tuple(str(a) for a in fact.get("rhs_attributes", ())),
+        )
+        declared = {
+            (ind.lhs, tuple(ind.lhs_attributes), ind.rhs, tuple(ind.rhs_attributes))
+            for ind in catalog.inclusions()
+        }
+        if wanted not in declared:
+            return [f"inclusion fact {wanted!r} is not declared in the catalog"]
+        return []
+    if kind in ("cover", "empty_complement"):
+        return []  # derived facts; the numeric replay validates their effect
+    return [f"unknown fact kind {kind!r}"]
+
+
+# ----------------------------------------------------------------------
+# The decision procedure
+# ----------------------------------------------------------------------
+
+
+def prove_target(
+    target: LintTarget,
+    method: str = "thm22",
+    max_model_size: Optional[int] = None,
+    mode: Optional[str] = None,
+) -> ProofResult:
+    """Decide one loaded spec file (see the module docstring for verdicts)."""
+    options = target.prover
+    chosen_mode = mode if mode is not None else options.mode
+    model_size = (
+        max_model_size if max_model_size is not None else options.max_model_size
+    )
+    catalog = target.catalog
+    views = target.views
+    all_psj = all(view.is_psj() for view in views)
+
+    if chosen_mode == "with-complement" and all_psj:
+        try:
+            spec = specify(catalog, views, method=method)
+        except ReproError as exc:
+            return ProofResult(
+                target.path, UNKNOWN, chosen_mode, method,
+                "complement construction failed", expect=options.expect,
+                error=str(exc),
+            )
+        return _proved(target, spec, spec_read_sets(spec), chosen_mode, method)
+
+    if chosen_mode == "views-only" and all_psj:
+        empty = provably_empty_complements(catalog, views)
+        if empty >= frozenset(catalog.relation_names()):
+            try:
+                spec = specify(catalog, views, method=method)
+            except ReproError as exc:
+                return ProofResult(
+                    target.path, UNKNOWN, chosen_mode, method,
+                    "complement construction failed", expect=options.expect,
+                    error=str(exc),
+                )
+            if not spec.complement_names():
+                # Every complement is provably empty: the views alone are
+                # invertible and the certificate's inversions mention view
+                # names only.
+                return _proved(
+                    target, spec, views_only_read_sets(catalog, views),
+                    chosen_mode, method,
+                )
+
+    # No proof applies — search for an injectivity violation of V itself.
+    definitions = {view.name: view.definition for view in views}
+    outcome = search_counterexample(
+        catalog,
+        definitions,
+        max_model_size=model_size,
+        domain_size=options.domain_size,
+    )
+    return _refuted_or_unknown(target, outcome, chosen_mode, method, definitions)
+
+
+def _proved(
+    target: LintTarget,
+    spec: WarehouseSpec,
+    dataflow: DataflowReport,
+    mode: str,
+    method: str,
+) -> ProofResult:
+    certificate = build_certificate(spec, dataflow, mode)
+    problems = check_certificate(target.catalog, certificate)
+    if problems:
+        # The construction succeeded but its own evidence does not check
+        # out — never claim PROVED on the strength of a broken certificate.
+        return ProofResult(
+            target.path, UNKNOWN, mode, method,
+            "derived certificate failed self-validation",
+            expect=target.prover.expect, error="; ".join(problems),
+        )
+    relations = len(target.catalog.relation_names())
+    independent = bool(dataflow.update_independent)
+    detail = (
+        f"{relations} relation(s) reconstructible via Equation (4); "
+        f"update-independent: {'yes' if independent else 'no'}"
+    )
+    return ProofResult(
+        target.path, PROVED, mode, method, detail,
+        certificate=certificate, expect=target.prover.expect,
+    )
+
+
+def _refuted_or_unknown(
+    target: LintTarget,
+    outcome: SearchOutcome,
+    mode: str,
+    method: str,
+    definitions: Mapping[str, Expression],
+) -> ProofResult:
+    if outcome.witness is not None:
+        problems = verify_witness(target.catalog, definitions, outcome.witness)
+        if problems:
+            return ProofResult(
+                target.path, UNKNOWN, mode, method,
+                "search produced an invalid witness",
+                expect=target.prover.expect, error="; ".join(problems),
+            )
+        detail = (
+            f"W is not injective: two distinct source states with identical "
+            f"warehouse images, ≤{outcome.witness.max_rows_per_relation()} "
+            f"row(s) per relation "
+            f"({outcome.states_examined} state(s) examined)"
+        )
+        return ProofResult(
+            target.path, REFUTED, mode, method, detail,
+            witness=outcome.witness, expect=target.prover.expect,
+        )
+    coverage = "exhaustively" if outcome.exhausted else "partially (budget hit)"
+    detail = (
+        f"no sufficient condition applied and the bounded model space "
+        f"({outcome.states_examined} state(s), searched {coverage}) "
+        "contains no collision"
+    )
+    return ProofResult(
+        target.path, UNKNOWN, mode, method, detail, expect=target.prover.expect
+    )
+
+
+def prove_file(
+    path: str,
+    method: str = "thm22",
+    max_model_size: Optional[int] = None,
+    mode: Optional[str] = None,
+) -> ProofResult:
+    """Load and decide one spec file; load failures become error results."""
+    try:
+        target = load_target(path)
+    except (OSError, ValueError, ReproError) as exc:
+        return ProofResult(
+            path, UNKNOWN, mode or "with-complement", method,
+            "spec file could not be loaded", error=str(exc),
+        )
+    return prove_target(
+        target, method=method, max_model_size=max_model_size, mode=mode
+    )
+
+
+# ----------------------------------------------------------------------
+# Rendering and exit codes
+# ----------------------------------------------------------------------
+
+
+def prove_exit_code(results: Sequence[ProofResult], strict: bool = False) -> int:
+    """Process verdict: 0 all expectations met, 1 mismatch, 2 load error.
+
+    Without ``strict``, an UNKNOWN verdict fails only when the spec
+    expected ``refuted`` (a known-bad spec must stay refuted); with
+    ``strict`` every UNKNOWN fails — CI requires a decisive verdict for
+    every shipped spec.
+    """
+    if any(result.error is not None for result in results):
+        return 2
+    for result in results:
+        if result.verdict == UNKNOWN:
+            if strict or result.expect == "refuted":
+                return 1
+        elif not result.ok:
+            return 1
+    return 0
+
+
+def render_text(results: Sequence[ProofResult], strict: bool = False) -> str:
+    """Human-readable rendering for ``--format text``."""
+    lines: List[str] = []
+    for result in results:
+        status = "" if result.ok else "  [unexpected]"
+        if result.verdict == UNKNOWN and not strict and result.expect != "refuted":
+            status = ""
+        lines.append(
+            f"{display_path(result.path)}: {result.verdict} "
+            f"({result.mode}, {result.method}) — {result.detail}{status}"
+        )
+        if result.error is not None:
+            lines.append(f"  error: {result.error}")
+        if result.witness is not None:
+            for line in result.witness.describe().splitlines():
+                lines.append(f"  {line}")
+    code = prove_exit_code(results, strict=strict)
+    verdicts = [result.verdict for result in results]
+    lines.append(
+        f"{'FAIL' if code else 'OK'}: {len(results)} file(s), "
+        f"{verdicts.count(PROVED)} proved, {verdicts.count(REFUTED)} refuted, "
+        f"{verdicts.count(UNKNOWN)} unknown"
+    )
+    return "\n".join(lines)
+
+
+def render_json(results: Sequence[ProofResult], strict: bool = False) -> str:
+    """Machine-readable rendering for ``--format json`` (the CI artifact)."""
+    document = {
+        "version": CERTIFICATE_VERSION,
+        "strict": strict,
+        "ok": prove_exit_code(results, strict=strict) == 0,
+        "summary": {
+            "files": len(results),
+            "proved": sum(1 for r in results if r.verdict == PROVED),
+            "refuted": sum(1 for r in results if r.verdict == REFUTED),
+            "unknown": sum(1 for r in results if r.verdict == UNKNOWN),
+        },
+        "results": [result.document() for result in results],
+    }
+    return json.dumps(document, indent=1, sort_keys=True)
+
+
+def certificate_json(result: ProofResult) -> str:
+    """One result's certificate document as deterministic JSON text."""
+    return json.dumps(result.document(), indent=1, sort_keys=True) + "\n"

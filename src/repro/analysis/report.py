@@ -14,6 +14,7 @@ it into the process's verdict:
 from __future__ import annotations
 
 import json
+from pathlib import Path
 from typing import Dict, List, NamedTuple, Optional, Sequence
 
 from repro.errors import ReproError
@@ -22,6 +23,31 @@ from repro.analysis.lint import lint_spec, lint_views
 from repro.analysis.specfile import load_target
 
 REPORT_VERSION = 1
+
+
+def display_path(path: str) -> str:
+    """``path`` relative to the working directory, with POSIX separators.
+
+    Machine-readable artifacts (the lint JSON report, prover certificates)
+    must be stable across CI runners, whose absolute checkout prefixes
+    differ; a path below the working directory is therefore emitted
+    repo-relative. Paths outside the working directory are returned as
+    given (normalized to ``/`` separators).
+
+    Examples
+    --------
+    >>> import os
+    >>> display_path(os.path.join(os.getcwd(), "examples", "specs", "a.json"))
+    'examples/specs/a.json'
+    >>> display_path("examples/specs/a.json")
+    'examples/specs/a.json'
+    """
+    candidate = Path(path)
+    try:
+        resolved = candidate.resolve()
+        return resolved.relative_to(Path.cwd().resolve()).as_posix()
+    except (OSError, ValueError):
+        return candidate.as_posix()
 
 
 class FileReport(NamedTuple):
@@ -116,7 +142,12 @@ def render_text(reports: Sequence[FileReport], strict: bool = False) -> str:
 
 
 def render_json(reports: Sequence[FileReport], strict: bool = False) -> str:
-    """The machine-readable rendering used by ``--format json`` (CI artifact)."""
+    """The machine-readable rendering used by ``--format json`` (CI artifact).
+
+    File paths are emitted repo-relative (:func:`display_path`) so the
+    uploaded artifact is byte-identical across runners with different
+    checkout prefixes.
+    """
     document = {
         "version": REPORT_VERSION,
         "strict": strict,
@@ -124,7 +155,7 @@ def render_json(reports: Sequence[FileReport], strict: bool = False) -> str:
         "summary": _summary(reports),
         "files": [
             {
-                "path": report.path,
+                "path": display_path(report.path),
                 "error": report.error,
                 "ignored": report.ignored,
                 "diagnostics": [d.to_dict() for d in report.diagnostics],

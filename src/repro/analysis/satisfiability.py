@@ -6,8 +6,13 @@ Decides two cheap, sound properties of a condition's top-level conjuncts:
   constant ``false``, from a constant-constant conjunct that evaluates
   false, or from contradictory constraints on one attribute (two different
   required equalities, an equality excluded by a disequality, or an empty
-  ordering interval). Sound but incomplete; cross-attribute reasoning is
-  left to the conjunctive-query machinery in
+  ordering interval). Attribute-attribute equalities are propagated:
+  conjuncts like ``a = b`` merge the two attributes into one equivalence
+  class, so constant constraints anywhere along the chain combine
+  (``a = b and b = 3 and a != 3`` is unsatisfiable), and an ordering or
+  disequality conjunct between two attributes of the same class is itself
+  a contradiction. Sound but incomplete; deeper cross-attribute reasoning
+  is left to the conjunctive-query machinery in
   :mod:`repro.algebra.containment`, which the lint pass consults as a
   second opinion.
 * **tautological conjuncts** — conjuncts that filter nothing: the constant
@@ -95,6 +100,37 @@ def _same(left: object, right: object) -> bool:
     return type(left) is type(right) and left == right
 
 
+class _EqualityClasses:
+    """Union-find over the ``attr = attr`` conjuncts of one condition."""
+
+    def __init__(self) -> None:
+        self._parent: Dict[str, str] = {}
+
+    def find(self, name: str) -> str:
+        parent = self._parent.setdefault(name, name)
+        if parent != name:
+            parent = self._parent[name] = self.find(parent)
+        return parent
+
+    def union(self, left: str, right: str) -> None:
+        roots = sorted((self.find(left), self.find(right)))
+        if roots[0] != roots[1]:
+            self._parent[roots[1]] = roots[0]
+
+    def members(self, name: str) -> List[str]:
+        root = self.find(name)
+        return sorted(
+            member for member in self._parent if self.find(member) == root
+        )
+
+    def label(self, name: str) -> str:
+        """Human-readable name for the class: the ``a = b`` chain itself."""
+        members = self.members(name)
+        if len(members) == 1:
+            return f"attribute {members[0]!r}"
+        return "attributes " + " = ".join(repr(member) for member in members)
+
+
 def _empty_interval(
     low: object, low_strict: bool, high: object, high_strict: bool
 ) -> Optional[str]:
@@ -130,11 +166,29 @@ def unsatisfiable_reason(condition: Condition) -> Optional[str]:
     "attribute 'a' requires a value both > 3 and < 5"
     >>> unsatisfiable_reason(parse_condition("a = 1 and b = 2")) is None
     True
+
+    Constant constraints propagate along ``attr = attr`` equality chains:
+
+    >>> unsatisfiable_reason(parse_condition("a = b and b = 3 and a != 3"))
+    "attributes 'a' = 'b' required to equal and not equal 3"
+    >>> unsatisfiable_reason(parse_condition("a = b and b < c and c = a"))
+    "attributes 'a' = 'b' = 'c' are required equal, contradicting 'b' < 'c'"
     """
     if isinstance(condition, FalseCondition):
         return "the condition is the constant false"
+    conjuncts = list(condition.conjuncts())
+    classes = _EqualityClasses()
+    for conjunct in conjuncts:
+        if (
+            isinstance(conjunct, Comparison)
+            and conjunct.op == "="
+            and isinstance(conjunct.left, AttributeRef)
+            and isinstance(conjunct.right, AttributeRef)
+            and conjunct.left.name != conjunct.right.name
+        ):
+            classes.union(conjunct.left.name, conjunct.right.name)
     bounds: Dict[str, _Bounds] = {}
-    for conjunct in condition.conjuncts():
+    for conjunct in conjuncts:
         if isinstance(conjunct, FalseCondition):
             return "a conjunct is the constant false"
         if not isinstance(conjunct, Comparison):
@@ -145,17 +199,29 @@ def unsatisfiable_reason(condition: Condition) -> Optional[str]:
         if verdict is not None:
             continue
         oriented = conjunct.canonical()
+        if isinstance(oriented.left, AttributeRef) and isinstance(
+            oriented.right, AttributeRef
+        ):
+            left, right = oriented.left.name, oriented.right.name
+            if left == right or oriented.op in ("=", "<=", ">="):
+                continue
+            if classes.find(left) == classes.find(right):
+                return (
+                    f"{classes.label(left)} are required equal, "
+                    f"contradicting {left!r} {oriented.op} {right!r}"
+                )
+            continue
         if not (
             isinstance(oriented.left, AttributeRef)
             and isinstance(oriented.right, Constant)
         ):
             continue
-        name = oriented.left.name
+        name = classes.find(oriented.left.name)
         reason = bounds.setdefault(name, _Bounds()).add(
             oriented.op, oriented.right.value
         )
         if reason:
-            return f"attribute {name!r} {reason}"
+            return f"{classes.label(name)} {reason}"
     return None
 
 

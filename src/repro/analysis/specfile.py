@@ -2,7 +2,8 @@
 
 The file format is the one ``python -m repro spec`` already consumes
 (relations, inclusions, checks, views — see :mod:`repro.__main__`), plus an
-optional ``"lint"`` section for per-file suppressions::
+optional ``"lint"`` section for per-file suppressions and an optional
+``"prover"`` section consumed by ``python -m repro prove``::
 
     {
       "relations": [...],
@@ -12,12 +13,21 @@ optional ``"lint"`` section for per-file suppressions::
         "ignore": {
           "W0033": "Audit is intentionally warehouse-only replicated"
         }
+      },
+      "prover": {
+        "mode": "with-complement",   # or "views-only"
+        "expect": "proved",          # or "refuted"
+        "max_model_size": 2,
+        "domain_size": 2
       }
     }
 
 Every ignored code must exist in the diagnostic catalog and must carry a
 non-empty justification string — a suppression without a reason is itself a
-spec bug.
+spec bug. The prover options declare which question the file poses (is
+``V ∪ C`` invertible, or is ``V`` alone?) and the verdict CI should treat
+as success — a deliberately non-independent example ships with
+``"expect": "refuted"``.
 """
 
 from __future__ import annotations
@@ -33,6 +43,26 @@ from repro.views.psj import View
 from repro.analysis.diagnostics import CATALOG
 
 
+PROVER_MODES = ("with-complement", "views-only")
+PROVER_EXPECTATIONS = ("proved", "refuted")
+
+
+class ProverOptions(NamedTuple):
+    """Per-file options for ``python -m repro prove`` (``"prover"`` section).
+
+    ``mode`` selects the question — ``"with-complement"`` asks whether the
+    derived ``W = V ∪ C`` is invertible (Theorem 2.2), ``"views-only"``
+    whether the view set alone already is (Proposition 2.1 applied to
+    ``V``). ``expect`` is the verdict CI treats as success;
+    ``max_model_size`` / ``domain_size`` bound the counterexample search.
+    """
+
+    mode: str = "with-complement"
+    expect: str = "proved"
+    max_model_size: int = 2
+    domain_size: int = 2
+
+
 class LintTarget(NamedTuple):
     """One loaded spec file, ready for :func:`repro.analysis.lint.lint_views`."""
 
@@ -40,6 +70,7 @@ class LintTarget(NamedTuple):
     catalog: Catalog
     views: List[View]
     ignore: Dict[str, str]
+    prover: ProverOptions = ProverOptions()
 
     def ignored_codes(self) -> List[str]:
         """The suppressed diagnostic codes."""
@@ -69,6 +100,47 @@ def _parse_ignore(data: Mapping[str, Any], path: str) -> Dict[str, str]:
     return ignore
 
 
+def _parse_prover(data: Mapping[str, Any], path: str) -> ProverOptions:
+    raw = data.get("prover", {})
+    if not isinstance(raw, Mapping):
+        raise SchemaError(f"{path}: 'prover' must be an object")
+    options = ProverOptions()
+    mode = raw.get("mode", options.mode)
+    if mode not in PROVER_MODES:
+        raise SchemaError(
+            f"{path}: prover.mode must be one of {list(PROVER_MODES)}, "
+            f"got {mode!r}"
+        )
+    expect = raw.get("expect", options.expect)
+    if expect not in PROVER_EXPECTATIONS:
+        raise SchemaError(
+            f"{path}: prover.expect must be one of {list(PROVER_EXPECTATIONS)}, "
+            f"got {expect!r}"
+        )
+    sizes: Dict[str, int] = {}
+    for field, default in (
+        ("max_model_size", options.max_model_size),
+        ("domain_size", options.domain_size),
+    ):
+        value = raw.get(field, default)
+        if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+            raise SchemaError(
+                f"{path}: prover.{field} must be a positive integer"
+            )
+        sizes[field] = value
+    unknown = set(raw) - {"mode", "expect", "max_model_size", "domain_size"}
+    if unknown:
+        raise SchemaError(
+            f"{path}: unknown prover option(s) {sorted(unknown)}"
+        )
+    return ProverOptions(
+        mode=mode,
+        expect=expect,
+        max_model_size=sizes["max_model_size"],
+        domain_size=sizes["domain_size"],
+    )
+
+
 def load_target(path: str) -> LintTarget:
     """Load a spec file into a :class:`LintTarget`.
 
@@ -87,4 +159,6 @@ def load_target(path: str) -> LintTarget:
         }
     )
     views = [View(v["name"], parse(v["definition"])) for v in data.get("views", [])]
-    return LintTarget(path, catalog, views, _parse_ignore(data, path))
+    return LintTarget(
+        path, catalog, views, _parse_ignore(data, path), _parse_prover(data, path)
+    )

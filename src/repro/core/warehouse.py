@@ -79,6 +79,14 @@ class Warehouse:
         self._metrics = MetricsRegistry()
         self._tracer: Optional[Tracer] = None
         self._trace_buffer: Optional[RingBufferCollector] = None
+        # Sanitizer mode (REPRO_CHECK_INVARIANTS=1): every apply() traces
+        # its refresh (with a throwaway buffer if tracing is off) and
+        # cross-checks the runtime source reads against the static
+        # dataflow analysis. Read once here — never on the evaluator hot
+        # path (scripts/check_hotpath.py rule R5).
+        from repro.analysis.dataflow import sanitizer_enabled
+
+        self._sanitize = sanitizer_enabled()
 
     # ------------------------------------------------------------------
     # Performance introspection
@@ -378,19 +386,40 @@ class Warehouse:
         plan = self.maintenance_plan(update.relations())
         stats = EvalStats()
         started = perf_counter()
-        if self._tracer is not None:
-            with self._tracer.span(
-                "refresh", relations=sorted(update.relations())
-            ) as span:
+        tracer = self._tracer
+        sanitize_buffer = None
+        if self._sanitize:
+            # Capture the refresh span tree even when tracing is off, so
+            # the runtime read set can be checked against the static one.
+            sanitize_buffer = RingBufferCollector(capacity=1)
+            if tracer is None:
+                tracer = Tracer([sanitize_buffer])
+            else:
+                tracer.collectors.append(sanitize_buffer)
+        try:
+            if tracer is not None:
+                with tracer.span(
+                    "refresh", relations=sorted(update.relations())
+                ) as span:
+                    new_state, applied = refresh_state(
+                        self.spec, self.state, update, plan,
+                        cache=self._cache, stats=stats, tracer=tracer,
+                    )
+                    span.set(relations_touched=len(applied))
+            else:
                 new_state, applied = refresh_state(
                     self.spec, self.state, update, plan,
-                    cache=self._cache, stats=stats, tracer=self._tracer,
+                    cache=self._cache, stats=stats,
                 )
-                span.set(relations_touched=len(applied))
-        else:
-            new_state, applied = refresh_state(
-                self.spec, self.state, update, plan, cache=self._cache, stats=stats
-            )
+        finally:
+            if sanitize_buffer is not None and self._tracer is not None:
+                self._tracer.collectors.remove(sanitize_buffer)
+        if sanitize_buffer is not None:
+            root = sanitize_buffer.last("refresh")
+            if root is not None:
+                from repro.analysis.dataflow import check_refresh_reads
+
+                check_refresh_reads(self.spec, update.relations(), root)
         self._last_refresh_stats = stats
         self._stats.merge(stats)
         self._state = new_state

@@ -103,6 +103,41 @@ class TestFlags:
         assert "2 file(s)" in out
 
 
+class TestJsonPaths:
+    def test_json_paths_are_relative_to_cwd(self, tmp_path, capsys, monkeypatch):
+        sub = tmp_path / "sub"
+        sub.mkdir()
+        (sub / "spec.json").write_text(json.dumps(CLEAN_SPEC))
+        monkeypatch.chdir(tmp_path)
+        assert main(["lint", "--format", "json", "sub/spec.json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        [entry] = document["files"]
+        # Stable across runners: never the absolute path of this machine.
+        assert entry["path"] == "sub/spec.json"
+
+    def test_json_paths_stay_relative_for_absolute_input(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        path = write(tmp_path, CLEAN_SPEC)
+        monkeypatch.chdir(tmp_path)
+        assert main(["lint", "--format", "json", path]) == 0
+        document = json.loads(capsys.readouterr().out)
+        [entry] = document["files"]
+        assert entry["path"] == "spec.json"
+
+    def test_paths_outside_cwd_fall_back_to_posix(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        path = write(tmp_path, CLEAN_SPEC)
+        nested = tmp_path / "elsewhere"
+        nested.mkdir()
+        monkeypatch.chdir(nested)
+        assert main(["lint", "--format", "json", path]) == 0
+        document = json.loads(capsys.readouterr().out)
+        [entry] = document["files"]
+        assert Path(entry["path"]).name == "spec.json"
+
+
 class TestSpecFileIgnores:
     def test_inline_ignore_block(self, tmp_path, capsys):
         spec = dirty_spec()

@@ -102,6 +102,33 @@ class TestRules:
         )
         assert any("R4" in v for v in found)
 
+    def test_r5_environ_read(self, tmp_path):
+        found = violations_for(
+            tmp_path,
+            "import os\n"
+            "def _eval(expr, ctx):\n"
+            "    return os.environ.get('X')\n",
+        )
+        assert any("R5" in v for v in found)
+
+    def test_r5_getenv_read(self, tmp_path):
+        found = violations_for(
+            tmp_path,
+            "from os import getenv\n"
+            "def _eval(expr, ctx):\n"
+            "    return getenv('X')\n",
+        )
+        assert any("R5" in v for v in found)
+
+    def test_r5_sanitizer_env_name(self, tmp_path):
+        found = violations_for(
+            tmp_path,
+            "def _eval(expr, ctx):\n"
+            "    flag = 'REPRO_CHECK_INVARIANTS'\n"
+            "    return flag\n",
+        )
+        assert any("R5" in v for v in found)
+
     def test_main_reports_violations(self, tmp_path, capsys):
         path = tmp_path / "bad.py"
         path.write_text("import time\n")

@@ -51,6 +51,31 @@ class TestSelectOnly:
         w_new = evaluate(sigma, new_state)
         assert w_new == w.union(evaluate(sigma, {"R": delta}))
 
+    def test_paper_calculation_delete(self, catalog):
+        # The dual: w' = sigma(r − ∇r) = w − sigma(∇r).
+        state = {"R": Relation(("a", "b"), [(1, 1), (1, 9), (2, 2)])}
+        sigma = parse("sigma[a = 1](R)")
+        w = evaluate(sigma, state)
+        removed = Relation(("a", "b"), [(1, 9), (2, 2)])
+        new_state = {"R": state["R"].difference(removed)}
+        w_new = evaluate(sigma, new_state)
+        assert w_new == w.difference(evaluate(sigma, {"R": removed}))
+        assert w_new == Relation(("a", "b"), [(1, 1)])
+
+    def test_select_only_guarantee_matches_dataflow(self, catalog):
+        # The Section 4 closing guarantee, cross-checked against the
+        # prover's dataflow analysis: a select-only view maintained
+        # without complement reads no source relation for any update
+        # shape — inserts or deletes.
+        from repro.analysis.dataflow import views_only_read_sets
+
+        view = View("W", parse("sigma[a = 1](R)"))
+        assert is_select_only_update_independent(view, catalog)
+        report = views_only_read_sets(catalog, [view])
+        assert report.update_independent
+        for kind in ("insert", "delete"):
+            assert report.reads_for("R", kind) == ()
+
 
 class TestSyntacticCheck:
     def test_select_only_views_pass(self, catalog):

@@ -1,0 +1,83 @@
+"""Property-based consistency: selfmaint verdicts vs. dataflow read sets.
+
+Two modules answer "can this view set maintain itself without touching
+the sources?" from different angles —
+:func:`repro.core.selfmaint.self_maintainable_without_complement` as a
+per-view boolean, :func:`repro.analysis.dataflow.views_only_read_sets`
+as per-update-shape read sets. Hypothesis samples view sets from a small
+definition pool and checks the implication that ties them together: a
+self-maintainable-everywhere view set must have empty read sets
+everywhere (selfmaint-yes ⇒ dataflow-read-set-empty). The converse is
+not asserted — the dataflow analysis may simplify more aggressively.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Catalog, View, parse
+from repro.analysis.dataflow import KINDS, views_only_read_sets
+from repro.core.selfmaint import (
+    is_select_only_update_independent,
+    self_maintainable_without_complement,
+)
+
+DEFINITIONS = [
+    "R",
+    "S",
+    "sigma[a = 1](R)",
+    "sigma[a = 0 and b = 1](R)",
+    "sigma[b = c](S)",
+    "pi[a](R)",
+    "pi[b](S)",
+    "R join S",
+    "pi[a, b](R join S)",
+]
+
+
+def catalog():
+    cat = Catalog()
+    cat.relation("R", ("a", "b"))
+    cat.relation("S", ("b", "c"))
+    return cat
+
+
+view_sets = st.lists(
+    st.sampled_from(DEFINITIONS), min_size=1, max_size=3, unique=True
+).map(
+    lambda defs: [
+        View(f"V{i}", parse(text)) for i, text in enumerate(defs)
+    ]
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(views=view_sets)
+def test_selfmaint_yes_implies_empty_read_sets(views):
+    cat = catalog()
+    report = views_only_read_sets(cat, views)
+    for relation in cat.relation_names():
+        for kind in KINDS:
+            verdicts = self_maintainable_without_complement(
+                cat,
+                views,
+                [relation],
+                insert_only=kind == "insert",
+                delete_only=kind == "delete",
+            )
+            if all(verdicts.values()):
+                assert report.reads_for(relation, kind) == (), (
+                    relation,
+                    kind,
+                    verdicts,
+                )
+
+
+@settings(max_examples=60, deadline=None)
+@given(definition=st.sampled_from(DEFINITIONS))
+def test_select_only_views_have_empty_read_sets(definition):
+    cat = catalog()
+    view = View("W", parse(definition))
+    if is_select_only_update_independent(view, cat):
+        assert views_only_read_sets(cat, [view]).update_independent
