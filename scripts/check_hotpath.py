@@ -1,15 +1,17 @@
 #!/usr/bin/env python
-"""AST lint for the evaluator's untraced hot path.
+"""AST lint for the engines' hot paths (evaluators + columnar kernels).
 
-The evaluator keeps two entry points: ``_eval`` (the default, untraced
-path — called once per operator per evaluation, often inside per-row
-loops higher up) and ``_eval_traced`` (taken only when a tracer is
-installed). The untraced path must stay allocation-free with respect to
-observability: no ``Span`` objects, no timing calls, no unguarded tracer
-method calls. This script enforces that invariant structurally so a
-refactor cannot quietly put span construction back on the hot path.
+Two rule sets, dispatched per file:
 
-Rules (over ``src/repro/algebra/evaluator.py`` by default):
+**Evaluator rules** (``src/repro/algebra/evaluator.py`` and
+``columnar_eval.py``). Each evaluator keeps two entry points: ``_eval``
+(the default, untraced path — called once per operator per evaluation,
+often inside per-row loops higher up) and ``_eval_traced`` (taken only
+when a tracer is installed). The untraced path must stay allocation-free
+with respect to observability: no ``Span`` objects, no timing calls, no
+unguarded tracer method calls. These rules enforce that invariant
+structurally so a refactor cannot quietly put span construction back on
+the hot path.
 
 R1  ``*.span(...)`` calls may appear only inside functions on the
     allowlist (``_eval_traced``) — span construction is what makes the
@@ -26,8 +28,24 @@ R4  The name ``Span`` must not be referenced at all: the evaluator
     receives spans only through the tracer's context manager.
 R5  No environment reads: ``environ``/``getenv`` (and the sanitizer's
     ``REPRO_CHECK_INVARIANTS`` variable name) must never appear — the
-    sanitizer flag is read once per ``Warehouse`` construction, never
+    sanitizer flag is read once per ``Warehouse`` construction, and the
+    engine default once at ``repro.storage.engine`` import, never
     per-operator.
+
+**Columnar kernel rules** (``src/repro/storage/columnar.py``). The
+batch kernels exist to replace per-row Python interpretation with
+C-level primitives (comprehensions, ``zip``, ``set``/``dict`` algebra);
+a ``for`` statement over rows would silently give that back.
+
+C1  No ``for``/``while`` *statements* in kernel code — comprehensions
+    and generator expressions are the batch idiom and stay allowed.
+    Facade methods that bridge to/from the tuple world
+    (``from_relation``, ``patched``, ``_ensure_positions``) are
+    allowlisted: they run once per table build/patch, not per operator.
+C2  Tuple materialization (``Relation._raw``/``Relation(...)``
+    construction, ``*.to_relation()`` calls) may appear only at the API
+    boundary (``to_relation``, ``from_relation``) — kernels must stay
+    code-space end to end; late materialization is the contract.
 
 Exit status: 0 when clean, 1 with one violation per line otherwise.
 Usage: ``python scripts/check_hotpath.py [FILE ...]``.
@@ -45,12 +63,17 @@ TIMING_NAMES = frozenset({"perf_counter", "monotonic", "time", "datetime"})
 ENVIRON_NAMES = frozenset({"environ", "getenv"})
 SANITIZER_ENV = "REPRO_CHECK_INVARIANTS"
 
-DEFAULT_TARGET = (
-    Path(__file__).resolve().parent.parent
-    / "src"
-    / "repro"
-    / "algebra"
-    / "evaluator.py"
+#: Columnar facade methods allowed to loop row-at-a-time (C1): they run
+#: once per build/patch on delta-sized inputs, not inside operator trees.
+LOOP_ALLOWLIST = frozenset({"from_relation", "patched", "_ensure_positions"})
+#: Columnar methods allowed to touch tuple-world ``Relation`` objects (C2).
+MATERIALIZE_ALLOWLIST = frozenset({"to_relation", "from_relation"})
+
+_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_TARGETS = (
+    _ROOT / "src" / "repro" / "algebra" / "evaluator.py",
+    _ROOT / "src" / "repro" / "algebra" / "columnar_eval.py",
+    _ROOT / "src" / "repro" / "storage" / "columnar.py",
 )
 
 
@@ -173,17 +196,81 @@ class _HotPathChecker(ast.NodeVisitor):
                 self._report(node, "R2", f"timing import '{alias.name}'")
 
 
+class _ColumnarKernelChecker(ast.NodeVisitor):
+    """C1/C2 over the columnar kernel module."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.violations: List[str] = []
+        self._function = "<module>"
+
+    def _report(self, node: ast.AST, rule: str, message: str) -> None:
+        line = getattr(node, "lineno", 0)
+        self.violations.append(f"{self.path}:{line}: {rule}: {message}")
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        previous = self._function
+        self._function = node.name
+        self.generic_visit(node)
+        self._function = previous
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def _check_loop(self, node: ast.AST) -> None:
+        if self._function not in LOOP_ALLOWLIST:
+            self._report(
+                node,
+                "C1",
+                f"per-row loop statement in '{self._function}' — kernels must "
+                f"use comprehensions/set algebra; loops are allowed only in "
+                f"{sorted(LOOP_ALLOWLIST)}",
+            )
+        self.generic_visit(node)
+
+    visit_For = _check_loop
+    visit_While = _check_loop
+    visit_AsyncFor = _check_loop
+
+    def _check_materialization(self, node: ast.AST, what: str) -> None:
+        if self._function not in MATERIALIZE_ALLOWLIST:
+            self._report(
+                node,
+                "C2",
+                f"{what} in '{self._function}' — tuple materialization is "
+                f"allowed only in {sorted(MATERIALIZE_ALLOWLIST)}",
+            )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "Relation":
+            self._check_materialization(node, "Relation(...) construction")
+        elif isinstance(func, ast.Attribute):
+            if func.attr == "to_relation":
+                self._check_materialization(node, "to_relation() call")
+            elif func.attr == "_raw" and (
+                isinstance(func.value, ast.Name) and func.value.id == "Relation"
+            ):
+                self._check_materialization(node, "Relation._raw(...) call")
+        self.generic_visit(node)
+
+
+def _checker_for(path: str):
+    if Path(path).name == "columnar.py":
+        return _ColumnarKernelChecker(path)
+    return _HotPathChecker(path)
+
+
 def check_file(path: str) -> List[str]:
     """Check one file; returns a list of ``path:line: rule: message`` strings."""
     source = Path(path).read_text()
     tree = ast.parse(source, filename=str(path))
-    checker = _HotPathChecker(str(path))
+    checker = _checker_for(str(path))
     checker.visit(tree)
     return checker.violations
 
 
 def main(argv: List[str]) -> int:
-    targets = argv or [str(DEFAULT_TARGET)]
+    targets = argv or [str(target) for target in DEFAULT_TARGETS]
     violations: List[str] = []
     for target in targets:
         violations.extend(check_file(target))

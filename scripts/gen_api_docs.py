@@ -12,7 +12,7 @@ import pathlib
 MODULES = [
     "repro.schema.schema", "repro.schema.constraints", "repro.schema.catalog",
     "repro.storage.relation", "repro.storage.database", "repro.storage.update",
-    "repro.storage.persist",
+    "repro.storage.persist", "repro.storage.engine", "repro.storage.columnar",
     "repro.algebra.conditions", "repro.algebra.expressions", "repro.algebra.evaluator",
     "repro.algebra.parser", "repro.algebra.simplify", "repro.algebra.optimize",
     "repro.algebra.rewriting", "repro.algebra.deltas", "repro.algebra.containment",

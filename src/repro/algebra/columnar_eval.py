@@ -1,0 +1,334 @@
+"""The columnar evaluation path: PSJ expressions over batch kernels.
+
+This is the engine selected by ``REPRO_ENGINE=columnar`` (or an explicit
+``engine="columnar"``): structurally the same evaluator as
+:mod:`repro.algebra.evaluator` — per-call memo, cross-update
+:class:`~repro.algebra.evaluator.EvaluationCache`, semi-/anti-join fast
+paths, a zero-overhead untraced path with a tracing twin — but every
+operator dispatches to a :class:`~repro.storage.columnar.ColumnarTable`
+kernel instead of a tuple-set method:
+
+* leaves encode through :meth:`Relation.columnar`, which caches the
+  dictionary-coded twin on the relation instance (and the maintenance
+  layer delta-patches it across refreshes, so big relations encode once);
+* predicates evaluate over dictionary codes
+  (:meth:`ColumnarTable.select`), joins hash on encoded key columns
+  (:meth:`ColumnarTable.join`);
+* results stay columnar through the whole expression tree — **late
+  materialization**: value tuples are rebuilt only at the public API
+  boundary (:func:`evaluate_columnar` returns ordinary ``Relation``
+  objects, so ``repro.core.maintenance`` and every caller work unchanged).
+
+Sharing one :class:`EvaluationCache` between both engines is safe: columnar
+entries are stored under tagged keys, and both are validated by the same
+:class:`~repro.algebra.evaluator.StateVersion` instance-identity check.
+
+Identity contract (mirrored from the tuple engine): evaluating a bare
+:class:`RelationRef` returns the state's bound ``Relation`` object itself,
+and materialized results are cached per table, so unchanged sub-expressions
+yield object-identical relations across refreshes — which is what keeps
+``StateVersion`` checks and the warehouse's no-op detection working.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from repro.errors import EvaluationError
+from repro.algebra.evaluator import (
+    Cache,
+    EvalStats,
+    EvaluationCache,
+    State,
+    _SPAN_NAMES,
+    _check_memo_state,
+    _join_operands,
+)
+from repro.algebra.expressions import (
+    Difference,
+    Empty,
+    Expression,
+    Join,
+    Project,
+    RelationRef,
+    Rename,
+    Select,
+    Union,
+)
+from repro.storage.columnar import ColumnarTable
+from repro.storage.relation import Relation
+
+#: Tag prefix keeping columnar memo/cache entries apart from tuple-engine
+#: entries when one cache object is shared between both engines.
+_TAG = "@columnar"
+
+_SCOPE_KEY = ("@columnar", "__scope__")
+
+
+def _memo_key(expr: Expression) -> tuple:
+    return (_TAG, expr._key())
+
+
+class _Context:
+    """Per-call plumbing: memo, optional cache, stats, flags (columnar)."""
+
+    __slots__ = ("state", "memo", "cache", "stats", "fastpath", "tracer")
+
+    def __init__(
+        self,
+        state: State,
+        memo: Dict[tuple, object],
+        cache: Optional[EvaluationCache],
+        stats: EvalStats,
+        fastpath: bool,
+        tracer=None,
+    ) -> None:
+        self.state = state
+        self.memo = memo
+        self.cache = cache
+        self.stats = stats
+        self.fastpath = fastpath
+        self.tracer = tracer
+
+
+def evaluate_columnar(
+    expression: Expression,
+    state: State,
+    cache: Optional[Cache] = None,
+    *,
+    stats: Optional[EvalStats] = None,
+    fastpath: bool = True,
+    tracer=None,
+) -> Relation:
+    """Evaluate ``expression`` over ``state`` with the columnar kernels.
+
+    Drop-in equivalent of :func:`repro.algebra.evaluator.evaluate` (same
+    parameters, same result relation, same identity guarantees); only the
+    physical execution differs. Normally reached via
+    ``evaluate(..., engine="columnar")`` or ``REPRO_ENGINE=columnar``.
+    """
+    if stats is None:
+        stats = EvalStats()
+    if isinstance(cache, EvaluationCache):
+        ctx = _Context(state, {}, cache, stats, fastpath, tracer)
+    else:
+        memo: Dict[tuple, object] = cache if cache is not None else {}
+        _check_memo_state(memo, state)
+        ctx = _Context(state, memo, None, stats, fastpath, tracer)
+    return _materialize(expression, ctx)
+
+
+def evaluate_all_columnar(
+    expressions: Mapping[str, Expression],
+    state: State,
+    cache: Optional[Cache] = None,
+    *,
+    stats: Optional[EvalStats] = None,
+    fastpath: bool = True,
+    tracer=None,
+) -> Dict[str, Relation]:
+    """Evaluate several named expressions columnar-ly, sharing the memo."""
+    if stats is None:
+        stats = EvalStats()
+    if isinstance(cache, EvaluationCache):
+        ctx = _Context(state, {}, cache, stats, fastpath, tracer)
+    else:
+        memo: Dict[tuple, object] = cache if cache is not None else {}
+        _check_memo_state(memo, state)
+        ctx = _Context(state, memo, None, stats, fastpath, tracer)
+    return {name: _materialize(expr, ctx) for name, expr in expressions.items()}
+
+
+def _materialize(expr: Expression, ctx: _Context) -> Relation:
+    """Run the columnar evaluation, then decode at the API boundary.
+
+    A bare :class:`RelationRef` returns the bound relation object itself
+    (identity parity with the tuple engine); everything else decodes via
+    :meth:`ColumnarTable.to_relation`, which caches the materialized
+    relation on the table so cross-update cache hits stay object-identical.
+    """
+    table = _eval(expr, ctx)
+    if isinstance(expr, RelationRef):
+        return ctx.state[expr.name]
+    return table.to_relation()
+
+
+def _eval(expr: Expression, ctx: _Context) -> ColumnarTable:
+    if ctx.tracer is not None:
+        return _eval_traced(expr, ctx)
+    key = _memo_key(expr)
+    hit = ctx.memo.get(key)
+    if hit is not None:
+        ctx.stats.memo_hits += 1
+        return hit  # type: ignore[return-value]
+    if ctx.cache is not None:
+        cached = ctx.cache.lookup(key, ctx.state)
+        if cached is not None:
+            ctx.stats.cache_hits += 1
+            ctx.memo[key] = cached
+            return cached  # type: ignore[return-value]
+        ctx.stats.cache_misses += 1
+    result = _eval_node(expr, ctx)
+    ctx.stats.nodes_evaluated += 1
+    ctx.memo[key] = result
+    if ctx.cache is not None:
+        ctx.cache.store(key, ctx.state, expr, result)  # type: ignore[arg-type]
+    return result
+
+
+def _eval_traced(expr: Expression, ctx: _Context) -> ColumnarTable:
+    """The tracing twin of :func:`_eval`: same logic, plus per-node spans.
+
+    Span names and attributes mirror the tuple engine exactly — in
+    particular every :class:`RelationRef` actually computed (or served
+    from the cross-update cache) yields a ``read`` span carrying the
+    ``relation`` attribute, which is what the ``REPRO_CHECK_INVARIANTS=1``
+    dataflow sanitizer cross-checks against static read sets. The only
+    additions are ``engine="columnar"`` on every span and kernel-level row
+    counts on joins.
+    """
+    key = _memo_key(expr)
+    hit = ctx.memo.get(key)
+    if hit is not None:
+        ctx.stats.memo_hits += 1
+        return hit  # type: ignore[return-value]
+    name = _SPAN_NAMES.get(type(expr), "node")
+    if ctx.cache is not None:
+        cached = ctx.cache.lookup(key, ctx.state)
+        if cached is not None:
+            ctx.stats.cache_hits += 1
+            ctx.memo[key] = cached
+            with ctx.tracer.span(
+                name, cached=True, rows_out=len(cached), engine="columnar"
+            ) as span:
+                if isinstance(expr, RelationRef):
+                    span.attributes["relation"] = expr.name
+            return cached  # type: ignore[return-value]
+        ctx.stats.cache_misses += 1
+    with ctx.tracer.span(name, engine="columnar") as span:
+        result = _eval_node(expr, ctx)
+        span.attributes["rows_out"] = len(result)
+        if isinstance(expr, RelationRef):
+            span.attributes["relation"] = expr.name
+    ctx.stats.nodes_evaluated += 1
+    ctx.memo[key] = result
+    if ctx.cache is not None:
+        ctx.cache.store(key, ctx.state, expr, result)  # type: ignore[arg-type]
+    return result
+
+
+def _scope(ctx: _Context):
+    scope = ctx.memo.get(_SCOPE_KEY)
+    if scope is None:
+        scope = {name: relation.attributes for name, relation in ctx.state.items()}
+        ctx.memo[_SCOPE_KEY] = scope
+    return scope
+
+
+def _kernel_join(left: ColumnarTable, right: ColumnarTable, ctx: _Context) -> ColumnarTable:
+    if ctx.tracer is not None:
+        ctx.tracer.annotate(rows_in_left=len(left), rows_in_right=len(right))
+    result = left.join(right)
+    ctx.stats.joins += 1
+    ctx.stats.rows_joined += len(result)
+    return result
+
+
+def _eval_project(expr: Project, ctx: _Context) -> ColumnarTable:
+    child = expr.child
+    if not (ctx.fastpath and isinstance(child, Join)):
+        return _eval(child, ctx).project(expr.attrs)
+    # Same fast path as the tuple engine: pi_Z(L join R) with Z inside one
+    # operand's schema is a semi-join over encoded keys.
+    if _memo_key(child) in ctx.memo:
+        return _eval(child, ctx).project(expr.attrs)
+    left = _eval(child.left, ctx)
+    if not left:
+        return ColumnarTable.empty(expr.attrs)
+    right = _eval(child.right, ctx)
+    if not right:
+        return ColumnarTable.empty(expr.attrs)
+    target = frozenset(expr.attrs)
+    if target <= left.attribute_set:
+        ctx.stats.semijoin_fastpaths += 1
+        if ctx.tracer is not None:
+            ctx.tracer.annotate(fastpath="semi_join")
+        return left.semi_join(right).project(expr.attrs)
+    if target <= right.attribute_set:
+        ctx.stats.semijoin_fastpaths += 1
+        if ctx.tracer is not None:
+            ctx.tracer.annotate(fastpath="semi_join")
+        return right.semi_join(left).project(expr.attrs)
+    return _eval(child, ctx).project(expr.attrs)
+
+
+def _eval_difference(
+    expr: Difference, ctx: _Context, left: ColumnarTable
+) -> ColumnarTable:
+    right = expr.right
+    if (
+        ctx.fastpath
+        and isinstance(right, Project)
+        and isinstance(right.child, Join)
+        and _memo_key(right) not in ctx.memo
+        and frozenset(right.attrs) == left.attribute_set
+    ):
+        # Proposition 2.2's complement shape R - pi_{attr(R)}(R join S)
+        # as a hash anti-join on encoded keys (two-operand joins only,
+        # matching the tuple engine's restriction).
+        operands = _join_operands(right.child)
+        if len(operands) == 2:
+            left_key = expr.left._key()
+            for index, operand in enumerate(operands):
+                if operand._key() == left_key:
+                    other = _eval(operands[1 - index], ctx)
+                    ctx.stats.antijoin_fastpaths += 1
+                    if ctx.tracer is not None:
+                        ctx.tracer.annotate(fastpath="anti_join")
+                    return left.anti_join(other)
+    return left.difference(_eval(right, ctx))
+
+
+def _eval_node(expr: Expression, ctx: _Context) -> ColumnarTable:
+    if isinstance(expr, RelationRef):
+        relation = ctx.state.get(expr.name)
+        if relation is None:
+            raise EvaluationError(
+                f"relation {expr.name!r} is not bound in the evaluation state "
+                f"(bound: {sorted(ctx.state)})"
+            )
+        return relation.columnar()
+
+    if isinstance(expr, Empty):
+        return ColumnarTable.empty(expr.attrs)
+
+    if isinstance(expr, Project):
+        return _eval_project(expr, ctx)
+
+    if isinstance(expr, Select):
+        return _eval(expr.child, ctx).select(expr.condition)
+
+    if isinstance(expr, Join):
+        left = _eval(expr.left, ctx)
+        if not left:
+            return ColumnarTable.empty(expr.attributes(_scope(ctx)))
+        right = _eval(expr.right, ctx)
+        if not right:
+            return ColumnarTable.empty(expr.attributes(_scope(ctx)))
+        return _kernel_join(left, right, ctx)
+
+    if isinstance(expr, Union):
+        left = _eval(expr.left, ctx)
+        right = _eval(expr.right, ctx)
+        return left.union(right)
+
+    if isinstance(expr, Difference):
+        left = _eval(expr.left, ctx)
+        if not left:
+            return left
+        return _eval_difference(expr, ctx, left)
+
+    if isinstance(expr, Rename):
+        return _eval(expr.child, ctx).rename(expr.mapping)
+
+    raise EvaluationError(f"unknown expression node {type(expr).__name__}")

@@ -52,6 +52,7 @@ from repro.algebra.expressions import (
     Select,
     Union,
 )
+from repro.storage.engine import ENGINE_COLUMNAR, resolve_engine
 from repro.storage.relation import Relation
 
 State = Mapping[str, Relation]
@@ -255,6 +256,7 @@ def evaluate(
     stats: Optional[EvalStats] = None,
     fastpath: bool = True,
     tracer=None,
+    engine: Optional[str] = None,
 ) -> Relation:
     """Evaluate ``expression`` over ``state`` and return the result relation.
 
@@ -285,6 +287,11 @@ def evaluate(
         row counts; cross-update cache hits appear as zero-work spans with
         ``cached=True``. ``None`` (the default) disables tracing with no
         per-node overhead.
+    engine:
+        Physical execution engine: ``"tuple"`` (the frozenset path below),
+        ``"columnar"`` (batch kernels over dictionary-coded columns, see
+        :mod:`repro.algebra.columnar_eval`), or ``None`` to follow the
+        process default (the ``REPRO_ENGINE`` environment variable).
 
     Examples
     --------
@@ -294,6 +301,12 @@ def evaluate(
     >>> evaluate(join(rel("Sale"), rel("Emp")), {"Sale": sale, "Emp": emp}).to_set()
     frozenset({('TV', 'Mary', 23)})
     """
+    if resolve_engine(engine) == ENGINE_COLUMNAR:
+        from repro.algebra.columnar_eval import evaluate_columnar
+
+        return evaluate_columnar(
+            expression, state, cache, stats=stats, fastpath=fastpath, tracer=tracer
+        )
     if stats is None:
         stats = EvalStats()
     if isinstance(cache, EvaluationCache):
@@ -552,12 +565,19 @@ def evaluate_all(
     stats: Optional[EvalStats] = None,
     fastpath: bool = True,
     tracer=None,
+    engine: Optional[str] = None,
 ) -> Dict[str, Relation]:
     """Evaluate several named expressions over one state, sharing the memo.
 
     Returns ``{name: result}`` in input order. ``cache``, ``stats``,
-    ``fastpath``, and ``tracer`` behave as in :func:`evaluate`.
+    ``fastpath``, ``tracer``, and ``engine`` behave as in :func:`evaluate`.
     """
+    if resolve_engine(engine) == ENGINE_COLUMNAR:
+        from repro.algebra.columnar_eval import evaluate_all_columnar
+
+        return evaluate_all_columnar(
+            expressions, state, cache, stats=stats, fastpath=fastpath, tracer=tracer
+        )
     if stats is None:
         stats = EvalStats()
     if isinstance(cache, EvaluationCache):

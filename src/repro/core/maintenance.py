@@ -154,6 +154,7 @@ def normalize_update(
     stats: Optional[EvalStats] = None,
     fastpath: bool = True,
     tracer=None,
+    engine: Optional[str] = None,
 ) -> Update:
     """The update's effective form w.r.t. the *reconstructed* base state.
 
@@ -178,6 +179,7 @@ def normalize_update(
                     stats=stats,
                     fastpath=fastpath,
                     tracer=tracer,
+                    engine=engine,
                 )
                 span.attributes["rows_out"] = len(result)
         else:
@@ -187,6 +189,7 @@ def normalize_update(
                 cache=memo,
                 stats=stats,
                 fastpath=fastpath,
+                engine=engine,
             )
         reconstructed[delta.relation] = result
     return update.normalized(reconstructed)
@@ -201,6 +204,7 @@ def refresh_state(
     stats: Optional[EvalStats] = None,
     fastpath: bool = True,
     tracer=None,
+    engine: Optional[str] = None,
 ) -> Tuple[Dict[str, Relation], Dict[str, Delta]]:
     """Incrementally fold ``update`` into the warehouse state.
 
@@ -223,14 +227,15 @@ def refresh_state(
         with tracer.span("normalize_update", relations=sorted(update.relations())) as span:
             effective = normalize_update(
                 spec, warehouse, update, cache=cache, stats=stats,
-                fastpath=fastpath, tracer=tracer,
+                fastpath=fastpath, tracer=tracer, engine=engine,
             )
             span.attributes["effective_rows"] = sum(
                 len(d.inserts) + len(d.deletes) for d in effective
             )
     else:
         effective = normalize_update(
-            spec, warehouse, update, cache=cache, stats=stats, fastpath=fastpath
+            spec, warehouse, update, cache=cache, stats=stats, fastpath=fastpath,
+            engine=engine,
         )
     if effective.is_empty():
         return dict(warehouse), {}
@@ -250,16 +255,22 @@ def refresh_state(
             with tracer.span("maintain", relation=name) as span:
                 inserts = evaluate(
                     exprs.inserts, combined, cache=memo, stats=stats,
-                    fastpath=fastpath, tracer=tracer,
+                    fastpath=fastpath, tracer=tracer, engine=engine,
                 )
                 deletes = evaluate(
                     exprs.deletes, combined, cache=memo, stats=stats,
-                    fastpath=fastpath, tracer=tracer,
+                    fastpath=fastpath, tracer=tracer, engine=engine,
                 )
                 span.set(rows_inserted=len(inserts), rows_deleted=len(deletes))
         else:
-            inserts = evaluate(exprs.inserts, combined, cache=memo, stats=stats, fastpath=fastpath)
-            deletes = evaluate(exprs.deletes, combined, cache=memo, stats=stats, fastpath=fastpath)
+            inserts = evaluate(
+                exprs.inserts, combined, cache=memo, stats=stats,
+                fastpath=fastpath, engine=engine,
+            )
+            deletes = evaluate(
+                exprs.deletes, combined, cache=memo, stats=stats,
+                fastpath=fastpath, engine=engine,
+            )
         current = warehouse[name]
         if inserts or deletes:
             new_state[name] = current.difference(deletes).union(inserts)
@@ -278,13 +289,16 @@ def full_recompute_state(
     update: Update,
     stats: Optional[EvalStats] = None,
     fastpath: bool = True,
+    engine: Optional[str] = None,
 ) -> Dict[str, Relation]:
     """The baseline ``w' = W(u(W^{-1}(w)))``: reconstruct, update, recompute.
 
     Still update-independent (no source access) but recomputes every view
     from scratch; the benchmarks compare this against :func:`refresh_state`.
     """
-    base = evaluate_all(spec.inverses, warehouse, stats=stats, fastpath=fastpath)
+    base = evaluate_all(
+        spec.inverses, warehouse, stats=stats, fastpath=fastpath, engine=engine
+    )
     for delta in update:
         if delta.relation not in base:
             raise WarehouseError(f"update touches unknown relation {delta.relation!r}")
@@ -292,5 +306,6 @@ def full_recompute_state(
             base[delta.relation]
         )
     return evaluate_all(
-        spec.definitions_over_sources(), base, stats=stats, fastpath=fastpath
+        spec.definitions_over_sources(), base, stats=stats, fastpath=fastpath,
+        engine=engine,
     )

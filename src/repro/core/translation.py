@@ -9,7 +9,7 @@ re-checked empirically in the test suite).
 
 from __future__ import annotations
 
-from typing import Mapping
+from typing import Mapping, Optional
 
 from repro.errors import WarehouseError
 from repro.algebra.evaluator import evaluate
@@ -58,6 +58,7 @@ def answer_query(
     warehouse: Mapping[str, Relation],
     query: Expression,
     optimized: bool = True,
+    engine: Optional[str] = None,
 ) -> Relation:
     """Answer a source query using warehouse relations only.
 
@@ -66,7 +67,9 @@ def answer_query(
     translation — no source relation is ever touched. ``optimized`` runs
     selection pushdown / projection pruning on the translated expression
     before evaluation (on by default; ``translate_query`` keeps the
-    unoptimized, paper-shaped form by default for display).
+    unoptimized, paper-shaped form by default for display). ``engine``
+    selects the physical evaluator, as in
+    :func:`repro.algebra.evaluator.evaluate`.
     """
     translated = translate_query(spec, query, optimized=optimized)
-    return evaluate(translated, warehouse)
+    return evaluate(translated, warehouse, engine=engine)

@@ -61,8 +61,23 @@ class Warehouse:
     ['C_Emp', 'C_Sale', 'Sold']
     """
 
-    def __init__(self, spec: WarehouseSpec, cached: bool = True) -> None:
+    def __init__(
+        self,
+        spec: WarehouseSpec,
+        cached: bool = True,
+        engine: Optional[str] = None,
+    ) -> None:
+        from repro.storage.columnar import ENGINE_COLUMNAR, kernel_totals, resolve_engine
+
         self.spec = spec
+        # Physical execution engine: "tuple" (frozenset operators) or
+        # "columnar" (dictionary-coded batch kernels). ``None`` follows the
+        # process default (REPRO_ENGINE), resolved once at construction.
+        self.engine = resolve_engine(engine)
+        self._columnar_engine = self.engine == ENGINE_COLUMNAR
+        # Baseline of the process-wide kernel counters, so per-refresh
+        # deltas can be folded into evaluator.columnar.* metrics.
+        self._kernel_baseline = kernel_totals() if self._columnar_engine else {}
         self._state: Optional[Dict[str, Relation]] = None
         self._plans: Dict[frozenset, MaintenancePlan] = {}
         self._aggregates: list = []
@@ -196,7 +211,23 @@ class Warehouse:
         if deleted:
             metrics.counter("warehouse.rows_deleted").inc(deleted)
         metrics.merge_eval_stats(stats)
+        if self._columnar_engine:
+            self._record_kernel_metrics()
         self._update_storage_gauges()
+
+    def _record_kernel_metrics(self) -> None:
+        """Fold kernel-counter deltas into ``evaluator.columnar.*``."""
+        from repro.storage.columnar import dictionary_size, kernel_totals
+
+        metrics = self._metrics
+        totals = kernel_totals()
+        baseline = self._kernel_baseline
+        for kernel, count in totals.items():
+            delta = count - baseline.get(kernel, 0)
+            if delta:
+                metrics.counter(f"evaluator.columnar.{kernel}").inc(delta)
+        self._kernel_baseline = totals
+        metrics.gauge("evaluator.columnar.dictionary_size").set(dictionary_size())
 
     def _update_storage_gauges(self) -> None:
         if self._state is None:
@@ -231,10 +262,21 @@ class Warehouse:
         catalog: Catalog,
         views: Sequence[View],
         method: str = "thm22",
+        cached: bool = True,
+        engine: Optional[str] = None,
         **options,
     ) -> "Warehouse":
-        """Build a warehouse from a catalog and PSJ view definitions."""
-        return cls(specify(catalog, views, method=method, **options))
+        """Build a warehouse from a catalog and PSJ view definitions.
+
+        ``cached`` and ``engine`` configure the constructed warehouse (see
+        :meth:`__init__`); all other keyword ``options`` go to the
+        specification builder.
+        """
+        return cls(
+            specify(catalog, views, method=method, **options),
+            cached=cached,
+            engine=engine,
+        )
 
     # ------------------------------------------------------------------
     # Static validation (repro.analysis)
@@ -287,10 +329,13 @@ class Warehouse:
         if self._tracer is not None:
             with self._tracer.span("initialize"):
                 self._state = evaluate_all(
-                    self.spec.definitions_over_sources(), state, tracer=self._tracer
+                    self.spec.definitions_over_sources(), state,
+                    tracer=self._tracer, engine=self.engine,
                 )
         else:
-            self._state = evaluate_all(self.spec.definitions_over_sources(), state)
+            self._state = evaluate_all(
+                self.spec.definitions_over_sources(), state, engine=self.engine
+            )
         self._metrics.histogram("warehouse.initialize_seconds").observe(
             perf_counter() - started
         )
@@ -332,18 +377,23 @@ class Warehouse:
     def answer(self, query: QueryLike) -> Relation:
         """Answer a source query from warehouse relations only."""
         self._metrics.counter("warehouse.queries").inc()
-        return answer_query(self.spec, self.state, self._as_expression(query))
+        return answer_query(
+            self.spec, self.state, self._as_expression(query), engine=self.engine
+        )
 
     def reconstruct(self, relation: str) -> Relation:
         """Recompute one base relation via Equation (4)."""
         self._metrics.counter("warehouse.reconstructions").inc()
         return evaluate(
-            self.spec.inverse_for(relation), self.state, cache=self._cache
+            self.spec.inverse_for(relation), self.state, cache=self._cache,
+            engine=self.engine,
         )
 
     def reconstruct_all(self) -> Dict[str, Relation]:
         """Recompute every base relation (the full ``W^{-1}``)."""
-        return evaluate_all(self.spec.inverses, self.state, cache=self._cache)
+        return evaluate_all(
+            self.spec.inverses, self.state, cache=self._cache, engine=self.engine
+        )
 
     def audit(self) -> list:
         """Self-check: do the reconstructed base relations satisfy ``D``?
@@ -404,12 +454,13 @@ class Warehouse:
                     new_state, applied = refresh_state(
                         self.spec, self.state, update, plan,
                         cache=self._cache, stats=stats, tracer=tracer,
+                        engine=self.engine,
                     )
                     span.set(relations_touched=len(applied))
             else:
                 new_state, applied = refresh_state(
                     self.spec, self.state, update, plan,
-                    cache=self._cache, stats=stats,
+                    cache=self._cache, stats=stats, engine=self.engine,
                 )
         finally:
             if sanitize_buffer is not None and self._tracer is not None:
@@ -450,7 +501,9 @@ class Warehouse:
 
     def apply_full(self, update: Update) -> None:
         """Baseline: ``w' = W(u(W^{-1}(w)))`` — full recomputation."""
-        self._state = full_recompute_state(self.spec, self.state, update)
+        self._state = full_recompute_state(
+            self.spec, self.state, update, engine=self.engine
+        )
         for aggregate in self._aggregates:
             aggregate.recompute(self._state[aggregate.source])
 

@@ -12,15 +12,18 @@ set-semantics (the paper works in plain relational algebra over sets):
 """
 
 from repro.storage.relation import Relation
+from repro.storage.columnar import ColumnarTable, resolve_engine
 from repro.storage.database import Database
 from repro.storage.update import Delta, Update
 from repro.storage.persist import load_warehouse, save_warehouse
 
 __all__ = [
+    "ColumnarTable",
     "Database",
     "Delta",
     "Relation",
     "Update",
     "load_warehouse",
+    "resolve_engine",
     "save_warehouse",
 ]

@@ -1,0 +1,64 @@
+"""Physical execution engine selection (``REPRO_ENGINE``).
+
+Kept in its own leaf module (imports only the standard library and
+:mod:`repro.errors`) so both the evaluator and the columnar storage layer
+can resolve the engine without creating an import cycle between
+``repro.algebra`` and ``repro.storage``.
+
+Two engines exist:
+
+* ``"tuple"`` — the frozenset operators on
+  :class:`~repro.storage.relation.Relation` (the PR-1 engine);
+* ``"columnar"`` — dictionary-coded batch kernels
+  (:mod:`repro.storage.columnar`, dispatched by
+  :mod:`repro.algebra.columnar_eval`).
+
+The environment variable is read **once at import** — never on the
+evaluator hot path (``scripts/check_hotpath.py`` rule R5). Tests that need
+to flip the process default monkeypatch :data:`DEFAULT_ENGINE`.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.errors import EvaluationError
+
+ENGINE_ENV = "REPRO_ENGINE"
+ENGINE_TUPLE = "tuple"
+ENGINE_COLUMNAR = "columnar"
+
+
+def _engine_from_environment() -> str:
+    """The engine the environment selects (anything unknown means tuple)."""
+    value = os.environ.get(ENGINE_ENV, "").strip().lower()
+    return ENGINE_COLUMNAR if value == ENGINE_COLUMNAR else ENGINE_TUPLE
+
+
+#: The process default, read once at import (tests may monkeypatch it).
+DEFAULT_ENGINE = _engine_from_environment()
+
+
+def resolve_engine(engine: Optional[str]) -> str:
+    """Normalize an engine request: ``None`` means the process default.
+
+    Raises :class:`~repro.errors.EvaluationError` for unknown names, so a
+    typo in an explicit ``engine=`` argument fails loudly instead of
+    silently falling back to the tuple path.
+
+    Examples
+    --------
+    >>> resolve_engine("tuple")
+    'tuple'
+    >>> resolve_engine("columnar")
+    'columnar'
+    """
+    if engine is None:
+        return DEFAULT_ENGINE
+    if engine not in (ENGINE_TUPLE, ENGINE_COLUMNAR):
+        raise EvaluationError(
+            f"unknown evaluation engine {engine!r} "
+            f"(expected {ENGINE_TUPLE!r} or {ENGINE_COLUMNAR!r})"
+        )
+    return engine

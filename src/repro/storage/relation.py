@@ -55,6 +55,7 @@ class Relation:
         "_attribute_set",
         "_index_cache",
         "_projection_cache",
+        "_columnar",
     )
 
     # A union/difference result inherits (patches) the base relation's hash
@@ -81,6 +82,7 @@ class Relation:
         self._rows: FrozenSet[Row] = frozenset(materialized)
         self._index_cache: Dict[frozenset, Dict[Row, List[Row]]] = {}
         self._projection_cache: Dict[Tuple[str, ...], FrozenSet[Row]] = {}
+        self._columnar = None
 
     # ------------------------------------------------------------------
     # Constructors
@@ -106,6 +108,7 @@ class Relation:
         rel._rows = frozenset(rows)
         rel._index_cache = {}
         rel._projection_cache = {}
+        rel._columnar = None
         return rel
 
     @classmethod
@@ -117,6 +120,7 @@ class Relation:
         rel._rows = rows
         rel._index_cache = {}
         rel._projection_cache = {}
+        rel._columnar = None
         return rel
 
     def _derive_caches(
@@ -128,8 +132,12 @@ class Relation:
         shared -- they are never mutated after construction). Projection
         results distribute over row insertion (``pi(R + I) = pi(R) + pi(I)``)
         but not over deletion under set semantics, so cached projections are
-        carried forward only when nothing was removed.
+        carried forward only when nothing was removed. The columnar twin,
+        when present, is patched in O(delta) too: deletions flip its
+        row-validity bitmap, insertions append to its code columns.
         """
+        if self._columnar is not None:
+            result._columnar = self._columnar.patched(added, removed)
         for shared_set, buckets in self._index_cache.items():
             positions = tuple(
                 self._attributes.index(a) for a in sorted(shared_set)
@@ -156,8 +164,32 @@ class Relation:
                 )
 
     def _is_delta_sized(self, other: "Relation") -> bool:
-        has_caches = bool(self._index_cache or self._projection_cache)
+        has_caches = bool(
+            self._index_cache or self._projection_cache or self._columnar is not None
+        )
         return has_caches and len(other._rows) * self._PATCH_RATIO <= len(self._rows)
+
+    def columnar(self):
+        """This relation's columnar twin (built lazily, then cached).
+
+        The twin is a :class:`repro.storage.columnar.ColumnarTable` holding
+        the same rows as dictionary-coded columns. It rides along through
+        delta-sized unions/differences via :meth:`_derive_caches` — under
+        the *same* staleness guard (:meth:`_is_delta_sized`) as the hash
+        indexes — so in incremental maintenance the columnar engine never
+        re-encodes a big warehouse relation from scratch.
+        """
+        twin = self._columnar
+        if twin is None:
+            from repro.storage.columnar import ColumnarTable
+
+            twin = ColumnarTable.from_relation(self)
+            self._columnar = twin
+        return twin
+
+    def has_columnar_twin(self) -> bool:
+        """Whether a columnar twin is already attached (observability)."""
+        return self._columnar is not None
 
     # ------------------------------------------------------------------
     # Introspection

@@ -72,31 +72,46 @@ class TestComposite:
         assert len(result) == 4
 
 
+def _join_methods():
+    """The (class, join name, semi-join name) of the *active* engine.
+
+    These tests count physical operator invocations, so they must patch
+    whichever class the resolved engine actually dispatches to — Relation
+    methods for the tuple engine, ColumnarTable kernels under
+    ``REPRO_ENGINE=columnar``.
+    """
+    from repro.storage.columnar import ColumnarTable
+    from repro.storage.engine import ENGINE_COLUMNAR, resolve_engine
+
+    if resolve_engine(None) == ENGINE_COLUMNAR:
+        return ColumnarTable, "join", "semi_join"
+    return Relation, "natural_join", "semi_join"
+
+
 class TestMemoization:
-    def test_shared_subtrees_evaluated_once(self, state):
+    def test_shared_subtrees_evaluated_once(self, state, monkeypatch):
         calls = []
-        original = Relation.natural_join
+        cls, join_name, _ = _join_methods()
+        original = getattr(cls, join_name)
 
         def counting(self, other):
             calls.append(1)
             return original(self, other)
 
-        Relation.natural_join = counting
-        try:
-            # The projection spans both join operands, so the semi-join fast
-            # path does not apply and the join itself is materialized (once).
-            query = parse(
-                "pi[item, age](Sale join Emp) union pi[item, age](Sale join Emp)"
-            )
-            evaluate(query, state)
-        finally:
-            Relation.natural_join = original
+        monkeypatch.setattr(cls, join_name, counting)
+        # The projection spans both join operands, so the semi-join fast
+        # path does not apply and the join itself is materialized (once).
+        query = parse(
+            "pi[item, age](Sale join Emp) union pi[item, age](Sale join Emp)"
+        )
+        evaluate(query, state)
         assert len(calls) == 1
 
-    def test_single_operand_projection_uses_semi_join(self, state):
+    def test_single_operand_projection_uses_semi_join(self, state, monkeypatch):
         joins, semis = [], []
-        original_join = Relation.natural_join
-        original_semi = Relation.semi_join
+        cls, join_name, semi_name = _join_methods()
+        original_join = getattr(cls, join_name)
+        original_semi = getattr(cls, semi_name)
 
         def counting_join(self, other):
             joins.append(1)
@@ -106,13 +121,9 @@ class TestMemoization:
             semis.append(1)
             return original_semi(self, other)
 
-        Relation.natural_join = counting_join
-        Relation.semi_join = counting_semi
-        try:
-            result = evaluate(parse("pi[clerk](Sale join Emp)"), state)
-        finally:
-            Relation.natural_join = original_join
-            Relation.semi_join = original_semi
+        monkeypatch.setattr(cls, join_name, counting_join)
+        monkeypatch.setattr(cls, semi_name, counting_semi)
+        result = evaluate(parse("pi[clerk](Sale join Emp)"), state)
         assert result.to_set() == {("Mary",), ("John",)}
         assert joins == [] and semis == [1]
 

@@ -1,4 +1,8 @@
-"""Tests for ``scripts/check_hotpath.py`` (the evaluator hot-path AST lint)."""
+"""Tests for ``scripts/check_hotpath.py`` (the hot-path AST lint).
+
+Covers both rule sets: R1–R5 over the evaluators and C1/C2 over the
+columnar kernel module (dispatched by filename).
+"""
 
 from __future__ import annotations
 
@@ -21,15 +25,20 @@ def load_checker():
 CHECKER = load_checker()
 
 
-def violations_for(tmp_path, source):
-    path = tmp_path / "candidate.py"
+def violations_for(tmp_path, source, filename="candidate.py"):
+    path = tmp_path / filename
     path.write_text(source)
     return CHECKER.check_file(str(path))
 
 
-class TestRealEvaluator:
-    def test_shipped_evaluator_is_clean(self):
-        assert CHECKER.check_file(str(CHECKER.DEFAULT_TARGET)) == []
+class TestRealTargets:
+    def test_shipped_hot_paths_are_clean(self):
+        for target in CHECKER.DEFAULT_TARGETS:
+            assert CHECKER.check_file(str(target)) == [], target
+
+    def test_default_targets_cover_both_engines(self):
+        names = {Path(str(t)).name for t in CHECKER.DEFAULT_TARGETS}
+        assert {"evaluator.py", "columnar_eval.py", "columnar.py"} <= names
 
     def test_main_exit_codes(self, capsys):
         assert CHECKER.main([]) == 0
@@ -136,3 +145,88 @@ class TestRules:
         out = capsys.readouterr().out
         assert "R2" in out
         assert "violation" in out
+
+
+class TestColumnarKernelRules:
+    """C1/C2 apply only to files named ``columnar.py``."""
+
+    def test_c1_loop_statement_in_kernel(self, tmp_path):
+        found = violations_for(
+            tmp_path,
+            "def select(self, cond):\n"
+            "    out = []\n"
+            "    for row in self.rows:\n"
+            "        out.append(row)\n"
+            "    return out\n",
+            filename="columnar.py",
+        )
+        assert any("C1" in v for v in found)
+
+    def test_c1_while_statement_in_kernel(self, tmp_path):
+        found = violations_for(
+            tmp_path,
+            "def join(left, right):\n"
+            "    i = 0\n"
+            "    while i < 10:\n"
+            "        i += 1\n",
+            filename="columnar.py",
+        )
+        assert any("C1" in v for v in found)
+
+    def test_c1_comprehensions_allowed(self, tmp_path):
+        found = violations_for(
+            tmp_path,
+            "def select(self, cond):\n"
+            "    return [c for c in self.columns if c]\n"
+            "def join(left, right):\n"
+            "    return {i for i, k in enumerate(left) if k in right}\n",
+            filename="columnar.py",
+        )
+        assert found == []
+
+    def test_c1_facade_methods_may_loop(self, tmp_path):
+        found = violations_for(
+            tmp_path,
+            "def from_relation(cls, relation):\n"
+            "    for row in relation.rows:\n"
+            "        pass\n"
+            "def patched(self, added, removed):\n"
+            "    for row in removed:\n"
+            "        pass\n"
+            "def _ensure_positions(self):\n"
+            "    for i in range(3):\n"
+            "        pass\n",
+            filename="columnar.py",
+        )
+        assert found == []
+
+    def test_c2_materialization_outside_facade(self, tmp_path):
+        found = violations_for(
+            tmp_path,
+            "def join(left, right):\n"
+            "    return Relation._raw(left.attributes, set())\n"
+            "def select(self, cond):\n"
+            "    return self.to_relation()\n",
+            filename="columnar.py",
+        )
+        assert sum("C2" in v for v in found) == 2
+
+    def test_c2_facade_may_materialize(self, tmp_path):
+        found = violations_for(
+            tmp_path,
+            "def to_relation(self):\n"
+            "    return Relation._raw(self.attributes, frozenset())\n",
+            filename="columnar.py",
+        )
+        assert found == []
+
+    def test_evaluator_rules_not_applied_to_kernels(self, tmp_path):
+        # The kernel module may mention REPRO_CHECK_INVARIANTS etc. in
+        # docstrings without tripping evaluator rule R5.
+        found = violations_for(
+            tmp_path,
+            "def select(self, cond):\n"
+            "    return [c for c in self.columns]\n",
+            filename="columnar.py",
+        )
+        assert found == []

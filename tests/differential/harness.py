@@ -1,9 +1,9 @@
-"""The differential-testing oracle: three maintenance tracks, step-locked.
+"""The differential-testing oracle: four maintenance tracks, step-locked.
 
 Caching and invalidation are the whole correctness risk of the fast path,
 so this harness checks them the only way that scales: generate random
 schemas, PSJ views, and valid update streams (``repro.workloads.generator``)
-and assert, after *every* step, that three independent implementations agree
+and assert, after *every* step, that four independent implementations agree
 exactly:
 
 1. **fast** — the production path: persistent
@@ -14,7 +14,13 @@ exactly:
    ``fastpath=False``);
 3. **oracle** — full recompute from sources: a mirror database advanced by
    each update, with every warehouse relation re-evaluated from its
-   definition over base relations (no incremental machinery at all).
+   definition over base relations (no incremental machinery at all);
+4. **columnar** — the engine axis: a second cached warehouse running the
+   dictionary-coded batch kernels (``engine="columnar"``), replayed in
+   lockstep with the tuple-set tracks. This is what lets
+   ``REPRO_ENGINE=columnar`` default on eventually: every random workload
+   must agree extensionally with the tuple engine after every step.
+   Toggled by ``DifferentialConfig.columnar_track`` (on by default).
 
 Any divergence is reported with enough context to replay it: the schema
 seed, the step index, the relation, and the differing row sets.
@@ -55,6 +61,7 @@ class DifferentialConfig(NamedTuple):
     method: str = "thm22"
     generator: GeneratorConfig = GeneratorConfig()
     max_schema_attempts: int = 200
+    columnar_track: bool = True
 
 
 class Disagreement(NamedTuple):
@@ -140,7 +147,7 @@ def run_schema(
     config: DifferentialConfig,
     trace_sink=None,
 ) -> Optional[Tuple[int, List[Disagreement]]]:
-    """One random schema: build the three tracks, replay one update stream.
+    """One random schema: build the lockstep tracks, replay one update stream.
 
     Returns ``(steps_run, disagreements)``, or ``None`` when the random
     draw is unusable (specification failed, or the update generator could
@@ -173,6 +180,10 @@ def run_schema(
         fast.enable_tracing(capacity=1, sink=trace_sink)
     fast.initialize(database)
     uncached_state = {name: rel for name, rel in fast.state.items()}
+    columnar = None
+    if config.columnar_track:
+        columnar = Warehouse(spec, cached=True, engine="columnar")
+        columnar.initialize(database)
     mirror = database.copy()
 
     steps = 0
@@ -198,12 +209,22 @@ def run_schema(
         # advanced source state.
         oracle_state = evaluate_all(definitions, mirror.state(), fastpath=False)
 
+        # Track 4 (engine axis): the columnar kernels, same update stream.
+        if columnar is not None:
+            columnar.apply(update)
+
         disagreements.extend(
             _diff_states(schema_seed, step, "fast", fast.state, "uncached", uncached_state)
         )
         disagreements.extend(
             _diff_states(schema_seed, step, "fast", fast.state, "oracle", oracle_state)
         )
+        if columnar is not None:
+            disagreements.extend(
+                _diff_states(
+                    schema_seed, step, "fast", fast.state, "columnar", columnar.state
+                )
+            )
         steps += 1
     if steps == 0:
         return None

@@ -1,0 +1,187 @@
+"""Direct unit tests for ``Relation``'s delta-patched caches.
+
+PR 1's index patching (``_derive_caches``) was exercised only indirectly,
+through joins inside maintenance runs. These tests pin the contract down at
+the storage layer: a delta-sized union/difference carries the hash-join
+buckets forward (patch-after-insert *and* patch-after-delete), the patched
+index answers joins correctly, and a non-delta-sized operation drops the
+caches (the staleness guard ``_is_delta_sized``).
+
+The columnar twin added in this PR rides the same machinery, so the same
+matrix is asserted for it: patched (bitmap) under delta-sized ops, dropped
+under bulk ops, and always decoding to exactly the new row set.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Relation
+
+
+def big_relation(n: int = 40) -> Relation:
+    return Relation(("k", "v"), [(i % 10, i) for i in range(n)])
+
+
+def force_join_index(relation: Relation, attrs=("k",)) -> None:
+    """Build (and cache) the hash-join buckets over ``attrs``.
+
+    ``semi_join`` hashes its *argument*, so probing with a tiny relation
+    on the left builds (and caches) ``relation``'s buckets.
+    """
+    probe = Relation(attrs, [(0,)])
+    probe.semi_join(relation)
+    assert relation.has_join_index(attrs)
+
+
+class TestIndexPatchAfterInsert:
+    def test_union_patches_index(self):
+        r = big_relation()
+        force_join_index(r)
+        delta = Relation(("k", "v"), [(3, 1000)])
+        result = r.union(delta)
+        assert result.has_join_index(("k",))
+        # The patched index must answer joins exactly like a fresh build.
+        s = Relation(("k",), [(3,)])
+        fresh = Relation(("k", "v"), result.rows)
+        assert result.natural_join(s) == fresh.natural_join(s)
+
+    def test_ineffective_union_keeps_identity(self):
+        r = big_relation()
+        force_join_index(r)
+        assert r.union(Relation(("k", "v"), [(0, 0)])) is r
+
+
+class TestIndexPatchAfterDelete:
+    def test_difference_patches_index(self):
+        r = big_relation()
+        force_join_index(r)
+        delta = Relation(("k", "v"), [(0, 0), (0, 10)])
+        result = r.difference(delta)
+        assert result.has_join_index(("k",))
+        s = Relation(("k",), [(0,)])
+        fresh = Relation(("k", "v"), result.rows)
+        assert result.natural_join(s) == fresh.natural_join(s)
+        assert (0, 0) not in result and (0, 10) not in result
+
+    def test_patched_index_reused_after_delete_then_insert(self):
+        """The maintenance shape: difference(deletes).union(inserts)."""
+        r = big_relation()
+        force_join_index(r)
+        deleted = r.difference(Relation(("k", "v"), [(1, 1)]))
+        assert deleted.has_join_index(("k",))
+        final = deleted.union(Relation(("k", "v"), [(1, 999)]))
+        assert final.has_join_index(("k",))
+        s = Relation(("k",), [(1,)])
+        fresh = Relation(("k", "v"), final.rows)
+        assert final.natural_join(s) == fresh.natural_join(s)
+
+    def test_delete_emptying_a_bucket_removes_the_key(self):
+        r = Relation(("k", "v"), [(i, i) for i in range(20)])
+        force_join_index(r)
+        result = r.difference(Relation(("k", "v"), [(5, 5)]))
+        s = Relation(("k",), [(5,)])
+        assert len(result.natural_join(s)) == 0
+
+
+class TestStalenessGuard:
+    """Bulk (non-delta-sized) operations must drop derived caches."""
+
+    def test_bulk_union_drops_index(self):
+        r = big_relation(8)
+        force_join_index(r)
+        bulk = Relation(("k", "v"), [(i, -i) for i in range(30)])
+        result = r.union(bulk)
+        assert not result.has_join_index(("k",))
+
+    def test_bulk_difference_drops_index(self):
+        r = big_relation(8)
+        force_join_index(r)
+        bulk = Relation(("k", "v"), [(i % 10, i) for i in range(8)])
+        result = r.difference(bulk)
+        assert not result.has_join_index(("k",))
+
+    def test_guard_threshold_is_patch_ratio(self):
+        r = big_relation(40)
+        force_join_index(r)
+        at_threshold = Relation(("k", "v"), [(90, 9000 + i) for i in range(10)])
+        assert r.union(at_threshold).has_join_index(("k",))
+        over_threshold = Relation(("k", "v"), [(91, 9100 + i) for i in range(11)])
+        assert not r.union(over_threshold).has_join_index(("k",))
+
+
+class TestColumnarTwinGuard:
+    """The columnar bitmap honors the same staleness guard as the indexes."""
+
+    def test_delta_union_patches_twin(self):
+        r = big_relation()
+        r.columnar()
+        result = r.union(Relation(("k", "v"), [(3, 1000)]))
+        assert result.has_columnar_twin()
+        assert result._columnar.to_relation() == result
+
+    def test_delta_difference_patches_twin_via_bitmap(self):
+        r = big_relation()
+        r.columnar()
+        result = r.difference(Relation(("k", "v"), [(0, 0), (1, 1)]))
+        assert result.has_columnar_twin()
+        twin = result._columnar
+        assert twin.to_relation() == result
+        # Deletions are bitmap kills, not rebuilds: dead slots remain.
+        assert twin.physical_rows() == len(r)
+        assert twin.has_dead_rows()
+
+    def test_bulk_operation_drops_twin(self):
+        r = big_relation(8)
+        r.columnar()
+        bulk = Relation(("k", "v"), [(i, -i) for i in range(30)])
+        assert not r.union(bulk).has_columnar_twin()
+        assert not r.difference(
+            Relation(("k", "v"), [(i % 10, i) for i in range(8)])
+        ).has_columnar_twin()
+
+    def test_twin_alone_enables_patching(self):
+        """_is_delta_sized counts the twin as a cache worth preserving."""
+        r = big_relation()
+        assert not r.has_columnar_twin() and r.cached_index_count() == 0
+        r.columnar()
+        result = r.difference(Relation(("k", "v"), [(0, 0)]))
+        assert result.has_columnar_twin()
+        assert result._columnar.to_relation() == result
+
+    def test_mostly_deleted_twin_compacts(self):
+        r = big_relation(40)
+        r.columnar()
+        twin = r.columnar().patched(
+            frozenset(), frozenset((i % 10, i) for i in range(30))
+        )
+        assert not twin.has_dead_rows()
+        assert twin.physical_rows() == 10
+
+    def test_maintenance_shape_keeps_twin_through_refresh(self):
+        r = big_relation()
+        r.columnar()
+        stepped = r.difference(Relation(("k", "v"), [(2, 2)])).union(
+            Relation(("k", "v"), [(2, 2000)])
+        )
+        assert stepped.has_columnar_twin()
+        assert stepped._columnar.to_relation() == stepped
+
+
+class TestProjectionCachePatching:
+    def test_projection_carried_on_insert_only(self):
+        r = big_relation()
+        r.project(("k",))  # populate the projection cache
+        result = r.union(Relation(("k", "v"), [(77, 7)]))
+        assert result.project(("k",)).rows == frozenset(
+            {(i,) for i in range(10)} | {(77,)}
+        )
+
+    def test_projection_not_carried_after_delete(self):
+        """pi does not distribute over deletion under set semantics."""
+        r = big_relation()
+        r.project(("k",))
+        result = r.difference(
+            Relation(("k", "v"), [(9, i) for i in range(40) if i % 10 == 9])
+        )
+        assert (9,) not in result.project(("k",)).rows
