@@ -1,0 +1,178 @@
+"""E15 — certificate-driven compiled refresh vs the interpreted columnar path.
+
+The plan compiler (:mod:`repro.compiler`) specializes one closure per
+update shape from a PROVED prover certificate: select/project/join chains
+fused into single columnar kernel calls, dead branches pruned by the
+static dataflow read sets, no per-refresh AST walking or memo-key
+hashing. This benchmark replays the E7/E12 maintenance stream (interleaved
+order/lineitem insert batches at TPC-D scale 6) through both paths:
+
+1. **interpreted columnar** — ``refresh_state`` with a persistent
+   :class:`~repro.algebra.evaluator.EvaluationCache`, fast paths on,
+   ``engine="columnar"`` (the E14 production configuration);
+2. **compiled** — :class:`~repro.compiler.RefreshCompiler` closures,
+   update shapes pre-compiled outside the timed region (steady-state
+   refresh cost; compilation itself is measured separately by the
+   ``compiler.build_seconds`` metric).
+
+Correctness first: an untimed lockstep pass asserts *per-batch*
+extensional state equality between the two tracks before any number is
+recorded. The acceptance bar — compiled >= 2x interpreted-columnar
+refresh throughput at scale >= 6 — is asserted on the timed replay.
+
+Run with ``pytest benchmarks/bench_e15_compiler.py -s`` (benchmarks are
+not part of tier-1).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from repro import Warehouse, specify
+from repro.algebra.evaluator import EvaluationCache
+from repro.compiler import RefreshCompiler
+from repro.core.maintenance import refresh_state
+from repro.workloads import tpcd_instance
+from repro.workloads.tpcd import order_insert_rows
+
+from _helpers import print_table
+
+#: The ISSUE's scale floor: TPC-D scale factor 6 (as E14's stream section).
+STREAM_SCALE = 6.0
+
+#: E7/E12 shape: interleaved order/lineitem batches, 3 rows per batch.
+N_ROUNDS = 10  # 2 updates per round -> 20 batches
+BATCH_ROWS = 3
+
+ACCEPTANCE_SPEEDUP = 2.0
+
+
+def _best(func, repeats: int = 3):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = func()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def build_stream(scale: float, rounds: int = N_ROUNDS):
+    """The E7/E12 workload: interleaved Orders/Lineitem insert batches."""
+    inst = tpcd_instance(scale=scale, seed=21)
+    wh = Warehouse.specify(inst.catalog, inst.views, compile_plans=False)
+    wh.initialize(inst.database)
+    rng = random.Random(3)
+    updates = []
+    for _ in range(rounds):
+        orders, lines = order_insert_rows(rng, inst.database, count=BATCH_ROWS)
+        updates.append(inst.database.insert("Orders", orders))
+        updates.append(inst.database.insert("Lineitem", lines))
+    plans = {u.relations(): wh.maintenance_plan(u.relations()) for u in updates}
+    return wh.spec, dict(wh.state), updates, plans
+
+
+def run_interpreted(spec, base_state, updates, plans):
+    """The E14 production path: cached interpreter on the columnar engine."""
+    cache = EvaluationCache()
+    state = dict(base_state)
+    for update in updates:
+        state, _ = refresh_state(
+            spec,
+            state,
+            update,
+            plans[update.relations()],
+            cache=cache,
+            fastpath=True,
+            engine="columnar",
+        )
+    return state
+
+
+def make_compiled_runner(spec, base_state, updates):
+    """A pre-compiled closure set: shape compilation outside the timing.
+
+    Warms by replaying the stream once so every (shape, side-mask) pair
+    the refreshes will request is compiled before the timed region.
+    """
+    compiler = RefreshCompiler(spec)
+    state = dict(base_state)
+    for update in updates:
+        state, _ = compiler.refresh(state, update)
+
+    def run(base_state):
+        state = dict(base_state)
+        for update in updates:
+            state, _ = compiler.refresh(state, update)
+        return state
+
+    return compiler, run
+
+
+def _canonical(state):
+    return {name: rel.to_set() for name, rel in state.items()}
+
+
+def test_compiled_stream_scale_6():
+    spec, base_state, updates, plans = build_stream(STREAM_SCALE)
+    compiler, run_compiled = make_compiled_runner(spec, base_state, updates)
+
+    # Correctness gate: lockstep replay, extensional equality after EVERY
+    # batch — the speedup below is only worth recording because of this.
+    cache = EvaluationCache()
+    interpreted = dict(base_state)
+    compiled = dict(base_state)
+    for step, update in enumerate(updates):
+        interpreted, _ = refresh_state(
+            spec,
+            interpreted,
+            update,
+            plans[update.relations()],
+            cache=cache,
+            fastpath=True,
+            engine="columnar",
+        )
+        compiled, _ = compiler.refresh(compiled, update)
+        assert _canonical(compiled) == _canonical(interpreted), step
+
+    interp_time, interp_state = _best(
+        lambda: run_interpreted(spec, base_state, updates, plans)
+    )
+    compiled_time, compiled_state = _best(lambda: run_compiled(base_state))
+    assert _canonical(compiled_state) == _canonical(interp_state)
+
+    speedup = interp_time / compiled_time
+    batches = len(updates)
+    print_table(
+        f"E15: {batches}-batch E7/E12 update stream at TPC-D scale "
+        f"{STREAM_SCALE:g}, interpreted columnar vs compiled closures",
+        ("path", "stream [ms]", "per batch [ms]", "speedup"),
+        [
+            (
+                "interpreted columnar",
+                f"{interp_time * 1e3:.1f}",
+                f"{interp_time * 1e3 / batches:.2f}",
+                "1.0x",
+            ),
+            (
+                "compiled",
+                f"{compiled_time * 1e3:.1f}",
+                f"{compiled_time * 1e3 / batches:.2f}",
+                f"{speedup:.1f}x",
+            ),
+        ],
+    )
+    assert speedup >= ACCEPTANCE_SPEEDUP, (speedup, interp_time, compiled_time)
+
+
+@pytest.mark.parametrize("path", ["interpreted", "compiled"])
+def test_stream_benchmark(benchmark, path):
+    spec, base_state, updates, plans = build_stream(2.0, rounds=4)
+    if path == "interpreted":
+        benchmark(lambda: run_interpreted(spec, base_state, updates, plans))
+    else:
+        _, run_compiled = make_compiled_runner(spec, base_state, updates)
+        benchmark(lambda: run_compiled(base_state))

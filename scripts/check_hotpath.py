@@ -1,13 +1,15 @@
 #!/usr/bin/env python
-"""AST lint for the engines' hot paths (evaluators + columnar kernels).
+"""AST lint for the engines' hot paths (evaluators, kernels, compiler).
 
 Two rule sets, dispatched per file:
 
-**Evaluator rules** (``src/repro/algebra/evaluator.py`` and
-``columnar_eval.py``). Each evaluator keeps two entry points: ``_eval``
-(the default, untraced path — called once per operator per evaluation,
-often inside per-row loops higher up) and ``_eval_traced`` (taken only
-when a tracer is installed). The untraced path must stay allocation-free
+**Evaluator rules** (``src/repro/algebra/evaluator.py``,
+``columnar_eval.py``, and the compiler's hot modules
+``repro/compiler/{certificate,fuse,runtime}.py``). Each evaluator keeps
+two entry points: ``_eval`` (the default, untraced path — called once
+per operator per evaluation, often inside per-row loops higher up) and
+``_eval_traced`` (taken only when a tracer is installed); the compiled
+runtime mirrors the split as ``run`` vs ``_run_traced``. The untraced path must stay allocation-free
 with respect to observability: no ``Span`` objects, no timing calls, no
 unguarded tracer method calls. These rules enforce that invariant
 structurally so a refactor cannot quietly put span construction back on
@@ -58,7 +60,7 @@ import sys
 from pathlib import Path
 from typing import List
 
-SPAN_ALLOWLIST = frozenset({"_eval_traced"})
+SPAN_ALLOWLIST = frozenset({"_eval_traced", "_run_traced"})
 TIMING_NAMES = frozenset({"perf_counter", "monotonic", "time", "datetime"})
 ENVIRON_NAMES = frozenset({"environ", "getenv"})
 SANITIZER_ENV = "REPRO_CHECK_INVARIANTS"
@@ -74,6 +76,13 @@ DEFAULT_TARGETS = (
     _ROOT / "src" / "repro" / "algebra" / "evaluator.py",
     _ROOT / "src" / "repro" / "algebra" / "columnar_eval.py",
     _ROOT / "src" / "repro" / "storage" / "columnar.py",
+    # The compiler's refresh path: certificate checks, plan fusion, and
+    # the compiled closures all run under the same no-clock/no-env/
+    # quarantined-span rules. (repro/compiler/__init__.py is exempt: it
+    # is the build/metrics boundary and times compilation on purpose.)
+    _ROOT / "src" / "repro" / "compiler" / "certificate.py",
+    _ROOT / "src" / "repro" / "compiler" / "fuse.py",
+    _ROOT / "src" / "repro" / "compiler" / "runtime.py",
 )
 
 

@@ -30,6 +30,8 @@ MODULES = [
     "repro.obs.trace", "repro.obs.metrics", "repro.obs.explain", "repro.obs.report",
     "repro.integrator.source", "repro.integrator.channel", "repro.integrator.integrator",
     "repro.workloads.generator", "repro.workloads.queries", "repro.workloads.tpcd",
+    "repro.compiler", "repro.compiler.certificate", "repro.compiler.fuse",
+    "repro.compiler.runtime",
 ]
 
 

@@ -24,6 +24,13 @@ Commands
     DIR`` writes one JSON document per file (the CI artifact);
     ``--strict`` makes UNKNOWN a failure. Exit status: 0 every verdict
     matches its spec's expectation, 1 otherwise, 2 unreadable input.
+``compile FILE [FILE ...]``
+    Run the plan compiler (``repro.compiler``, docs/compiler.md) on spec
+    files: certify each spec against the prover's PROVED certificate and
+    compile one refresh program per single-relation update shape.
+    ``--explain`` dumps the fused per-shape plans (pruned / patch /
+    fused classification per warehouse relation). Exit status: 0 every
+    spec compiled, 1 a spec was refused, 2 unreadable input.
 ``tpcd [--scale S]``
     Generate a TPC-D-like instance, specify its warehouse, and print the
     storage breakdown.
@@ -164,6 +171,50 @@ def _cmd_prove(args) -> int:
     return prove_exit_code(results, strict=args.strict)
 
 
+def _cmd_compile(args) -> int:
+    from repro.analysis.specfile import load_target
+    from repro.compiler import build_refresh_compiler
+    from repro.errors import CompileError, ReproError
+
+    failures = 0
+    for path in args.files:
+        try:
+            target = load_target(path)
+        except (OSError, json.JSONDecodeError, ReproError) as exc:
+            print(f"error: {path}: {exc}", file=sys.stderr)
+            return 2
+        try:
+            spec = specify(target.catalog, target.views, method=args.method)
+            compiler = build_refresh_compiler(spec)
+        except CompileError as exc:
+            print(f"{path}: REFUSED — {exc}")
+            failures += 1
+            continue
+        except ReproError as exc:
+            # The spec itself cannot be derived (e.g. star-schema views
+            # that need method="star"); report it like a refusal rather
+            # than crashing the sweep.
+            print(f"{path}: REFUSED — cannot derive spec: {exc}")
+            failures += 1
+            continue
+        shapes = sorted(spec.catalog.relation_names())
+        for relation in shapes:
+            compiler.program_for(frozenset({relation}))
+        print(
+            f"{path}: COMPILED — certificate {compiler.digest[:12]}..., "
+            f"{compiler.plan_count} update shape(s)"
+        )
+        if args.explain:
+            for relation in shapes:
+                program = compiler.program_for(frozenset({relation}))
+                print(f"  shape {relation}:")
+                print(
+                    "    "
+                    + program.plan.describe().replace("\n", "\n    ")
+                )
+    return 1 if failures else 0
+
+
 def _cmd_obs(args) -> int:
     if args.obs_command == "report":
         from repro.obs.report import report_file
@@ -183,7 +234,12 @@ def _cmd_obs(args) -> int:
     sources.load("Sale", [("TV set", "Mary"), ("VCR", "Mary"), ("PC", "John")])
     sources.load("Emp", [("Mary", 23), ("John", 25), ("Paula", 32)])
 
-    warehouse = Warehouse.specify(catalog, [View("Sold", parse("Sale join Emp"))])
+    # The demo shows the *evaluator's* annotated operator trees (fast-path
+    # stars, per-operator rows); pin the interpreted path so the output is
+    # the same under REPRO_COMPILE=1.
+    warehouse = Warehouse.specify(
+        catalog, [View("Sold", parse("Sale join Emp"))], compile_plans=False
+    )
     sink = None
     if args.trace_out:
         from repro.obs import JsonlSink
@@ -300,6 +356,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="write one certificate JSON per input file into DIR",
     )
 
+    compile_parser = commands.add_parser(
+        "compile",
+        help="compile certified refresh plans from spec files (docs/compiler.md)",
+    )
+    compile_parser.add_argument("files", nargs="+", help="spec JSON file(s)")
+    compile_parser.add_argument(
+        "--method",
+        choices=("thm22", "prop22", "trivial"),
+        default="thm22",
+        help="complement construction method (default: thm22)",
+    )
+    compile_parser.add_argument(
+        "--explain",
+        action="store_true",
+        help="dump the fused per-update-shape plans",
+    )
+
     tpcd_parser = commands.add_parser("tpcd", help="TPC-D-like warehouse summary")
     tpcd_parser.add_argument("--scale", type=float, default=1.0)
 
@@ -328,6 +401,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "spec": _cmd_spec,
         "lint": _cmd_lint,
         "prove": _cmd_prove,
+        "compile": _cmd_compile,
         "tpcd": _cmd_tpcd,
         "obs": _cmd_obs,
     }

@@ -22,9 +22,15 @@ from __future__ import annotations
 
 from typing import List, Tuple
 
-from repro.algebra.conditions import Condition, TrueCondition, conjoin
+from repro.algebra.conditions import (
+    Condition,
+    FalseCondition,
+    TrueCondition,
+    conjoin,
+)
 from repro.algebra.expressions import (
     Difference,
+    Empty,
     Expression,
     Join,
     Project,
@@ -165,3 +171,86 @@ def _push_project(expr: Project, scope: Scope) -> Expression:
         return Project(Select(narrowed, child.condition), expr.attrs)
 
     return expr
+
+
+def fuse_chains(expression: Expression, scope: Scope) -> Expression:
+    """Collapse operator chains so one pass can execute each of them.
+
+    The plan compiler's rewrite set (:mod:`repro.compiler.fuse`): applied
+    bottom-up once, each rule is a sound set-semantics identity that turns
+    an operator *chain* into a single node the compiled closures execute
+    in one kernel call —
+
+    * ``sigma_c2(sigma_c1(e))``  →  ``sigma_{c1 and c2}(e)``;
+    * ``pi_Z2(pi_Z1(e))``        →  ``pi_Z2(e)`` (``Z2 ⊆ Z1`` by typing);
+    * ``sigma_TRUE(e)`` → ``e``, ``sigma_FALSE(e)`` → ``∅``;
+    * identity projections and renamings disappear;
+    * the empty relation folds through every operator (``e ⋈ ∅ = ∅``,
+      ``e ∪ ∅ = e``, ``e − ∅ = e``, ``∅ − e = ∅``, …) — this is what
+      prunes dead branches out of compiled maintenance plans.
+
+    Examples
+    --------
+    >>> from repro.algebra.parser import parse
+    >>> scope = {"R": ("a", "b")}
+    >>> print(fuse_chains(parse("sigma[a = 1](sigma[b = 2](R))"), scope))
+    sigma[b = 2 and a = 1](R)
+    >>> print(fuse_chains(parse("pi[a](pi[a, b](R))"), scope))
+    pi[a](R)
+    """
+    children = tuple(fuse_chains(child, scope) for child in expression.children())
+    if children != expression.children():
+        expression = expression.with_children(children)
+
+    if isinstance(expression, Select):
+        child = expression.child
+        if isinstance(child, Empty):
+            return child
+        if isinstance(expression.condition, FalseCondition):
+            return Empty(expression.attributes(scope))
+        if isinstance(expression.condition, TrueCondition):
+            return child
+        if isinstance(child, Select):
+            merged = conjoin([child.condition, expression.condition])
+            if isinstance(merged, FalseCondition):
+                return Empty(expression.attributes(scope))
+            return Select(child.child, merged)
+        return expression
+
+    if isinstance(expression, Project):
+        child = expression.child
+        if isinstance(child, Empty):
+            return Empty(expression.attrs)
+        if isinstance(child, Project):
+            return Project(child.child, expression.attrs)
+        if expression.attrs == child.attributes(scope):
+            return child
+        return expression
+
+    if isinstance(expression, Join):
+        if isinstance(expression.left, Empty) or isinstance(expression.right, Empty):
+            return Empty(expression.attributes(scope))
+        return expression
+
+    if isinstance(expression, Union):
+        if isinstance(expression.left, Empty):
+            return expression.right
+        if isinstance(expression.right, Empty):
+            return expression.left
+        return expression
+
+    if isinstance(expression, Difference):
+        if isinstance(expression.left, Empty):
+            return expression.left
+        if isinstance(expression.right, Empty):
+            return expression.left
+        return expression
+
+    if isinstance(expression, Rename):
+        if isinstance(expression.child, Empty):
+            return Empty(expression.attributes(scope))
+        if all(old == new for old, new in expression.mapping.items()):
+            return expression.child
+        return expression
+
+    return expression

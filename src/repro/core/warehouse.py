@@ -20,7 +20,7 @@ from __future__ import annotations
 from time import perf_counter
 from typing import Dict, Iterable, Mapping, Optional, Sequence, Union as TypingUnion
 
-from repro.errors import WarehouseError
+from repro.errors import CompileError, WarehouseError
 from repro.algebra.evaluator import EvalStats, EvaluationCache, evaluate, evaluate_all
 from repro.algebra.expressions import Expression
 from repro.algebra.parser import parse
@@ -66,8 +66,10 @@ class Warehouse:
         spec: WarehouseSpec,
         cached: bool = True,
         engine: Optional[str] = None,
+        compile_plans: Optional[bool] = None,
     ) -> None:
         from repro.storage.columnar import ENGINE_COLUMNAR, kernel_totals, resolve_engine
+        from repro.compiler import resolve_compile
 
         self.spec = spec
         # Physical execution engine: "tuple" (frozenset operators) or
@@ -75,9 +77,22 @@ class Warehouse:
         # process default (REPRO_ENGINE), resolved once at construction.
         self.engine = resolve_engine(engine)
         self._columnar_engine = self.engine == ENGINE_COLUMNAR
+        # Plan compilation (repro.compiler): refreshes run as per-update-
+        # shape closures specialized from the prover's certificate, over
+        # the columnar kernels regardless of the interpreted engine.
+        # ``None`` follows the process default (REPRO_COMPILE), resolved
+        # once at construction; the compiler itself is built lazily on the
+        # first apply() and drops to the interpreted path (with a
+        # compiler.fallbacks bump) if the spec cannot be certified.
+        self._compile = resolve_compile(compile_plans)
+        self._compiler = None
+        self._compile_refused = False
         # Baseline of the process-wide kernel counters, so per-refresh
-        # deltas can be folded into evaluator.columnar.* metrics.
-        self._kernel_baseline = kernel_totals() if self._columnar_engine else {}
+        # deltas can be folded into evaluator.columnar.* metrics (the
+        # compiled path always runs columnar kernels).
+        self._kernel_baseline = (
+            kernel_totals() if (self._columnar_engine or self._compile) else {}
+        )
         self._state: Optional[Dict[str, Relation]] = None
         self._plans: Dict[frozenset, MaintenancePlan] = {}
         self._aggregates: list = []
@@ -211,7 +226,7 @@ class Warehouse:
         if deleted:
             metrics.counter("warehouse.rows_deleted").inc(deleted)
         metrics.merge_eval_stats(stats)
-        if self._columnar_engine:
+        if self._columnar_engine or self._compiler is not None:
             self._record_kernel_metrics()
         self._update_storage_gauges()
 
@@ -228,6 +243,20 @@ class Warehouse:
                 metrics.counter(f"evaluator.columnar.{kernel}").inc(delta)
         self._kernel_baseline = totals
         metrics.gauge("evaluator.columnar.dictionary_size").set(dictionary_size())
+
+    def _record_compiler_metrics(self, compiler) -> None:
+        """Drain the compiler's plain-int counters into ``compiler.*``."""
+        metrics = self._metrics
+        if compiler.compiles:
+            metrics.counter("compiler.compiles").inc(compiler.compiles)
+            compiler.compiles = 0
+        if compiler.plan_hits:
+            metrics.counter("compiler.plan_cache_hits").inc(compiler.plan_hits)
+            compiler.plan_hits = 0
+        if compiler.refreshes:
+            metrics.counter("compiler.compiled_refreshes").inc(compiler.refreshes)
+            compiler.refreshes = 0
+        metrics.gauge("compiler.plans").set(compiler.plan_count)
 
     def _update_storage_gauges(self) -> None:
         if self._state is None:
@@ -264,18 +293,20 @@ class Warehouse:
         method: str = "thm22",
         cached: bool = True,
         engine: Optional[str] = None,
+        compile_plans: Optional[bool] = None,
         **options,
     ) -> "Warehouse":
         """Build a warehouse from a catalog and PSJ view definitions.
 
-        ``cached`` and ``engine`` configure the constructed warehouse (see
-        :meth:`__init__`); all other keyword ``options`` go to the
-        specification builder.
+        ``cached``, ``engine``, and ``compile_plans`` configure the
+        constructed warehouse (see :meth:`__init__`); all other keyword
+        ``options`` go to the specification builder.
         """
         return cls(
             specify(catalog, views, method=method, **options),
             cached=cached,
             engine=engine,
+            compile_plans=compile_plans,
         )
 
     # ------------------------------------------------------------------
@@ -425,6 +456,67 @@ class Warehouse:
             self._plans[updated_set] = plan
         return plan
 
+    def _active_compiler(self):
+        """The refresh compiler, built lazily; ``None`` when off/refused."""
+        if not self._compile or self._compile_refused:
+            return None
+        if self._compiler is None:
+            from repro.compiler import build_refresh_compiler
+
+            try:
+                self._compiler = build_refresh_compiler(self.spec, self._metrics)
+            except CompileError:
+                # The prover could not certify the spec: stay on the
+                # interpreted path for the lifetime of this warehouse
+                # (recertify() can re-arm after the spec is fixed).
+                self._compile_refused = True
+                self._metrics.counter("compiler.fallbacks").inc()
+                return None
+        return self._compiler
+
+    @property
+    def plan_compiler(self):
+        """The active :class:`~repro.compiler.RefreshCompiler`, if built."""
+        return self._compiler
+
+    def recertify(self) -> bool:
+        """Re-run the prover; evict compiled plans if the verdict changed.
+
+        Re-certifies the spec and compares certificate digests. An
+        unchanged digest keeps every cached compiled program (returns
+        ``False``). A changed digest — or a certificate that now fails
+        validation — evicts the whole plan cache (counted by
+        ``compiler.evictions``) and returns ``True``; on failure the
+        warehouse additionally drops to the interpreted path
+        (``compiler.fallbacks``). A no-op unless plan compilation is
+        enabled for this warehouse.
+        """
+        if not self._compile:
+            return False
+        from repro.compiler import certify
+        from repro.compiler.runtime import RefreshCompiler
+
+        old = self._compiler
+        try:
+            certificate = certify(self.spec)
+        except CompileError:
+            self._compiler = None
+            self._compile_refused = True
+            self._metrics.counter("compiler.fallbacks").inc()
+            if old is not None:
+                self._metrics.counter("compiler.evictions").inc(old.plan_count)
+                self._metrics.gauge("compiler.plans").set(0)
+            return True
+        self._compile_refused = False
+        if old is not None and old.certificate.digest == certificate.digest:
+            return False
+        self._metrics.counter("compiler.certificates").inc()
+        if old is not None:
+            self._metrics.counter("compiler.evictions").inc(old.plan_count)
+        self._compiler = RefreshCompiler(self.spec, certificate)
+        self._metrics.gauge("compiler.plans").set(0)
+        return True
+
     def apply(self, update: Update) -> Dict[str, Delta]:
         """Incrementally fold a reported source update into the warehouse.
 
@@ -432,8 +524,16 @@ class Warehouse:
         source database. With the default persistent cache, sub-expressions
         over relations this update leaves unchanged are reused from earlier
         refreshes; per-refresh counters land in :attr:`last_refresh_stats`.
+        With plan compilation on (``REPRO_COMPILE=1`` /
+        ``compile_plans=True``), the refresh runs as a compiled closure
+        specialized to this update's shape instead of interpreting the
+        maintenance expressions.
         """
-        plan = self.maintenance_plan(update.relations())
+        compiler = self._active_compiler()
+        plan = (
+            None if compiler is not None
+            else self.maintenance_plan(update.relations())
+        )
         stats = EvalStats()
         started = perf_counter()
         tracer = self._tracer
@@ -451,17 +551,25 @@ class Warehouse:
                 with tracer.span(
                     "refresh", relations=sorted(update.relations())
                 ) as span:
-                    new_state, applied = refresh_state(
-                        self.spec, self.state, update, plan,
-                        cache=self._cache, stats=stats, tracer=tracer,
-                        engine=self.engine,
-                    )
+                    if compiler is not None:
+                        new_state, applied = compiler.refresh(
+                            self.state, update, tracer=tracer
+                        )
+                    else:
+                        new_state, applied = refresh_state(
+                            self.spec, self.state, update, plan,
+                            cache=self._cache, stats=stats, tracer=tracer,
+                            engine=self.engine,
+                        )
                     span.set(relations_touched=len(applied))
             else:
-                new_state, applied = refresh_state(
-                    self.spec, self.state, update, plan,
-                    cache=self._cache, stats=stats, engine=self.engine,
-                )
+                if compiler is not None:
+                    new_state, applied = compiler.refresh(self.state, update)
+                else:
+                    new_state, applied = refresh_state(
+                        self.spec, self.state, update, plan,
+                        cache=self._cache, stats=stats, engine=self.engine,
+                    )
         finally:
             if sanitize_buffer is not None and self._tracer is not None:
                 self._tracer.collectors.remove(sanitize_buffer)
@@ -475,6 +583,8 @@ class Warehouse:
         self._stats.merge(stats)
         self._state = new_state
         self._record_refresh_metrics(perf_counter() - started, applied, stats)
+        if compiler is not None:
+            self._record_compiler_metrics(compiler)
         for aggregate in self._aggregates:
             delta = applied.get(aggregate.source)
             if delta is not None:

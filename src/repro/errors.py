@@ -43,3 +43,13 @@ class WarehouseError(ReproError):
 
 class ParseError(ReproError):
     """The textual form of an expression or condition could not be parsed."""
+
+
+class CompileError(ReproError):
+    """Plan compilation was refused.
+
+    The plan compiler (:mod:`repro.compiler`) only specializes refresh
+    closures from a PROVED, self-validating prover certificate; a spec
+    whose certificate fails validation (or is not update-independent)
+    raises this, and the warehouse falls back to the interpreted path.
+    """

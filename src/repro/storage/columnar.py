@@ -461,6 +461,49 @@ class ColumnarTable:
         columns = tuple(list(column) for column in zip(*unique_rows))
         return ColumnarTable(attrs, columns, len(unique_rows))
 
+    def select_project(
+        self, condition: Condition, attributes: Sequence[str]
+    ) -> "ColumnarTable":
+        """Fused ``pi_Z(sigma_c(e))`` in one pass (the compiler's kernel).
+
+        The predicate is decided over dictionary codes exactly as in
+        :meth:`select`, but instead of materializing the filtered table the
+        surviving positions are gathered straight into the projected
+        columns — the intermediate selection result is never built.
+        """
+        _count("select_project")
+        dense = self._as_dense()
+        attrs = tuple(attributes)
+        missing = set(attrs) - set(dense.attributes)
+        if missing:
+            raise ExpressionError(
+                f"cannot project onto {sorted(missing)}: not attributes of "
+                f"{dense.attributes}"
+            )
+        if len(set(attrs)) != len(attrs):
+            raise ExpressionError(f"duplicate attributes in projection {attrs}")
+        positions = _matching_positions(dense, condition)
+        if positions is None:
+            return dense.project(attrs)
+        taken = sorted(positions)
+        index = dense.attributes.index
+        cols = [dense.columns[index(a)] for a in attrs]
+        if len(attrs) == len(dense.attributes):
+            # A permutation: rows stay distinct, no dedupe needed.
+            picked = tuple([column[i] for i in taken] for column in cols)
+            return ColumnarTable(attrs, picked, len(taken))
+        if len(cols) == 1:
+            column = cols[0]
+            unique = list(dict.fromkeys(column[i] for i in taken))
+            return ColumnarTable(attrs, (unique,), len(unique))
+        unique_rows = list(
+            dict.fromkeys(tuple(column[i] for column in cols) for i in taken)
+        )
+        if not unique_rows:
+            return ColumnarTable.empty(attrs)
+        columns = tuple(list(column) for column in zip(*unique_rows))
+        return ColumnarTable(attrs, columns, len(unique_rows))
+
     def rename(self, mapping: Mapping[str, str]) -> "ColumnarTable":
         """Attribute renaming (columns are shared, never copied)."""
         _count("rename")

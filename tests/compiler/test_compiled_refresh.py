@@ -1,0 +1,157 @@
+"""Compiled refresh closures vs the interpreter, in lockstep.
+
+The compiled path is only admissible because it computes exactly what
+:func:`repro.core.maintenance.refresh_state` computes — same states, same
+applied deltas, same keep-identity contract for untouched relations.
+These tests replay real update streams through both and assert equality
+after every step.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import Update, View, parse, specify
+from repro.compiler import RefreshCompiler
+from repro.core.maintenance import refresh_state
+from repro.errors import WarehouseError
+from repro.workloads import tpcd_instance
+from repro.workloads.tpcd import order_insert_rows
+
+
+def _canonical(state):
+    return {name: rel.to_set() for name, rel in state.items()}
+
+
+@pytest.fixture
+def figure1_spec(figure1_catalog, sold_view):
+    return specify(figure1_catalog, [sold_view], method="prop22")
+
+
+class TestLockstepEquality:
+    def test_figure1_random_stream(self, figure1_spec, figure1_database):
+        compiler = RefreshCompiler(figure1_spec)
+        from repro.algebra.evaluator import evaluate_all
+
+        state = evaluate_all(
+            figure1_spec.definitions_over_sources(), figure1_database.state()
+        )
+        compiled_state = dict(state)
+        rng = random.Random(4)
+        items = ["TV set", "VCR", "PC", "Radio", "Camera"]
+        clerks = ["Mary", "John", "Paula", "Ken"]
+        for step in range(30):
+            relation, attrs = rng.choice(
+                [("Sale", ("item", "clerk")), ("Emp", ("clerk", "age"))]
+            )
+            if relation == "Sale":
+                rows = [(rng.choice(items), rng.choice(clerks))]
+            else:
+                rows = [(rng.choice(clerks), rng.randrange(20, 60))]
+            maker = Update.insert if rng.random() < 0.6 else Update.delete
+            update = maker(relation, attrs, rows)
+            state, applied = refresh_state(figure1_spec, state, update)
+            compiled_state, compiled_applied = compiler.refresh(
+                compiled_state, update
+            )
+            assert _canonical(compiled_state) == _canonical(state), step
+            assert set(compiled_applied) == set(applied), step
+
+    def test_tpcd_stream(self):
+        inst = tpcd_instance(scale=0.5, seed=11)
+        spec = specify(inst.catalog, inst.views)
+        compiler = RefreshCompiler(spec)
+        from repro.algebra.evaluator import evaluate_all
+
+        state = evaluate_all(spec.definitions_over_sources(), inst.database.state())
+        compiled_state = dict(state)
+        rng = random.Random(5)
+        for _ in range(4):
+            orders, lines = order_insert_rows(rng, inst.database, count=2)
+            for update in (
+                inst.database.insert("Orders", orders),
+                inst.database.insert("Lineitem", lines),
+            ):
+                state, _ = refresh_state(spec, state, update)
+                compiled_state, _ = compiler.refresh(compiled_state, update)
+                assert _canonical(compiled_state) == _canonical(state)
+
+    def test_untouched_relations_keep_identity(self, figure1_spec, figure1_database):
+        compiler = RefreshCompiler(figure1_spec)
+        from repro.algebra.evaluator import evaluate_all
+
+        state = evaluate_all(
+            figure1_spec.definitions_over_sources(), figure1_database.state()
+        )
+        update = Update.insert("Sale", ("item", "clerk"), [("Radio", "Paula")])
+        new_state, applied = compiler.refresh(state, update)
+        for name in state:
+            if name not in applied:
+                # The refresh_state contract: relations the update does not
+                # change are carried over as the *same object*, preserving
+                # their attached caches/indexes.
+                assert new_state[name] is state[name]
+
+    def test_noop_update_returns_copy(self, figure1_spec, figure1_database):
+        compiler = RefreshCompiler(figure1_spec)
+        from repro.algebra.evaluator import evaluate_all
+
+        state = evaluate_all(
+            figure1_spec.definitions_over_sources(), figure1_database.state()
+        )
+        noop = Update.delete("Sale", ("item", "clerk"), [("Nothing", "Nobody")])
+        new_state, applied = compiler.refresh(state, noop)
+        assert applied == {}
+        assert _canonical(new_state) == _canonical(state)
+
+
+class TestPlanCache:
+    def test_shapes_compile_once(self, figure1_spec, figure1_database):
+        compiler = RefreshCompiler(figure1_spec)
+        from repro.algebra.evaluator import evaluate_all
+
+        state = evaluate_all(
+            figure1_spec.definitions_over_sources(), figure1_database.state()
+        )
+        updates = [
+            Update.insert("Sale", ("item", "clerk"), [("Radio", "Ken")]),
+            Update.insert("Emp", ("clerk", "age"), [("Ken", 55)]),
+            Update.insert("Sale", ("item", "clerk"), [("Camera", "Ken")]),
+            Update.insert("Sale", ("item", "clerk"), [("Phone", "Mary")]),
+            Update.insert("Emp", ("clerk", "age"), [("Lena", 41)]),
+        ]
+        for update in updates:
+            state, _ = compiler.refresh(state, update)
+        assert compiler.compiles == 2
+        assert compiler.plan_hits == 3
+        assert compiler.refreshes == 5
+        assert compiler.plan_count == 2
+        assert set(compiler.cached_shapes()) == {
+            frozenset({"Sale"}),
+            frozenset({"Emp"}),
+        }
+
+    def test_digest_is_stable_across_refreshes(self, figure1_spec, figure1_database):
+        compiler = RefreshCompiler(figure1_spec)
+        before = compiler.digest
+        from repro.algebra.evaluator import evaluate_all
+
+        state = evaluate_all(
+            figure1_spec.definitions_over_sources(), figure1_database.state()
+        )
+        update = Update.insert("Sale", ("item", "clerk"), [("Radio", "Ken")])
+        compiler.refresh(state, update)
+        assert compiler.digest == before
+
+    def test_unknown_relation_rejected(self, figure1_spec, figure1_database):
+        compiler = RefreshCompiler(figure1_spec)
+        from repro.algebra.evaluator import evaluate_all
+
+        state = evaluate_all(
+            figure1_spec.definitions_over_sources(), figure1_database.state()
+        )
+        bogus = Update.insert("Ghost", ("x",), [(1,)])
+        with pytest.raises(WarehouseError):
+            compiler.refresh(state, bogus)

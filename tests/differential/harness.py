@@ -1,9 +1,9 @@
-"""The differential-testing oracle: four maintenance tracks, step-locked.
+"""The differential-testing oracle: five maintenance tracks, step-locked.
 
 Caching and invalidation are the whole correctness risk of the fast path,
 so this harness checks them the only way that scales: generate random
 schemas, PSJ views, and valid update streams (``repro.workloads.generator``)
-and assert, after *every* step, that four independent implementations agree
+and assert, after *every* step, that five independent implementations agree
 exactly:
 
 1. **fast** — the production path: persistent
@@ -20,7 +20,14 @@ exactly:
    lockstep with the tuple-set tracks. This is what lets
    ``REPRO_ENGINE=columnar`` default on eventually: every random workload
    must agree extensionally with the tuple engine after every step.
-   Toggled by ``DifferentialConfig.columnar_track`` (on by default).
+   Toggled by ``DifferentialConfig.columnar_track`` (on by default);
+5. **compiled** — the plan-compiler axis: a warehouse with
+   ``compile_plans=True`` replaying the same stream through certificate-
+   driven fused refresh closures (:mod:`repro.compiler`). Specs the prover
+   refuses to certify fall back to the interpreted path inside the same
+   warehouse, so the track degrades to a second fast replay rather than
+   skipping the schema. Toggled by ``DifferentialConfig.compiled_track``
+   (on by default).
 
 Any divergence is reported with enough context to replay it: the schema
 seed, the step index, the relation, and the differing row sets.
@@ -62,6 +69,7 @@ class DifferentialConfig(NamedTuple):
     generator: GeneratorConfig = GeneratorConfig()
     max_schema_attempts: int = 200
     columnar_track: bool = True
+    compiled_track: bool = True
 
 
 class Disagreement(NamedTuple):
@@ -184,6 +192,10 @@ def run_schema(
     if config.columnar_track:
         columnar = Warehouse(spec, cached=True, engine="columnar")
         columnar.initialize(database)
+    compiled = None
+    if config.compiled_track:
+        compiled = Warehouse(spec, cached=True, compile_plans=True)
+        compiled.initialize(database)
     mirror = database.copy()
 
     steps = 0
@@ -212,6 +224,9 @@ def run_schema(
         # Track 4 (engine axis): the columnar kernels, same update stream.
         if columnar is not None:
             columnar.apply(update)
+        # Track 5 (compiler axis): certificate-driven fused closures.
+        if compiled is not None:
+            compiled.apply(update)
 
         disagreements.extend(
             _diff_states(schema_seed, step, "fast", fast.state, "uncached", uncached_state)
@@ -223,6 +238,12 @@ def run_schema(
             disagreements.extend(
                 _diff_states(
                     schema_seed, step, "fast", fast.state, "columnar", columnar.state
+                )
+            )
+        if compiled is not None:
+            disagreements.extend(
+                _diff_states(
+                    schema_seed, step, "fast", fast.state, "compiled", compiled.state
                 )
             )
         steps += 1

@@ -1,0 +1,134 @@
+"""The compiler axis of the differential oracle, plus sanitizer coverage.
+
+``test_differential.py`` already replays every workload with the compiled
+track on (the :class:`DifferentialConfig` default). These tests pin the
+axis itself: the track really runs compiled refresh closures, divergence
+in a compiled plan is actually caught, ``REPRO_COMPILE=1`` wires through
+the process default, and the ``REPRO_CHECK_INVARIANTS=1`` dataflow
+sanitizer accepts the compiled traced path (span-name parity with the
+interpreted refresh) across a full random replay.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database, Warehouse, specify
+from repro.views.psj import View
+from repro.algebra.parser import parse
+from repro.schema import Catalog
+
+from .harness import DifferentialConfig, run_schema
+
+
+SMOKE = DifferentialConfig(n_updates=8)
+
+
+def _small_catalog():
+    catalog = Catalog()
+    catalog.relation("Sale", ("item", "clerk"))
+    catalog.relation("Emp", ("clerk", "age"), key=("clerk",))
+    return catalog
+
+
+def _small_database(catalog):
+    db = Database(catalog)
+    db.load("Sale", [("TV", "Mary")])
+    db.load("Emp", [("Mary", 23), ("Ken", 55)])
+    return db
+
+
+class TestCompiledTrack:
+    def test_compiled_track_replays_clean(self):
+        outcome = run_schema(SMOKE.seed, SMOKE)
+        assert outcome is not None
+        steps, disagreements = outcome
+        assert steps > 0
+        assert not disagreements, "\n".join(str(d) for d in disagreements)
+
+    def test_track_is_toggleable_and_deterministic(self):
+        config = SMOKE._replace(compiled_track=False)
+        without = run_schema(config.seed, config)
+        with_track = run_schema(SMOKE.seed, SMOKE)
+        assert without is not None and with_track is not None
+        # Same steps and (clean) disagreements either way: the compiled
+        # track adds assertions, not workload.
+        assert without == with_track
+
+    def test_axis_detects_corrupted_closure(self, monkeypatch):
+        """The axis is only trustworthy if a broken closure actually trips it.
+
+        Compiled closures run on the columnar kernels regardless of the
+        warehouse ``engine``, so corrupting the ``to_relation``
+        materialization every fused program root goes through corrupts
+        every compiled refresh. The reference tracks are pinned to the
+        tuple engine and interpretation so only the compiled track
+        executes the corruption — mirroring the corrupted-kernel test on
+        the columnar axis.
+        """
+        import repro.compiler as compiler_mod
+        from repro.storage import engine as engine_mod
+        from repro.storage.columnar import ColumnarTable
+        from repro.storage.relation import Relation
+
+        monkeypatch.setattr(engine_mod, "DEFAULT_ENGINE", engine_mod.ENGINE_TUPLE)
+        monkeypatch.setattr(compiler_mod, "DEFAULT_COMPILE", False)
+        config = SMOKE._replace(columnar_track=False)
+
+        original = ColumnarTable.to_relation
+
+        def corrupted(self):
+            result = original(self)
+            if len(result) > 2:  # drop one row from large materializations
+                return Relation(result.attributes, sorted(result.rows)[:-1])
+            return result
+
+        monkeypatch.setattr(ColumnarTable, "to_relation", corrupted)
+        outcome = run_schema(config.seed, config)
+        assert outcome is not None
+        _, disagreements = outcome
+        assert any("compiled" in d.tracks for d in disagreements)
+
+    def test_sanitizer_passes_compiled_replay(self, monkeypatch):
+        """REPRO_CHECK_INVARIANTS=1: compiled traces check out dataflow-ly.
+
+        The sanitizer cross-checks each refresh's traced ``read`` spans
+        against the static dataflow analysis; the compiled traced path
+        only names warehouse relations and delta bindings in its ``read``
+        spans, so Thm 4.1 holds by construction — this replay proves the
+        span vocabulary stays sanitizer-compatible.
+        """
+        monkeypatch.setenv("REPRO_CHECK_INVARIANTS", "1")
+        outcome = run_schema(SMOKE.seed, SMOKE)
+        assert outcome is not None
+        steps, disagreements = outcome
+        assert steps > 0 and not disagreements
+
+
+class TestCompileDefaultWiring:
+    def test_env_default_enables_compilation(self, monkeypatch):
+        import repro.compiler as compiler_mod
+
+        monkeypatch.setattr(compiler_mod, "DEFAULT_COMPILE", True)
+        catalog = _small_catalog()
+        spec = specify(catalog, [View("Sold", parse("Sale join Emp"))])
+        warehouse = Warehouse(spec)
+        warehouse.initialize(_small_database(catalog))
+        warehouse.insert("Sale", [("Radio", "Ken")])
+        assert warehouse.plan_compiler is not None
+
+    def test_explicit_flag_overrides_default(self, monkeypatch):
+        import repro.compiler as compiler_mod
+
+        monkeypatch.setattr(compiler_mod, "DEFAULT_COMPILE", True)
+        catalog = _small_catalog()
+        spec = specify(catalog, [View("Sold", parse("Sale join Emp"))])
+        warehouse = Warehouse(spec, compile_plans=False)
+        warehouse.initialize(_small_database(catalog))
+        warehouse.insert("Sale", [("Radio", "Ken")])
+        assert warehouse.plan_compiler is None
+
+    def test_environment_parsing(self):
+        from repro.compiler import DEFAULT_COMPILE
+
+        assert DEFAULT_COMPILE in (True, False)

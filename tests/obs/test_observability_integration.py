@@ -18,8 +18,17 @@ from repro.obs.explain import source_relations_read
 
 @pytest.fixture
 def traced_e1(figure1_catalog, figure1_database, sold_view):
-    """Figure 1 warehouse with tracing on from before initialization."""
-    warehouse = Warehouse.specify(figure1_catalog, [sold_view], method="prop22")
+    """Figure 1 warehouse with tracing on from before initialization.
+
+    Pinned to the interpreted path (``compile_plans=False``): these tests
+    assert the *evaluator's* observability — per-operator spans, EvalStats
+    metrics, semi-join fast-path annotations — which compiled refresh
+    closures intentionally bypass (their traces are covered in
+    ``tests/compiler`` and ``tests/differential``).
+    """
+    warehouse = Warehouse.specify(
+        figure1_catalog, [sold_view], method="prop22", compile_plans=False
+    )
     warehouse.enable_tracing()
     warehouse.initialize(figure1_database)
     return warehouse
