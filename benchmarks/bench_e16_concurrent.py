@@ -1,0 +1,221 @@
+"""E16 — concurrent integrator throughput: shards, lag, snapshot readers.
+
+ROADMAP item 3 made the integrator concurrent: per-source async channels
+fold pending notifications into net batches (``Update.compose``), a
+:class:`~repro.core.sharding.ShardedWarehouse` routes each batch to the
+shards its rows live on, and MVCC snapshots give readers consistent images
+while refreshes land. This benchmark drives a scaled Figure 1 pipeline —
+two lag-injecting async sources, one snapshot-reader task hammering
+assembled reads — at 1, 2, and 4 shards, and reports:
+
+* **updates/sec** — source notifications folded per wall-clock second of
+  the sustained run;
+* **reader QPS** — consistent snapshot reads served in the same window;
+* **batch fold** — mean notifications folded per refresh (the compose win).
+
+Correctness is the gate, not an afterthought: before any number is
+recorded, every configuration must (a) equal direct evaluation over the
+final source states, (b) replay its commit log through a synchronous
+reference warehouse to the same final state (the differential oracle), and
+(c) have every reader-sampled snapshot version match the oracle's state at
+that version.
+
+Run with ``pytest benchmarks/bench_e16_concurrent.py -s`` (benchmarks are
+not part of tier-1).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+
+from repro import Relation, View, Warehouse, parse, specify
+from repro.algebra.evaluator import evaluate
+from repro.core.sharding import ShardRouting
+from repro.integrator import AsyncChannel, AsyncConcurrentIntegrator, AsyncSource
+
+from _helpers import figure1_catalog, print_table
+
+N_EMPS = 60
+N_SALES = 600
+N_SALE_UPDATES = 240
+N_EMP_UPDATES = 60
+CHANNEL_CAPACITY = 16
+SOURCE_LAG = 0.0002  # injected delivery lag per notification (seconds)
+SHARD_COUNTS = (1, 2, 4)
+
+
+def build_initial(seed: int = 7):
+    rng = random.Random(seed)
+    emps = [(f"clerk{i:03d}", rng.randint(18, 65)) for i in range(N_EMPS)]
+    sales = [
+        (f"item{i:04d}", f"clerk{rng.randrange(N_EMPS):03d}")
+        for i in range(N_SALES)
+    ]
+    return emps, sales
+
+
+def sale_ops(rng) -> list:
+    """(kind, rows) — inserts with periodic deletes of earlier inserts."""
+    ops = []
+    inserted = []
+    for i in range(N_SALE_UPDATES):
+        if inserted and i % 5 == 4:
+            ops.append(("delete", [inserted.pop(rng.randrange(len(inserted)))]))
+        else:
+            row = (f"new{i:04d}", f"clerk{rng.randrange(N_EMPS):03d}")
+            inserted.append(row)
+            ops.append(("insert", [row]))
+    return ops
+
+
+def emp_ops(rng) -> list:
+    """Hire-and-retire churn on the replicated dimension."""
+    ops = []
+    for i in range(N_EMP_UPDATES):
+        name = f"temp{i:03d}"
+        ops.append(("insert", [(name, rng.randint(18, 65))]))
+        if i % 3 == 2:
+            ops.append(("delete", [ops[-1][1][0]]))
+    return ops
+
+
+async def drive(shards: int, emps, sales):
+    catalog = figure1_catalog()
+    views = [View("Sold", parse("Sale join Emp"))]
+    routings = [ShardRouting("Sale", "item", shards=shards)]
+
+    sales_src = AsyncSource(
+        "SalesDB", catalog, ("Sale",),
+        channel=AsyncChannel("SalesDB", capacity=CHANNEL_CAPACITY),
+        delay=SOURCE_LAG,
+    )
+    company_src = AsyncSource(
+        "CompanyDB", catalog, ("Emp",),
+        channel=AsyncChannel("CompanyDB", capacity=CHANNEL_CAPACITY),
+        delay=SOURCE_LAG,
+    )
+    sales_src.load("Sale", sales)
+    company_src.load("Emp", emps)
+
+    integrator = AsyncConcurrentIntegrator(catalog, views, routings=routings)
+    integrator.initialize([sales_src, company_src])
+
+    rng = random.Random(13)
+    observed = []
+    reads = 0
+    done = asyncio.Event()
+
+    async def run_sales():
+        for kind, rows in sale_ops(rng):
+            if kind == "insert":
+                await sales_src.insert_async("Sale", rows)
+            else:
+                await sales_src.delete_async("Sale", rows)
+        sales_src.channel.close()
+
+    async def run_company():
+        for kind, rows in emp_ops(rng):
+            if kind == "insert":
+                await company_src.insert_async("Emp", rows)
+            else:
+                await company_src.delete_async("Emp", rows)
+        company_src.channel.close()
+
+    async def reader():
+        nonlocal reads
+        while not done.is_set():
+            snapshot = integrator.snapshot()
+            # Assemble the hot relation — a real consistent read.
+            image = snapshot.relation("Sold")
+            reads += 1
+            if reads % 50 == 0:  # sample for the per-version oracle check
+                observed.append((snapshot.version, snapshot.state()))
+            del image
+            await asyncio.sleep(0)
+
+    async def produce_and_integrate():
+        await asyncio.gather(run_sales(), run_company(), integrator.run())
+        done.set()
+
+    started = time.perf_counter()
+    await asyncio.gather(produce_and_integrate(), reader())
+    elapsed = time.perf_counter() - started
+
+    return {
+        "integrator": integrator,
+        "sales": sales_src,
+        "company": company_src,
+        "views": views,
+        "catalog": catalog,
+        "elapsed": elapsed,
+        "reads": reads,
+        "observed": observed,
+        "initial": {"Sale": sales, "Emp": emps},
+    }
+
+
+def check_correctness(result) -> None:
+    integrator = result["integrator"]
+    live = {
+        "Sale": result["sales"].relation("Sale"),
+        "Emp": result["company"].relation("Emp"),
+    }
+    # (a) final assembled state equals direct evaluation over live sources
+    assert integrator.relation("Sold") == evaluate(
+        result["views"][0].definition, live
+    )
+    for base in ("Sale", "Emp"):
+        assert integrator.warehouse.reconstruct(base) == live[base]
+    # (b) + (c) the differential oracle: replay the commit log through a
+    # synchronous reference; final state and every sampled snapshot version
+    # must match.
+    reference = Warehouse(specify(result["catalog"], result["views"]))
+    reference.initialize(
+        {
+            "Sale": Relation(("item", "clerk"), result["initial"]["Sale"]),
+            "Emp": Relation(("clerk", "age"), result["initial"]["Emp"]),
+        }
+    )
+    states = {1: dict(reference.state)}
+    for record in integrator.warehouse.commit_log:
+        reference.apply(record.update)
+        states[record.version] = dict(reference.state)
+    assert states[integrator.warehouse.version] == integrator.warehouse.state()
+    for version, image in result["observed"]:
+        assert image == states[version], f"torn read at version {version}"
+
+
+def test_e16_concurrent_throughput():
+    emps, sales = build_initial()
+    rows = []
+    for shards in SHARD_COUNTS:
+        result = asyncio.run(drive(shards, emps, sales))
+        check_correctness(result)
+        integrator = result["integrator"]
+        elapsed = result["elapsed"]
+        batches = integrator.metrics.value("integrator.batches")
+        fold = integrator.processed / batches if batches else 0.0
+        rows.append(
+            [
+                shards,
+                integrator.processed,
+                f"{integrator.processed / elapsed:.0f}",
+                f"{result['reads'] / elapsed:.0f}",
+                f"{fold:.2f}",
+                integrator.warehouse.version,
+                "ok",
+            ]
+        )
+    print_table(
+        "E16: concurrent integrator, sustained stream "
+        f"({N_SALE_UPDATES + N_EMP_UPDATES}+ notifications, "
+        f"lag {SOURCE_LAG * 1000:.1f}ms, capacity {CHANNEL_CAPACITY})",
+        ["shards", "notifs", "updates/s", "reader QPS", "fold", "commits", "oracle"],
+        rows,
+    )
+
+
+if __name__ == "__main__":
+    test_e16_concurrent_throughput()

@@ -13,6 +13,7 @@ MODULES = [
     "repro.schema.schema", "repro.schema.constraints", "repro.schema.catalog",
     "repro.storage.relation", "repro.storage.database", "repro.storage.update",
     "repro.storage.persist", "repro.storage.engine", "repro.storage.columnar",
+    "repro.storage.snapshot",
     "repro.algebra.conditions", "repro.algebra.expressions", "repro.algebra.evaluator",
     "repro.algebra.parser", "repro.algebra.simplify", "repro.algebra.optimize",
     "repro.algebra.rewriting", "repro.algebra.deltas", "repro.algebra.containment",
@@ -27,8 +28,10 @@ MODULES = [
     "repro.core.translation", "repro.core.maintenance", "repro.core.warehouse",
     "repro.core.minimality", "repro.core.selfmaint", "repro.core.star",
     "repro.core.aggregates", "repro.core.auxviews", "repro.core.hybrid",
+    "repro.core.sharding",
     "repro.obs.trace", "repro.obs.metrics", "repro.obs.explain", "repro.obs.report",
     "repro.integrator.source", "repro.integrator.channel", "repro.integrator.integrator",
+    "repro.integrator.async_integrator",
     "repro.workloads.generator", "repro.workloads.queries", "repro.workloads.tpcd",
     "repro.compiler", "repro.compiler.certificate", "repro.compiler.fuse",
     "repro.compiler.runtime",

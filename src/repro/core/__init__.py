@@ -17,7 +17,9 @@
 * :mod:`repro.core.selfmaint` — update independence without complements
   (Section 4 end);
 * :mod:`repro.core.star` / :mod:`repro.core.aggregates` — Section 5 star
-  schemata and aggregate views.
+  schemata and aggregate views;
+* :mod:`repro.core.sharding` — key-partitioned
+  :class:`~repro.core.sharding.ShardedWarehouse` with MVCC snapshot commits.
 """
 
 from repro.core.complement import (
@@ -51,15 +53,27 @@ from repro.core.selfmaint import (
     is_select_only_update_independent,
     self_maintenance_analysis,
 )
+from repro.core.sharding import (
+    CommitRecord,
+    ShardedSnapshot,
+    ShardedWarehouse,
+    ShardRouter,
+    ShardRouting,
+)
 from repro.core.translation import answer_query, translate_query
 from repro.core.warehouse import Warehouse
 
 __all__ = [
     "AuxiliaryViewSet",
+    "CommitRecord",
     "ComplementView",
     "CoverElement",
     "HybridWarehouse",
     "MaintenancePlan",
+    "ShardRouter",
+    "ShardRouting",
+    "ShardedSnapshot",
+    "ShardedWarehouse",
     "Warehouse",
     "WarehouseSpec",
     "answer_query",

@@ -94,6 +94,11 @@ class Warehouse:
             kernel_totals() if (self._columnar_engine or self._compile) else {}
         )
         self._state: Optional[Dict[str, Relation]] = None
+        # MVCC-style read handles: every initialize()/apply() *replaces*
+        # _state and bumps _version, so a SnapshotView is just a pinned set
+        # of references. _snapshot caches the view for the current version.
+        self._version = 0
+        self._snapshot = None
         self._plans: Dict[frozenset, MaintenancePlan] = {}
         self._aggregates: list = []
         # The cross-update evaluation cache: sub-expressions whose inputs an
@@ -367,6 +372,8 @@ class Warehouse:
             self._state = evaluate_all(
                 self.spec.definitions_over_sources(), state, engine=self.engine
             )
+        self._version += 1
+        self._snapshot = None
         self._metrics.histogram("warehouse.initialize_seconds").observe(
             perf_counter() - started
         )
@@ -381,6 +388,28 @@ class Warehouse:
         if self._state is None:
             raise WarehouseError("warehouse not initialized; call initialize() first")
         return self._state
+
+    @property
+    def version(self) -> int:
+        """The commit version: bumped by every initialize()/apply()."""
+        return self._version
+
+    def snapshot(self):
+        """A :class:`~repro.storage.snapshot.SnapshotView` of the current state.
+
+        Refreshes replace the state mapping rather than mutating it, so the
+        returned view stays a consistent image of this exact version while
+        any number of later :meth:`apply` calls land — the MVCC read path.
+        The view is cached per version, so repeated calls between refreshes
+        are O(1).
+        """
+        from repro.storage.snapshot import SnapshotView
+
+        snapshot = self._snapshot
+        if snapshot is None or snapshot.version != self._version:
+            snapshot = SnapshotView(self.state, self._version)
+            self._snapshot = snapshot
+        return snapshot
 
     def relation(self, name: str) -> Relation:
         """One materialized warehouse relation by name."""
@@ -582,6 +611,8 @@ class Warehouse:
         self._last_refresh_stats = stats
         self._stats.merge(stats)
         self._state = new_state
+        self._version += 1
+        self._snapshot = None
         self._record_refresh_metrics(perf_counter() - started, applied, stats)
         if compiler is not None:
             self._record_compiler_metrics(compiler)
@@ -604,9 +635,10 @@ class Warehouse:
         for update in updates:
             batch = update if batch is None else batch.compose(update)
             composed += 1
-        self._metrics.histogram("warehouse.batch_size").observe(composed)
         if batch is None:
+            # Nothing to fold: don't pollute warehouse.batch_size with zeros.
             return {}
+        self._metrics.histogram("warehouse.batch_size").observe(composed)
         return self.apply(batch)
 
     def apply_full(self, update: Update) -> None:
@@ -614,6 +646,8 @@ class Warehouse:
         self._state = full_recompute_state(
             self.spec, self.state, update, engine=self.engine
         )
+        self._version += 1
+        self._snapshot = None
         for aggregate in self._aggregates:
             aggregate.recompute(self._state[aggregate.source])
 

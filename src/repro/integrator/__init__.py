@@ -22,13 +22,29 @@ This package makes that motivation executable:
   Zhuge et al. maintenance anomalies (see
   ``tests/integrator/test_anomalies.py`` and
   ``examples/integrator_anomalies.py``).
+
+The concurrent pipeline (:mod:`repro.integrator.async_integrator`) lifts
+the same architecture onto ``asyncio``: per-source
+:class:`~repro.integrator.async_integrator.AsyncChannel` FIFOs with
+backpressure, lag-injecting
+:class:`~repro.integrator.async_integrator.AsyncSource` databases, and the
+:class:`~repro.integrator.async_integrator.AsyncConcurrentIntegrator`
+folding net batches into a sharded warehouse under MVCC snapshot commits.
 """
 
+from repro.integrator.async_integrator import (
+    AsyncChannel,
+    AsyncConcurrentIntegrator,
+    AsyncSource,
+)
 from repro.integrator.channel import Channel, Notification
 from repro.integrator.integrator import ComplementIntegrator, NaiveIntegrator
 from repro.integrator.source import Source
 
 __all__ = [
+    "AsyncChannel",
+    "AsyncConcurrentIntegrator",
+    "AsyncSource",
     "Channel",
     "ComplementIntegrator",
     "NaiveIntegrator",

@@ -15,6 +15,7 @@ import itertools
 from collections import deque
 from typing import Deque, Iterator, List, NamedTuple, Optional
 
+from repro.errors import WarehouseError
 from repro.storage.update import Update
 
 
@@ -61,17 +62,33 @@ class Channel:
         return self._queue.popleft()
 
     def drain(self, limit: Optional[int] = None) -> List[Notification]:
-        """Deliver up to ``limit`` pending notifications (all by default)."""
+        """Deliver up to ``limit`` pending notifications (all by default).
+
+        Only notifications pending when the drain *starts* are delivered:
+        anything published while the drain is in flight stays queued for the
+        next pass, so a publish-while-draining feedback loop cannot keep a
+        single drain alive forever.
+        """
+        if limit is not None and limit < 0:
+            raise WarehouseError(f"drain limit must be non-negative: {limit}")
+        pending = len(self._queue)
+        if limit is not None:
+            pending = min(pending, limit)
         out: List[Notification] = []
-        while self._queue and (limit is None or len(out) < limit):
+        for _ in range(pending):
             notification = self.poll()
             assert notification is not None
             out.append(notification)
         return out
 
     def __iter__(self) -> Iterator[Notification]:
-        """Iterate by draining (consumes the queue)."""
-        while self._queue:
+        """Iterate by draining (consumes the queue).
+
+        The pending count is snapshotted when iteration starts; notifications
+        published during the drain are left for a later pass (see
+        :meth:`drain`).
+        """
+        for _ in range(len(self._queue)):
             notification = self.poll()
             assert notification is not None
             yield notification

@@ -88,6 +88,10 @@ class ComplementIntegrator:
         instead of one per notification. Returns the batch size.
         """
         notifications = list(notifications)
+        if not notifications:
+            # An empty batch is a no-op: recording it would skew the
+            # integrator.batches / *.batch_size histograms with zeros.
+            return 0
         self.warehouse.apply_batch(n.update for n in notifications)
         self._processed += len(notifications)
         self._count_notifications(notifications)
@@ -191,6 +195,13 @@ class NaiveIntegrator:
         updated = tuple(update.relations())
         live = _source_state(self.sources)  # <- the bug the paper avoids:
         # this is the post-lag state, not the state the update applied to.
+        for delta in update:
+            if delta.relation not in live:
+                raise WarehouseError(
+                    f"notification {notification.sequence} from "
+                    f"{notification.source!r} references relation "
+                    f"{delta.relation!r}, which no configured source owns"
+                )
         combined: Dict[str, Relation] = dict(live)
         # Undo this notification's own deltas so that, when the integrator
         # is tightly coupled (zero lag), the reconstructed pre-state is

@@ -131,6 +131,30 @@ class Histogram:
         """The mean of all observations (0.0 when empty)."""
         return self.total / self.count if self.count else 0.0
 
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram's observations into this one.
+
+        Bucket counts are only merged when the bucket bounds agree;
+        otherwise the summary fields merge and the finer bucket detail of
+        ``other`` is dropped (count/sum/min/max stay exact either way).
+        """
+        if other.count == 0:
+            return
+        self.count += other.count
+        self.total += other.total
+        if self.minimum is None or (
+            other.minimum is not None and other.minimum < self.minimum
+        ):
+            self.minimum = other.minimum
+        if self.maximum is None or (
+            other.maximum is not None and other.maximum > self.maximum
+        ):
+            self.maximum = other.maximum
+        if self.buckets and self.buckets == other.buckets:
+            self.bucket_counts = [
+                a + b for a, b in zip(self.bucket_counts, other.bucket_counts)
+            ]
+
     def snapshot(self) -> Dict[str, object]:
         """Summary dict: count/sum/min/max/mean (+ buckets when configured)."""
         out: Dict[str, object] = {
@@ -229,6 +253,25 @@ class MetricsRegistry:
         for field, amount in stats.snapshot().items():
             if amount:
                 self.counter(prefix + field).inc(amount)
+
+    def merge_registry(self, other: "MetricsRegistry", prefix: str = "") -> None:
+        """Fold every instrument of ``other`` into this registry.
+
+        Counters and gauges add, histograms merge (see
+        :meth:`Histogram.merge`); ``prefix`` is prepended to each incoming
+        name. This is how a sharded warehouse aggregates its per-shard
+        registries into one cross-shard view: fold each shard's registry in
+        (optionally under ``shard<i>.``) without disturbing the shards' own
+        instruments.
+        """
+        for name, instrument in other._instruments.items():
+            target = prefix + name
+            if isinstance(instrument, Counter):
+                self.counter(target).inc(instrument.value)
+            elif isinstance(instrument, Gauge):
+                self.gauge(target).inc(instrument.value)
+            else:
+                self.histogram(target, instrument.buckets or None).merge(instrument)
 
     def snapshot(self) -> Dict[str, object]:
         """``{name: value-or-summary}`` for every instrument, sorted by name."""

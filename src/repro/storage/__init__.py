@@ -14,6 +14,7 @@ set-semantics (the paper works in plain relational algebra over sets):
 from repro.storage.relation import Relation
 from repro.storage.columnar import ColumnarTable, resolve_engine
 from repro.storage.database import Database
+from repro.storage.snapshot import SnapshotView
 from repro.storage.update import Delta, Update
 from repro.storage.persist import load_warehouse, save_warehouse
 
@@ -22,6 +23,7 @@ __all__ = [
     "Database",
     "Delta",
     "Relation",
+    "SnapshotView",
     "Update",
     "load_warehouse",
     "resolve_engine",

@@ -1,0 +1,112 @@
+"""Immutable, versioned snapshot views over warehouse state.
+
+A :class:`SnapshotView` is a read-only image of a ``{name: Relation}``
+state at one commit version. Because :class:`~repro.storage.relation.Relation`
+is immutable and every refresh *replaces* the state mapping instead of
+mutating it, a snapshot is nothing more than a pinned set of references —
+taking one is O(relations), holding one costs nothing, and any number of
+concurrent readers can keep reading a snapshot while later refreshes land
+(MVCC with structural sharing: unchanged relations are the same objects in
+every subsequent version).
+
+This is what makes the concurrent integrator's readers safe: a reader
+resolves ``snapshot()`` once and then sees one consistent image — never a
+half-applied batch — no matter how many refreshes commit underneath it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Mapping, Tuple
+
+from repro.errors import WarehouseError
+from repro.storage.relation import Relation
+
+
+class SnapshotView:
+    """A read-only, versioned image of a warehouse (or shard) state.
+
+    Parameters
+    ----------
+    relations:
+        The state mapping to pin. The mapping is copied (shallowly — the
+        relations themselves are immutable), so later state swaps in the
+        producer never show through.
+    version:
+        The commit version this image corresponds to. Monotonically
+        increasing per producer; two snapshots with equal versions from the
+        same producer are images of the same state.
+    label:
+        Optional producer tag (e.g. ``"shard0"``) for diagnostics.
+
+    Examples
+    --------
+    >>> from repro.storage.relation import Relation
+    >>> snap = SnapshotView({"R": Relation(("x",), [(1,)])}, version=3)
+    >>> snap.version, len(snap), "R" in snap
+    (3, 1, True)
+    >>> snap.relation("R").rows
+    frozenset({(1,)})
+    """
+
+    __slots__ = ("_relations", "_version", "_label")
+
+    def __init__(
+        self,
+        relations: Mapping[str, Relation],
+        version: int,
+        label: str = "",
+    ) -> None:
+        self._relations: Dict[str, Relation] = dict(relations)
+        self._version = version
+        self._label = label
+
+    @property
+    def version(self) -> int:
+        """The commit version this snapshot pins."""
+        return self._version
+
+    @property
+    def label(self) -> str:
+        """The producer tag given at construction (may be empty)."""
+        return self._label
+
+    def names(self) -> Tuple[str, ...]:
+        """The relation names visible in this snapshot, sorted."""
+        return tuple(sorted(self._relations))
+
+    def relation(self, name: str) -> Relation:
+        """The pinned image of one relation."""
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise WarehouseError(
+                f"snapshot (version {self._version}) has no relation {name!r}"
+            ) from None
+
+    def state(self) -> Dict[str, Relation]:
+        """A fresh ``{name: Relation}`` mapping of the pinned image.
+
+        Suitable for handing to evaluators (the relations are shared, the
+        mapping is the caller's to mutate).
+        """
+        return dict(self._relations)
+
+    def total_rows(self) -> int:
+        """Total pinned tuples across all relations."""
+        return sum(len(rel) for rel in self._relations.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._relations)
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def __repr__(self) -> str:
+        tag = f" {self._label}" if self._label else ""
+        return (
+            f"SnapshotView(version={self._version},{tag} "
+            f"{len(self._relations)} relations)"
+        )

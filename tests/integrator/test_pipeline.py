@@ -92,6 +92,28 @@ class TestChannel:
         assert len(channel.drain(limit=2)) == 2
         assert channel.pending() == 3
 
+    def test_drain_rejects_negative_limit(self, pipeline):
+        from repro import WarehouseError
+
+        channel, _, _ = pipeline
+        with pytest.raises(WarehouseError, match="non-negative"):
+            channel.drain(limit=-1)
+        assert channel.pending() == 0  # nothing was consumed
+
+    def test_drain_snapshots_pending_count(self, pipeline):
+        """Publishing while draining must not extend the drain itself."""
+        channel, sales, _ = pipeline
+        sales.insert("Sale", [("Radio", "Paula")])
+        drained = []
+        for notification in channel:
+            drained.append(notification)
+            # A publish-during-drain feedback loop: without snapshotting,
+            # this iteration would never terminate.
+            if len(drained) < 3:
+                sales.insert("Sale", [(f"chain{len(drained)}", "Mary")])
+        assert len(drained) == 1
+        assert channel.pending() == 1  # the mid-drain publish is still queued
+
 
 class TestComplementIntegrator:
     def test_tracks_sources_through_stream(self, catalog, pipeline):
@@ -112,6 +134,35 @@ class TestComplementIntegrator:
         assert integrator.relation("Sold") == expected
         assert integrator.warehouse.reconstruct("Sale") == sales.relation("Sale")
         assert integrator.warehouse.reconstruct("Emp") == company.relation("Emp")
+
+    def test_empty_batch_records_no_metrics(self, catalog, pipeline):
+        channel, sales, company = pipeline
+        integrator = ComplementIntegrator(
+            catalog, [View("Sold", parse("Sale join Emp"))]
+        )
+        integrator.initialize([sales, company])
+        assert integrator.process_batch([]) == 0
+        metrics = integrator.metrics
+        assert metrics.value("integrator.batches") == 0
+        assert metrics.value("integrator.notifications") == 0
+        histogram = metrics.get("integrator.batch_size")
+        assert histogram is None or histogram.count == 0
+        # Warehouse.apply_batch on an empty iterable is equally silent.
+        assert integrator.warehouse.apply_batch([]) == {}
+        batch_size = metrics.get("warehouse.batch_size")
+        assert batch_size is None or batch_size.count == 0
+
+    def test_nonempty_batch_still_counts(self, catalog, pipeline):
+        channel, sales, company = pipeline
+        integrator = ComplementIntegrator(
+            catalog, [View("Sold", parse("Sale join Emp"))]
+        )
+        integrator.initialize([sales, company])
+        sales.insert("Sale", [("Radio", "Paula")])
+        company.insert("Emp", [("Zoe", 40)])
+        assert integrator.process_all(channel, batch_size=2) == 2
+        assert integrator.metrics.value("integrator.batches") == 1
+        assert integrator.metrics.get("integrator.batch_size").count == 1
 
     def test_correct_under_lag(self, catalog, pipeline):
         channel, sales, company = pipeline
@@ -156,3 +207,17 @@ class TestNaiveIntegrator:
         sales.insert("Sale", [("Radio", "Paula")])
         with pytest.raises(WarehouseError):
             integrator.process(channel.poll())
+
+    def test_unowned_relation_gets_descriptive_error(self, catalog, pipeline):
+        """A notification over a relation no source owns must not surface
+        as a bare ``KeyError`` from the live-state lookup."""
+        from repro import WarehouseError
+
+        channel, sales, company = pipeline
+        # Only the Sales source is configured: Emp updates are orphans.
+        integrator = NaiveIntegrator(catalog, [], [sales])
+        integrator.initialize()
+        company.insert("Emp", [("Zoe", 40)])
+        notification = channel.poll()
+        with pytest.raises(WarehouseError, match="no configured source owns"):
+            integrator.process(notification)

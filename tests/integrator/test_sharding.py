@@ -1,0 +1,335 @@
+"""Unit tests for :mod:`repro.core.sharding`.
+
+The load-bearing property throughout: a sharded warehouse over any routing
+must be *observationally identical* to an unsharded reference warehouse fed
+the same updates — assembled state, reconstruction, and query answers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Catalog, Relation, Update, View, WarehouseError, parse
+from repro.core.complement import specify
+from repro.core.sharding import (
+    ShardedWarehouse,
+    ShardRouter,
+    ShardRouting,
+)
+from repro.core.warehouse import Warehouse
+
+
+@pytest.fixture
+def catalog() -> Catalog:
+    catalog = Catalog()
+    catalog.relation("Sale", ("item", "clerk"))
+    catalog.relation("Emp", ("clerk", "age"), key=("clerk",))
+    return catalog
+
+
+VIEWS = [View("Sold", parse("Sale join Emp"))]
+
+INIT = {
+    "Sale": Relation(("item", "clerk"), [("TV", "Mary"), ("Car", "Ann")]),
+    "Emp": Relation(("clerk", "age"), [("Mary", 23), ("Ann", 31), ("Bob", 44)]),
+}
+
+
+def make_pair(catalog, routings):
+    """A sharded warehouse and its unsharded reference, both initialized."""
+    sharded = ShardedWarehouse.specify(catalog, VIEWS, routings=routings)
+    sharded.initialize(INIT)
+    reference = Warehouse(specify(catalog, VIEWS))
+    reference.initialize(INIT)
+    return sharded, reference
+
+
+def assert_equivalent(sharded, reference):
+    assert sharded.state() == reference.state
+    for base in ("Sale", "Emp"):
+        assert sharded.reconstruct(base) == reference.reconstruct(base)
+
+
+class TestShardRouting:
+    def test_range_strategy(self):
+        routing = ShardRouting("Sale", "item", boundaries=["h", "p"])
+        assert routing.shards == 3
+        assert routing.shard_of("apple") == 0
+        assert routing.shard_of("hat") == 1
+        assert routing.shard_of("zoo") == 2
+
+    def test_hash_strategy_is_stable_and_total(self):
+        routing = ShardRouting("Sale", "item", shards=4)
+        for value in ("a", "b", 17, ("x", 1)):
+            shard = routing.shard_of(value)
+            assert 0 <= shard < 4
+            assert routing.shard_of(value) == shard
+
+    def test_exactly_one_strategy_required(self):
+        with pytest.raises(WarehouseError):
+            ShardRouting("Sale", "item")
+        with pytest.raises(WarehouseError):
+            ShardRouting("Sale", "item", boundaries=["m"], shards=2)
+        with pytest.raises(WarehouseError):
+            ShardRouting("Sale", "item", boundaries=[])
+        with pytest.raises(WarehouseError):
+            ShardRouting("Sale", "item", shards=0)
+
+    def test_incomparable_range_value_rejected(self):
+        routing = ShardRouting("Sale", "item", boundaries=["m"])
+        with pytest.raises(WarehouseError, match="not.*comparable"):
+            routing.shard_of(None)
+
+
+class TestShardRouter:
+    def test_split_update_routes_and_broadcasts(self):
+        router = ShardRouter([ShardRouting("Sale", "item", boundaries=["M"])])
+        update = Update.insert(
+            "Sale", ("item", "clerk"), [("Amp", "Mary"), ("TV", "Ann")]
+        ).compose(Update.insert("Emp", ("clerk", "age"), [("Zoe", 50)]))
+        parts = router.split_update(update)
+        assert set(parts) == {0, 1}
+        # Routed rows split by boundary; the Emp delta reaches both shards.
+        sale0 = next(d for d in parts[0] if d.relation == "Sale")
+        sale1 = next(d for d in parts[1] if d.relation == "Sale")
+        assert sale0.inserts.rows == frozenset({("Amp", "Mary")})
+        assert sale1.inserts.rows == frozenset({("TV", "Ann")})
+        for part in parts.values():
+            emp = next(d for d in part if d.relation == "Emp")
+            assert emp.inserts.rows == frozenset({("Zoe", 50)})
+
+    def test_split_update_omits_idle_shards(self):
+        router = ShardRouter([ShardRouting("Sale", "item", boundaries=["M"])])
+        update = Update.insert("Sale", ("item", "clerk"), [("Amp", "Mary")])
+        parts = router.split_update(update)
+        assert set(parts) == {0}
+
+    def test_split_state_slices_and_replicates(self):
+        router = ShardRouter([ShardRouting("Sale", "item", boundaries=["M"])])
+        parts = router.split_state(INIT)
+        assert len(parts) == 2
+        assert parts[0]["Sale"].rows == frozenset({("Car", "Ann")})
+        assert parts[1]["Sale"].rows == frozenset({("TV", "Mary")})
+        assert parts[0]["Emp"] is parts[1]["Emp"] is INIT["Emp"]
+
+    def test_duplicate_routing_rejected(self):
+        with pytest.raises(WarehouseError, match="more than once"):
+            ShardRouter(
+                [
+                    ShardRouting("Sale", "item", shards=2),
+                    ShardRouting("Sale", "clerk", shards=2),
+                ]
+            )
+
+    def test_inconsistent_shard_counts_rejected(self, catalog):
+        catalog.relation("Extra", ("k",))
+        with pytest.raises(WarehouseError, match="inconsistent"):
+            ShardRouter(
+                [
+                    ShardRouting("Sale", "item", shards=2),
+                    ShardRouting("Extra", "k", shards=3),
+                ]
+            )
+
+    def test_missing_routing_attribute_rejected(self):
+        router = ShardRouter([ShardRouting("Sale", "item", shards=2)])
+        with pytest.raises(WarehouseError, match="missing"):
+            router.split_relation("Sale", Relation(("clerk",), [("Mary",)]))
+
+
+class TestAssemblyClassification:
+    def test_thm22_complement_modes(self, catalog):
+        wh = ShardedWarehouse.specify(
+            catalog, VIEWS, routings=[ShardRouting("Sale", "item", shards=2)]
+        )
+        # The view and the routed relation's complement slice cleanly
+        # (union); the complement of the relation joined *against* the
+        # routed one has the K − π(…Sale…) shape and flips to intersection.
+        assert wh._assembly["Sold"] == "union"
+        assert wh._assembly["C_Sale"] == "union"
+        assert wh._assembly["C_Emp"] == "intersect"
+
+    def test_routed_on_non_attribute_rejected(self, catalog):
+        with pytest.raises(WarehouseError, match="not an.*attribute"):
+            ShardedWarehouse.specify(
+                catalog, VIEWS, routings=[ShardRouting("Sale", "ghost", shards=2)]
+            )
+
+    def test_unknown_routed_relation_rejected(self, catalog):
+        catalog2 = Catalog()
+        catalog2.relation("Sale", ("item", "clerk"))
+        with pytest.raises(WarehouseError, match="not in catalog"):
+            ShardedWarehouse.specify(
+                catalog2,
+                [View("V", parse("Sale"))],
+                routings=[ShardRouting("Ghost", "k", shards=2)],
+            )
+
+    def test_two_routed_relations_in_one_view_rejected(self):
+        catalog = Catalog()
+        catalog.relation("A", ("k", "x"))
+        catalog.relation("B", ("k", "y"))
+        with pytest.raises(WarehouseError, match="two .*routed relations"):
+            ShardedWarehouse.specify(
+                catalog,
+                [View("V", parse("A join B"))],
+                routings=[
+                    ShardRouting("A", "k", shards=2),
+                    ShardRouting("B", "k", shards=2),
+                ],
+            )
+
+
+class TestShardedWarehouseEquivalence:
+    OPS = [
+        Update.insert(
+            "Sale", ("item", "clerk"), [("Radio", "Bob"), ("Zither", "Mary")]
+        ),
+        Update.delete("Sale", ("item", "clerk"), [("TV", "Mary")]),
+        Update.insert("Emp", ("clerk", "age"), [("Eve", 28)]),
+        Update.insert("Sale", ("item", "clerk"), [("Amp", "Eve")]),
+        Update.delete("Emp", ("clerk", "age"), [("Bob", 44)]).compose(
+            Update.delete("Sale", ("item", "clerk"), [("Radio", "Bob")])
+        ),
+    ]
+
+    @pytest.mark.parametrize(
+        "routings",
+        [
+            [ShardRouting("Sale", "item", boundaries=["M"])],
+            [ShardRouting("Sale", "item", boundaries=["D", "S"])],
+            [ShardRouting("Sale", "item", shards=1)],
+            [ShardRouting("Sale", "item", shards=4)],
+            [ShardRouting("Sale", "clerk", shards=3)],
+        ],
+        ids=["range-2", "range-3", "hash-1", "hash-4", "by-clerk-3"],
+    )
+    def test_matches_unsharded_reference(self, catalog, routings):
+        sharded, reference = make_pair(catalog, routings)
+        assert_equivalent(sharded, reference)
+        for update in self.OPS:
+            sharded.apply(update)
+            reference.apply(update)
+            assert_equivalent(sharded, reference)
+
+    def test_answer_parity(self, catalog):
+        sharded, reference = make_pair(
+            catalog, [ShardRouting("Sale", "item", boundaries=["M"])]
+        )
+        for update in self.OPS[:3]:
+            sharded.apply(update)
+            reference.apply(update)
+        query = parse("pi[item, age](Sale join Emp)")
+        assert sharded.answer(query) == reference.answer(query)
+
+    def test_apply_batch_parity(self, catalog):
+        sharded, reference = make_pair(
+            catalog, [ShardRouting("Sale", "item", shards=2)]
+        )
+        sharded.apply_batch(self.OPS)
+        reference.apply_batch(self.OPS)
+        assert_equivalent(sharded, reference)
+
+    def test_insert_delete_conveniences(self, catalog):
+        sharded, reference = make_pair(
+            catalog, [ShardRouting("Sale", "item", shards=2)]
+        )
+        sharded.insert("Sale", [("Amp", "Bob")])
+        reference.insert("Sale", [("Amp", "Bob")])
+        sharded.delete("Emp", [("Ann", 31)])
+        reference.delete("Emp", [("Ann", 31)])
+        assert_equivalent(sharded, reference)
+
+
+class TestMVCCCommits:
+    def test_snapshot_isolation(self, catalog):
+        sharded, _ = make_pair(
+            catalog, [ShardRouting("Sale", "item", boundaries=["M"])]
+        )
+        snap = sharded.snapshot()
+        sold = snap.relation("Sold")
+        sharded.insert("Sale", [("Amp", "Bob")])
+        sharded.delete("Sale", [("TV", "Mary")])
+        assert snap.relation("Sold") == sold
+        assert sharded.snapshot().version > snap.version
+
+    def test_snapshot_cached_per_version(self, catalog):
+        sharded, _ = make_pair(catalog, [ShardRouting("Sale", "item", shards=2)])
+        assert sharded.snapshot() is sharded.snapshot()
+        sharded.insert("Sale", [("Amp", "Bob")])
+        assert sharded.snapshot() is not None
+
+    def test_uncommitted_shard_refresh_invisible_to_readers(self, catalog):
+        sharded, _ = make_pair(
+            catalog, [ShardRouting("Sale", "item", boundaries=["M"])]
+        )
+        before = sharded.relation("Sold")
+        update = Update.insert("Sale", ("item", "clerk"), [("Amp", "Bob")])
+        parts = sharded.split(update)
+        for index in sorted(parts):
+            sharded.apply_to_shard(index, parts[index])
+            # Shard state moved, but nothing is published yet.
+            assert sharded.relation("Sold") == before
+        sharded.commit(parts, update)
+        assert ("Amp", "Bob", 44) in sharded.relation("Sold")
+
+    def test_commit_log_replay_oracle(self, catalog):
+        sharded, _ = make_pair(
+            catalog, [ShardRouting("Sale", "item", boundaries=["M"])]
+        )
+        for update in TestShardedWarehouseEquivalence.OPS:
+            sharded.apply(update)
+        replay = Warehouse(specify(catalog, VIEWS))
+        replay.initialize(INIT)
+        for record in sharded.commit_log:
+            replay.apply(record.update)
+        assert replay.state == sharded.state()
+
+    def test_uninitialized_snapshot_rejected(self, catalog):
+        sharded = ShardedWarehouse.specify(
+            catalog, VIEWS, routings=[ShardRouting("Sale", "item", shards=2)]
+        )
+        with pytest.raises(WarehouseError, match="not initialized"):
+            sharded.snapshot()
+
+    def test_empty_update_is_a_noop(self, catalog):
+        sharded, _ = make_pair(catalog, [ShardRouting("Sale", "item", shards=2)])
+        version = sharded.version
+        assert sharded.apply(Update(())) == {}
+        assert sharded.apply_batch([]) == {}
+        assert sharded.version == version
+
+
+class TestObservability:
+    def test_per_shard_metrics_and_aggregation(self, catalog):
+        sharded, _ = make_pair(
+            catalog, [ShardRouting("Sale", "item", boundaries=["M"])]
+        )
+        sharded.insert("Sale", [("Amp", "Bob")])  # shard 0 only
+        metrics = sharded.metrics
+        assert metrics.value("warehouse.shards") == 2
+        assert metrics.value("warehouse.commits") == 2  # initialize + insert
+        assert metrics.value("warehouse.shard_refreshes.0") == 1
+        assert metrics.value("warehouse.shard_refreshes.1") == 0
+        aggregated = sharded.aggregate_metrics()
+        # Shard counters fold flat: total refreshes across all shards.
+        assert aggregated.value("warehouse.refreshes") == sum(
+            shard.metrics.value("warehouse.refreshes")
+            for shard in sharded.shards
+        )
+
+    def test_storage_rows_counts_slices(self, catalog):
+        sharded, reference = make_pair(
+            catalog, [ShardRouting("Sale", "item", boundaries=["M"])]
+        )
+        # Sliced relations don't double-count; replicated ones do (per shard).
+        assert sharded.storage_rows() >= reference.storage_rows()
+
+    def test_enable_tracing_reaches_shards(self, catalog):
+        sharded, _ = make_pair(catalog, [ShardRouting("Sale", "item", shards=2)])
+        sharded.enable_tracing(capacity=8)
+        sharded.insert("Sale", [("Amp", "Bob")])
+        assert all(shard.tracer is not None for shard in sharded.shards)
+        assert any(
+            shard.last_trace("refresh") is not None for shard in sharded.shards
+        )

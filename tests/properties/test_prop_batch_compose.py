@@ -1,0 +1,155 @@
+"""Property tests: ``Update.compose`` is a faithful fold for batches.
+
+The batch paths (``Warehouse.apply_batch``, the async integrator's
+net-batch folding) rely on one algebraic fact: composing a sequence of
+updates in *any* grouping yields one update whose effect equals applying
+the sequence one by one. These properties pin that down — sequential
+faithfulness, associativity, arbitrary split points (1+N, N+1, random
+partitions), and the delete-then-reinsert chains that make naive
+"union the deltas" folding wrong.
+"""
+
+from __future__ import annotations
+
+from functools import reduce
+from typing import Dict, List, Sequence
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Delta, Relation, Update
+
+from .strategies import relation
+
+SCHEMAS = {"R": ("a", "b"), "S": ("b", "c")}
+
+
+def delta(name: str):
+    attrs = SCHEMAS[name]
+    return st.tuples(
+        relation(attrs, max_rows=3), relation(attrs, max_rows=3)
+    ).map(lambda pair: Delta(name, inserts=pair[0], deletes=pair[1]))
+
+
+def update():
+    """An update touching a random subset of the two relations."""
+    return st.sets(st.sampled_from(sorted(SCHEMAS)), max_size=2).flatmap(
+        lambda names: st.tuples(*[delta(n) for n in sorted(names)]).map(Update)
+    )
+
+
+def updates(min_size: int = 0, max_size: int = 5):
+    return st.lists(update(), min_size=min_size, max_size=max_size)
+
+
+def state():
+    return st.fixed_dictionaries(
+        {name: relation(attrs) for name, attrs in SCHEMAS.items()}
+    )
+
+
+def apply_sequential(
+    base: Dict[str, Relation], sequence: Sequence[Update]
+) -> Dict[str, Relation]:
+    current = dict(base)
+    for upd in sequence:
+        for d in upd:
+            current[d.relation] = d.apply_to(current[d.relation])
+    return current
+
+
+def fold(sequence: Sequence[Update]) -> Update:
+    return reduce(Update.compose, sequence, Update(()))
+
+
+def assert_same_update(left: Update, right: Update) -> None:
+    """Structural equality: same touched relations, same net deltas."""
+    assert set(left.relations()) == set(right.relations())
+    for name in left.relations():
+        l, r = left.delta_for(name), right.delta_for(name)
+        assert l.inserts == r.inserts, f"{name}: inserts differ"
+        assert l.deletes == r.deletes, f"{name}: deletes differ"
+
+
+class TestComposeFaithfulness:
+    @given(state(), updates(max_size=4))
+    @settings(max_examples=150)
+    def test_fold_equals_sequential_application(self, base, sequence):
+        folded = fold(sequence)
+        assert apply_sequential(base, [folded]) == apply_sequential(
+            base, sequence
+        )
+
+    @given(update(), update(), update())
+    @settings(max_examples=150)
+    def test_compose_is_associative(self, u1, u2, u3):
+        assert_same_update(
+            u1.compose(u2).compose(u3), u1.compose(u2.compose(u3))
+        )
+
+
+class TestBatchSplits:
+    @given(updates(min_size=1, max_size=5))
+    @settings(max_examples=100)
+    def test_head_plus_rest_split(self, sequence):
+        """1+N: peeling the first update off the batch changes nothing."""
+        assert_same_update(
+            fold(sequence), sequence[0].compose(fold(sequence[1:]))
+        )
+
+    @given(updates(min_size=1, max_size=5))
+    @settings(max_examples=100)
+    def test_rest_plus_tail_split(self, sequence):
+        """N+1: folding all-but-last, then the last, changes nothing."""
+        assert_same_update(
+            fold(sequence), fold(sequence[:-1]).compose(sequence[-1])
+        )
+
+    @given(
+        updates(max_size=6),
+        st.lists(st.integers(min_value=0, max_value=6), max_size=3),
+    )
+    @settings(max_examples=100)
+    def test_random_partition_into_sub_batches(self, sequence, cut_points):
+        """Any consecutive partition folds to the same net update."""
+        cuts = sorted(set(min(c, len(sequence)) for c in cut_points))
+        bounds = [0] + cuts + [len(sequence)]
+        chunks: List[Sequence[Update]] = [
+            sequence[lo:hi] for lo, hi in zip(bounds, bounds[1:])
+        ]
+        assert_same_update(fold(sequence), fold([fold(c) for c in chunks]))
+
+
+class TestDeleteThenReinsertChains:
+    @given(relation(("a", "b"), max_rows=4), relation(("a", "b"), max_rows=3))
+    @settings(max_examples=100)
+    def test_delete_insert_delete_insert_net(self, base, rows):
+        """Alternating delete/reinsert of the same rows nets to an insert.
+
+        This is the case a naive "union all inserts, union all deletes"
+        fold gets wrong: the surviving operation is whichever came last.
+        """
+        values = list(rows.rows)
+        chain = [
+            Update.delete("R", ("a", "b"), values),
+            Update.insert("R", ("a", "b"), values),
+            Update.delete("R", ("a", "b"), values),
+            Update.insert("R", ("a", "b"), values),
+        ]
+        folded = fold(chain)
+        assert apply_sequential({"R": base}, [folded]) == apply_sequential(
+            {"R": base}, chain
+        )
+        if values:
+            net = folded.delta_for("R")
+            assert net.inserts == rows  # last op wins
+            assert not net.deletes
+
+    @given(state(), updates(min_size=2, max_size=4), st.data())
+    @settings(max_examples=100)
+    def test_every_split_point_preserves_effect(self, base, sequence, data):
+        k = data.draw(st.integers(min_value=0, max_value=len(sequence)))
+        split = fold(sequence[:k]).compose(fold(sequence[k:]))
+        assert apply_sequential(base, [split]) == apply_sequential(
+            base, sequence
+        )

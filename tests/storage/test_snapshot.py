@@ -1,0 +1,118 @@
+"""Unit tests for :mod:`repro.storage.snapshot` and ``Warehouse.snapshot``."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Catalog, Relation, View, WarehouseError, parse
+from repro.core.warehouse import Warehouse
+from repro.storage import SnapshotView
+
+
+@pytest.fixture
+def catalog() -> Catalog:
+    catalog = Catalog()
+    catalog.relation("Sale", ("item", "clerk"))
+    catalog.relation("Emp", ("clerk", "age"), key=("clerk",))
+    return catalog
+
+
+@pytest.fixture
+def warehouse(catalog) -> Warehouse:
+    warehouse = Warehouse.specify(catalog, [View("Sold", parse("Sale join Emp"))])
+    warehouse.initialize(
+        {
+            "Sale": Relation(("item", "clerk"), [("TV", "Mary")]),
+            "Emp": Relation(("clerk", "age"), [("Mary", 23), ("Ann", 31)]),
+        }
+    )
+    return warehouse
+
+
+class TestSnapshotView:
+    def test_read_api(self):
+        snap = SnapshotView(
+            {"R": Relation(("x",), [(1,), (2,)])}, version=7, label="shard0"
+        )
+        assert snap.version == 7
+        assert snap.label == "shard0"
+        assert snap.names() == ("R",)
+        assert "R" in snap and "S" not in snap
+        assert len(snap) == 1 and list(snap) == ["R"]
+        assert snap.total_rows() == 2
+        assert snap.relation("R").rows == frozenset({(1,), (2,)})
+
+    def test_missing_relation_raises(self):
+        snap = SnapshotView({}, version=0)
+        with pytest.raises(WarehouseError, match="no relation"):
+            snap.relation("Ghost")
+
+    def test_state_is_a_fresh_mapping(self):
+        relations = {"R": Relation(("x",), [(1,)])}
+        snap = SnapshotView(relations, version=1)
+        state = snap.state()
+        state["R"] = Relation(("x",), [])
+        state["extra"] = Relation(("y",), [])
+        assert snap.relation("R").rows == frozenset({(1,)})
+        assert "extra" not in snap
+
+    def test_detached_from_producer_mutations(self):
+        relations = {"R": Relation(("x",), [(1,)])}
+        snap = SnapshotView(relations, version=1)
+        relations["R"] = Relation(("x",), [(9,)])
+        assert snap.relation("R").rows == frozenset({(1,)})
+
+
+class TestWarehouseSnapshot:
+    def test_version_starts_and_bumps(self, warehouse):
+        v0 = warehouse.version
+        warehouse.insert("Sale", [("Radio", "Ann")])
+        assert warehouse.version == v0 + 1
+        warehouse.delete("Sale", [("Radio", "Ann")])
+        assert warehouse.version == v0 + 2
+
+    def test_snapshot_cached_per_version(self, warehouse):
+        assert warehouse.snapshot() is warehouse.snapshot()
+        before = warehouse.snapshot()
+        warehouse.insert("Sale", [("Radio", "Ann")])
+        after = warehouse.snapshot()
+        assert after is not before
+        assert after.version == before.version + 1
+
+    def test_reader_keeps_consistent_image_across_refreshes(self, warehouse):
+        snap = warehouse.snapshot()
+        sold_before = snap.relation("Sold")
+        warehouse.insert("Sale", [("Radio", "Ann")])
+        warehouse.insert("Sale", [("Amp", "Mary")])
+        # The pinned image never moves, while the live state does.
+        assert snap.relation("Sold") == sold_before
+        assert warehouse.relation("Sold") != sold_before
+
+    def test_structural_sharing_of_unchanged_relations(self):
+        # Two independent views: refreshing one leaves the other's pinned
+        # relation the *same object* in both snapshot versions.
+        catalog = Catalog()
+        catalog.relation("R", ("x",))
+        catalog.relation("S", ("y",))
+        warehouse = Warehouse.specify(
+            catalog, [View("VR", parse("R")), View("VS", parse("S"))]
+        )
+        warehouse.initialize(
+            {"R": Relation(("x",), [(1,)]), "S": Relation(("y",), [(2,)])}
+        )
+        snap = warehouse.snapshot()
+        warehouse.insert("R", [(3,)])
+        after = warehouse.snapshot()
+        assert snap.relation("VS") is after.relation("VS")
+        assert snap.relation("VR") is not after.relation("VR")
+
+    def test_snapshot_matches_state(self, warehouse):
+        warehouse.insert("Sale", [("Radio", "Ann")])
+        assert warehouse.snapshot().state() == warehouse.state
+
+    def test_uninitialized_snapshot_rejected(self, catalog):
+        warehouse = Warehouse.specify(
+            catalog, [View("Sold", parse("Sale join Emp"))]
+        )
+        with pytest.raises(WarehouseError, match="not initialized"):
+            warehouse.snapshot()
