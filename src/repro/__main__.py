@@ -24,6 +24,18 @@ Commands
     DIR`` writes one JSON document per file (the CI artifact);
     ``--strict`` makes UNKNOWN a failure. Exit status: 0 every verdict
     matches its spec's expectation, 1 otherwise, 2 unreadable input.
+``prove-sharding FILE [FILE ...]``
+    Statically decide each spec file's sharded configuration (its
+    ``"sharding"`` section): PROVED emits a self-validating certificate
+    (assembly modes, co-partitioned groups, per-update-shape footprints,
+    batch commutativity — digest-compatible with the compiled-plan
+    cache), REFUTED a minimal counterexample (an interleaving that
+    diverges, or a source state whose global image no shard assembly
+    rebuilds), UNKNOWN neither. The W01xx concurrency lint over the
+    runtime sources rides along. ``--certificates DIR`` writes one JSON
+    document per file; ``--strict`` makes UNKNOWN a failure. Exit
+    status: 0 every verdict matches its spec's expectation and the lint
+    is clean, 1 otherwise, 2 unreadable input.
 ``compile FILE [FILE ...]``
     Run the plan compiler (``repro.compiler``, docs/compiler.md) on spec
     files: certify each spec against the prover's PROVED certificate and
@@ -169,6 +181,51 @@ def _cmd_prove(args) -> int:
         output = render_text(results, strict=args.strict)
     print(output)
     return prove_exit_code(results, strict=args.strict)
+
+
+def _cmd_prove_sharding(args) -> int:
+    from pathlib import Path
+
+    from repro.analysis.concurrency import (
+        prove_sharding_file,
+        render_sharding_json,
+        render_sharding_text,
+        sharding_certificate_json,
+        sharding_exit_code,
+    )
+    from repro.analysis.concurrency_lint import lint_concurrency
+    from repro.analysis.diagnostics import has_errors, sort_diagnostics
+
+    results = [
+        prove_sharding_file(path, method=args.method) for path in args.files
+    ]
+    findings = (
+        [] if args.no_lint else sort_diagnostics(lint_concurrency())
+    )
+    if args.certificates:
+        directory = Path(args.certificates)
+        directory.mkdir(parents=True, exist_ok=True)
+        for result in results:
+            name = Path(result.path).stem + ".sharding.json"
+            (directory / name).write_text(sharding_certificate_json(result))
+    if args.format == "json":
+        document = json.loads(render_sharding_json(results, strict=args.strict))
+        document["lint"] = [d.to_dict() for d in findings]
+        document["ok"] = document["ok"] and not has_errors(findings)
+        print(json.dumps(document, indent=1, sort_keys=True))
+    else:
+        print(render_sharding_text(results, strict=args.strict))
+        if findings:
+            print()
+            print("concurrency lint (W01xx):")
+            for diagnostic in findings:
+                print("  " + diagnostic.render())
+        elif not args.no_lint:
+            print("concurrency lint (W01xx): clean")
+    code = sharding_exit_code(results, strict=args.strict)
+    if code == 0 and has_errors(findings):
+        code = 1
+    return code
 
 
 def _cmd_compile(args) -> int:
@@ -356,6 +413,38 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="write one certificate JSON per input file into DIR",
     )
 
+    sharding_parser = commands.add_parser(
+        "prove-sharding",
+        help="statically prove or refute sharded-layout soundness "
+        "(docs/integrator.md)",
+    )
+    sharding_parser.add_argument("files", nargs="+", help="spec JSON file(s)")
+    sharding_parser.add_argument(
+        "--method",
+        choices=("thm22", "prop22", "trivial"),
+        default="thm22",
+        help="complement construction method (default: thm22)",
+    )
+    sharding_parser.add_argument(
+        "--format", choices=("text", "json"), default="text"
+    )
+    sharding_parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="treat UNKNOWN verdicts as failures",
+    )
+    sharding_parser.add_argument(
+        "--certificates",
+        default=None,
+        metavar="DIR",
+        help="write one sharding certificate JSON per input file into DIR",
+    )
+    sharding_parser.add_argument(
+        "--no-lint",
+        action="store_true",
+        help="skip the W01xx concurrency lint over the runtime sources",
+    )
+
     compile_parser = commands.add_parser(
         "compile",
         help="compile certified refresh plans from spec files (docs/compiler.md)",
@@ -401,6 +490,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "spec": _cmd_spec,
         "lint": _cmd_lint,
         "prove": _cmd_prove,
+        "prove-sharding": _cmd_prove_sharding,
         "compile": _cmd_compile,
         "tpcd": _cmd_tpcd,
         "obs": _cmd_obs,

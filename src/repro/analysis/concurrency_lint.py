@@ -1,0 +1,262 @@
+"""AST-level concurrency lint for the integrator/sharding runtime (W01xx).
+
+The shard-independence prover (:mod:`repro.analysis.concurrency`) decides
+*algebraic* soundness: batches commute, shard images assemble. Those
+verdicts rest on three *protocol* invariants of the runtime code itself,
+which this pass checks statically against the actual sources — the same
+check-the-checker idea as the hot-path lint, but emitted as first-class
+:class:`~repro.analysis.diagnostics.Diagnostic`\\ s:
+
+``W0101`` — **commit atomicity**. Any function named ``commit`` (or
+``*_commit``) publishes a batch by capturing state references; it must be
+synchronous and must not suspend (no ``await``/``yield``, no calls to
+suspending primitives like ``acquire``/``sleep``/``wait``). A suspension
+point inside the commit block lets a reader observe a torn batch.
+
+``W0102`` — **lock order**. Inside ``async`` functions, every
+``.acquire()`` must happen in a loop over a *sorted* shard index sequence
+(directly ``for i in sorted(...)`` or over a variable assigned from
+``sorted(...)``). Two workers acquiring shard locks in different orders
+deadlock.
+
+``W0103`` — **lock-scoped mutation**. Inside ``async`` functions, shared
+warehouse state may only change between acquisition and release: calls to
+``.apply_to_shard(...)`` / ``.commit(...)`` must sit inside a ``try`` whose
+``finally`` releases the locks.
+
+Run via ``python -m repro prove-sharding`` (the lint rides along with the
+prover) or programmatically via :func:`lint_concurrency`. The default
+targets are this repo's own concurrency-bearing modules —
+:mod:`repro.core.sharding` and :mod:`repro.integrator.async_integrator` —
+so CI re-proves the protocol invariants on every change to them.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.analysis.diagnostics import Diagnostic, SourceSpan, make
+from repro.analysis.report import display_path
+
+#: Calls that suspend (or hand back a coroutine that should have been
+#: awaited) — forbidden inside a commit block.
+SUSPENDING_CALLS = frozenset(
+    {"sleep", "acquire", "wait", "wait_for", "gather", "send", "get", "next_batch"}
+)
+
+#: Mutating warehouse entry points that must stay inside a lock scope.
+LOCKED_CALLS = frozenset({"apply_to_shard", "commit"})
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def default_lint_files() -> List[str]:
+    """The concurrency-bearing runtime modules this repo ships."""
+    import repro.core.sharding
+    import repro.integrator.async_integrator
+
+    return [
+        str(repro.core.sharding.__file__),
+        str(repro.integrator.async_integrator.__file__),
+    ]
+
+
+def _call_name(node: ast.Call) -> Optional[str]:
+    """The called attribute/function name, if syntactically evident."""
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def _is_commit_function(node: FunctionNode) -> bool:
+    return node.name == "commit" or node.name.endswith("_commit")
+
+
+def _own_statements(node: FunctionNode) -> Iterator[ast.AST]:
+    """Walk a function body without descending into nested functions."""
+    stack: List[ast.AST] = list(node.body)
+    while stack:
+        current = stack.pop()
+        yield current
+        if isinstance(
+            current, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(current))
+
+
+def _span(path: str, lines: Sequence[str], node: ast.AST) -> SourceSpan:
+    lineno = getattr(node, "lineno", 0)
+    snippet = (
+        lines[lineno - 1].strip() if 0 < lineno <= len(lines) else ""
+    )
+    return SourceSpan(context=f"{display_path(path)}:{lineno}", snippet=snippet)
+
+
+def _is_sorted_call(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "sorted"
+    )
+
+
+def _check_commit_functions(
+    tree: ast.AST, path: str, lines: Sequence[str]
+) -> List[Diagnostic]:
+    findings: List[Diagnostic] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if not _is_commit_function(node):
+            continue
+        if isinstance(node, ast.AsyncFunctionDef):
+            findings.append(
+                make(
+                    "W0101",
+                    f"commit function {node.name!r} is declared async: a "
+                    "commit must capture every touched shard's state in one "
+                    "synchronous block",
+                    span=_span(path, lines, node),
+                    hint="make the commit synchronous; await before or after it",
+                )
+            )
+        for stmt in _own_statements(node):
+            if isinstance(
+                stmt, (ast.Await, ast.Yield, ast.YieldFrom, ast.AsyncFor, ast.AsyncWith)
+            ):
+                findings.append(
+                    make(
+                        "W0101",
+                        f"commit function {node.name!r} suspends "
+                        f"({type(stmt).__name__}): readers can observe a "
+                        "torn batch",
+                        span=_span(path, lines, stmt),
+                        hint="hoist the suspension point out of the commit block",
+                    )
+                )
+            elif isinstance(stmt, ast.Call):
+                called = _call_name(stmt)
+                if called in SUSPENDING_CALLS:
+                    findings.append(
+                        make(
+                            "W0101",
+                            f"commit function {node.name!r} calls suspending "
+                            f"primitive {called!r}",
+                            span=_span(path, lines, stmt),
+                            hint="a commit block must be straight-line synchronous code",
+                        )
+                    )
+    return findings
+
+
+def _check_async_protocol(
+    tree: ast.AST, path: str, lines: Sequence[str]
+) -> List[Diagnostic]:
+    findings: List[Diagnostic] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.AsyncFunctionDef):
+            continue
+        sorted_names = {
+            target.id
+            for stmt in _own_statements(node)
+            if isinstance(stmt, ast.Assign) and _is_sorted_call(stmt.value)
+            for target in stmt.targets
+            if isinstance(target, ast.Name)
+        }
+
+        def ordered_iter(loop: ast.For) -> bool:
+            if _is_sorted_call(loop.iter):
+                return True
+            return (
+                isinstance(loop.iter, ast.Name) and loop.iter.id in sorted_names
+            )
+
+        def guarded_try(trial: ast.Try) -> bool:
+            for final_stmt in trial.finalbody:
+                for sub in ast.walk(final_stmt):
+                    if isinstance(sub, ast.Call) and _call_name(sub) == "release":
+                        return True
+            return False
+
+        def visit(
+            stmt: ast.AST,
+            loops: Tuple[ast.For, ...],
+            tries: Tuple[ast.Try, ...],
+        ) -> None:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                return
+            if isinstance(stmt, ast.Call):
+                called = _call_name(stmt)
+                if called == "acquire" and not any(
+                    ordered_iter(loop) for loop in loops
+                ):
+                    findings.append(
+                        make(
+                            "W0102",
+                            f"async function {node.name!r} acquires a lock "
+                            "outside a loop over sorted(...) shard indices",
+                            span=_span(path, lines, stmt),
+                            hint="acquire shard locks in ascending index order "
+                            "(for index in sorted(parts): ...)",
+                        )
+                    )
+                elif called in LOCKED_CALLS and not any(
+                    guarded_try(trial) for trial in tries
+                ):
+                    findings.append(
+                        make(
+                            "W0103",
+                            f"async function {node.name!r} calls "
+                            f"{called!r} outside a try/finally that releases "
+                            "the shard locks",
+                            span=_span(path, lines, stmt),
+                            hint="mutate shared warehouse state only between "
+                            "acquire and a finally: release()",
+                        )
+                    )
+            next_loops = loops + (stmt,) if isinstance(stmt, ast.For) else loops
+            next_tries = tries + (stmt,) if isinstance(stmt, ast.Try) else tries
+            for child in ast.iter_child_nodes(stmt):
+                visit(child, next_loops, next_tries)
+
+        for stmt in node.body:
+            visit(stmt, (), ())
+    return findings
+
+
+def lint_file(path: str) -> List[Diagnostic]:
+    """Lint one Python source file for W01xx protocol violations."""
+    with open(path, encoding="utf-8") as handle:
+        source = handle.read()
+    tree = ast.parse(source, filename=path)
+    lines = source.splitlines()
+    return _check_commit_functions(tree, path, lines) + _check_async_protocol(
+        tree, path, lines
+    )
+
+
+def lint_concurrency(paths: Optional[Sequence[str]] = None) -> List[Diagnostic]:
+    """Run the W01xx concurrency lint over ``paths`` (default: own runtime).
+
+    Findings are deduplicated per (code, span) and sorted in display order
+    by the caller; here they come back in file order.
+    """
+    targets = list(paths) if paths is not None else default_lint_files()
+    findings: List[Diagnostic] = []
+    seen: Dict[Tuple[str, str], bool] = {}
+    for path in targets:
+        for diagnostic in lint_file(path):
+            key = (
+                diagnostic.code,
+                diagnostic.span.context if diagnostic.span else "",
+            )
+            if key in seen:
+                continue
+            seen[key] = True
+            findings.append(diagnostic)
+    return findings

@@ -33,7 +33,7 @@ as success — a deliberately non-independent example ships with
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List, Mapping, NamedTuple
+from typing import Any, Dict, List, Mapping, NamedTuple, Optional, Tuple
 
 from repro.errors import SchemaError
 from repro.algebra.parser import parse
@@ -45,6 +45,7 @@ from repro.analysis.diagnostics import CATALOG
 
 PROVER_MODES = ("with-complement", "views-only")
 PROVER_EXPECTATIONS = ("proved", "refuted")
+SHARDING_EXPECTATIONS = ("proved", "refuted")
 
 
 class ProverOptions(NamedTuple):
@@ -63,6 +64,48 @@ class ProverOptions(NamedTuple):
     domain_size: int = 2
 
 
+class RoutingSpec(NamedTuple):
+    """One declared routing inside a spec file's ``"sharding"`` section.
+
+    Exactly one of ``boundaries`` (range strategy) / ``shards`` (hash
+    strategy) is set — the same contract as
+    :class:`repro.core.sharding.ShardRouting`, which this deserializes to.
+    """
+
+    relation: str
+    attribute: str
+    boundaries: Optional[Tuple[object, ...]] = None
+    shards: Optional[int] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-ready form (used inside sharding certificates)."""
+        out: Dict[str, object] = {
+            "relation": self.relation,
+            "attribute": self.attribute,
+        }
+        if self.boundaries is not None:
+            out["boundaries"] = list(self.boundaries)
+        if self.shards is not None:
+            out["shards"] = self.shards
+        return out
+
+
+class ShardingOptions(NamedTuple):
+    """Per-file options for ``python -m repro prove-sharding``.
+
+    ``routings`` declares the partitioned relations; ``expect`` is the
+    verdict CI treats as success — a deliberately mis-partitioned example
+    ships with ``"expect": "refuted"``. ``sources`` optionally declares
+    feed ownership (source name → base relations it updates) for the
+    batch-commutativity check; when omitted the integrator default of one
+    source per base relation is assumed.
+    """
+
+    routings: Tuple[RoutingSpec, ...]
+    expect: str = "proved"
+    sources: Optional[Dict[str, Tuple[str, ...]]] = None
+
+
 class LintTarget(NamedTuple):
     """One loaded spec file, ready for :func:`repro.analysis.lint.lint_views`."""
 
@@ -71,6 +114,7 @@ class LintTarget(NamedTuple):
     views: List[View]
     ignore: Dict[str, str]
     prover: ProverOptions = ProverOptions()
+    sharding: Optional[ShardingOptions] = None
 
     def ignored_codes(self) -> List[str]:
         """The suppressed diagnostic codes."""
@@ -141,6 +185,81 @@ def _parse_prover(data: Mapping[str, Any], path: str) -> ProverOptions:
     )
 
 
+def _parse_routing(raw: Any, path: str, index: int) -> RoutingSpec:
+    where = f"{path}: sharding.routings[{index}]"
+    if not isinstance(raw, Mapping):
+        raise SchemaError(f"{where} must be an object")
+    unknown = set(raw) - {"relation", "attribute", "boundaries", "shards"}
+    if unknown:
+        raise SchemaError(f"{where}: unknown key(s) {sorted(unknown)}")
+    relation = raw.get("relation")
+    attribute = raw.get("attribute")
+    for field, value in (("relation", relation), ("attribute", attribute)):
+        if not isinstance(value, str) or not value:
+            raise SchemaError(f"{where}: {field!r} must be a non-empty string")
+    boundaries = raw.get("boundaries")
+    shards = raw.get("shards")
+    if (boundaries is None) == (shards is None):
+        raise SchemaError(
+            f"{where}: give exactly one of 'boundaries' (range strategy) "
+            "or 'shards' (hash strategy)"
+        )
+    if boundaries is not None:
+        if not isinstance(boundaries, list) or not boundaries:
+            raise SchemaError(f"{where}: 'boundaries' must be a non-empty list")
+        return RoutingSpec(str(relation), str(attribute), tuple(boundaries), None)
+    if not isinstance(shards, int) or isinstance(shards, bool) or shards < 1:
+        raise SchemaError(f"{where}: 'shards' must be a positive integer")
+    return RoutingSpec(str(relation), str(attribute), None, shards)
+
+
+def _parse_sharding(data: Mapping[str, Any], path: str) -> Optional[ShardingOptions]:
+    raw = data.get("sharding")
+    if raw is None:
+        return None
+    if not isinstance(raw, Mapping):
+        raise SchemaError(f"{path}: 'sharding' must be an object")
+    unknown = set(raw) - {"routings", "expect", "sources"}
+    if unknown:
+        raise SchemaError(f"{path}: unknown sharding option(s) {sorted(unknown)}")
+    routings_raw = raw.get("routings")
+    if not isinstance(routings_raw, list) or not routings_raw:
+        raise SchemaError(
+            f"{path}: 'sharding.routings' must be a non-empty list"
+        )
+    routings = tuple(
+        _parse_routing(entry, path, index)
+        for index, entry in enumerate(routings_raw)
+    )
+    expect = raw.get("expect", "proved")
+    if expect not in SHARDING_EXPECTATIONS:
+        raise SchemaError(
+            f"{path}: sharding.expect must be one of "
+            f"{list(SHARDING_EXPECTATIONS)}, got {expect!r}"
+        )
+    sources_raw = raw.get("sources")
+    sources: Optional[Dict[str, Tuple[str, ...]]] = None
+    if sources_raw is not None:
+        if not isinstance(sources_raw, Mapping) or not sources_raw:
+            raise SchemaError(
+                f"{path}: 'sharding.sources' must map source names to "
+                "non-empty lists of owned relations"
+            )
+        sources = {}
+        for name, owned in sources_raw.items():
+            if (
+                not isinstance(owned, list)
+                or not owned
+                or not all(isinstance(item, str) and item for item in owned)
+            ):
+                raise SchemaError(
+                    f"{path}: sharding.sources[{name!r}] must be a non-empty "
+                    "list of relation names"
+                )
+            sources[str(name)] = tuple(owned)
+    return ShardingOptions(routings=routings, expect=str(expect), sources=sources)
+
+
 def load_target(path: str) -> LintTarget:
     """Load a spec file into a :class:`LintTarget`.
 
@@ -160,5 +279,10 @@ def load_target(path: str) -> LintTarget:
     )
     views = [View(v["name"], parse(v["definition"])) for v in data.get("views", [])]
     return LintTarget(
-        path, catalog, views, _parse_ignore(data, path), _parse_prover(data, path)
+        path,
+        catalog,
+        views,
+        _parse_ignore(data, path),
+        _parse_prover(data, path),
+        _parse_sharding(data, path),
     )

@@ -18,12 +18,11 @@ specialized against changes the digest, and the cache is evicted
 
 from __future__ import annotations
 
-import hashlib
-import json
 from typing import Mapping, Optional
 
 from repro.errors import CompileError, ReproError
 from repro.analysis.dataflow import DataflowReport, spec_read_sets
+from repro.analysis.digest import canonical_digest
 from repro.analysis.prover import build_certificate, check_certificate
 from repro.core.complement import WarehouseSpec
 
@@ -35,13 +34,13 @@ TRUSTED_MODE = "with-complement"
 def certificate_digest(document: Mapping[str, object]) -> str:
     """SHA-256 over the canonical JSON form of a certificate document.
 
-    Canonical means sorted keys and minimal separators, so the digest is
-    insensitive to dict ordering and whitespace but changes whenever any
-    recorded fact — an inverse expression, a key/cover fact, a read set —
-    changes.
+    Delegates to :func:`repro.analysis.digest.canonical_digest` — the same
+    function the sharding prover uses — so the plan-cache key and every
+    analysis certificate stay digest-compatible. The digest is insensitive
+    to dict ordering and whitespace but changes whenever any recorded
+    fact — an inverse expression, a key/cover fact, a read set — changes.
     """
-    canonical = json.dumps(document, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+    return canonical_digest(document)
 
 
 class TrustedCertificate:

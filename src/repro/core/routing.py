@@ -1,0 +1,159 @@
+"""Pure shard-routing math: value → shard, with no warehouse dependencies.
+
+This is a leaf module on purpose. The runtime router
+(:class:`repro.core.sharding.ShardRouter`) and the static shard-independence
+prover (:mod:`repro.analysis.concurrency`) must agree *exactly* on which
+shard owns a value — the prover's PROVED verdict is a claim about the
+runtime's row placement — so both import the one :class:`ShardRouting`
+defined here instead of reimplementing the mapping.
+
+Two strategies:
+
+* **range** — an increasing sequence of split points; shard ``i`` owns
+  ``boundaries[i-1] <= v < boundaries[i]``;
+* **hash** — a fixed shard count with a process-stable hash (``crc32`` of
+  ``repr``; Python's ``hash(str)`` is salted per process and would re-route
+  every restart).
+
+Values that cannot be routed — range values incomparable with the
+boundaries, hash values whose ``repr`` fails — raise descriptive
+:class:`~repro.errors.WarehouseError`\\ s, never bare ``TypeError``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+from zlib import crc32
+
+from repro.errors import WarehouseError
+
+
+def _stable_hash(value: object) -> int:
+    """A process-stable hash (``hash(str)`` is salted per process)."""
+    return crc32(repr(value).encode("utf-8"))
+
+
+class ShardRouting:
+    """The partitioning rule for one fact relation.
+
+    Two strategies:
+
+    * **range** — ``boundaries`` is an increasing sequence of split points;
+      shard ``i`` owns values ``boundaries[i-1] <= v < boundaries[i]`` (the
+      first shard owns everything below the first boundary, the last shard
+      everything at or above the last), giving ``len(boundaries) + 1``
+      shards. Values must be mutually comparable with the boundaries.
+    * **hash** — ``shards`` fixes the shard count and values are assigned
+      by a process-stable hash (``crc32`` of ``repr``), for keys with no
+      useful order.
+
+    Examples
+    --------
+    >>> routing = ShardRouting("Sale", "item", boundaries=["m"])
+    >>> routing.shards, routing.shard_of("apple"), routing.shard_of("zoo")
+    (2, 0, 1)
+    """
+
+    __slots__ = ("relation", "attribute", "strategy", "_boundaries", "_shards")
+
+    def __init__(
+        self,
+        relation: str,
+        attribute: str,
+        boundaries: Optional[Sequence[object]] = None,
+        shards: Optional[int] = None,
+    ) -> None:
+        self.relation = relation
+        self.attribute = attribute
+        if (boundaries is None) == (shards is None):
+            raise WarehouseError(
+                f"routing for {relation!r}: give exactly one of "
+                "boundaries= (range strategy) or shards= (hash strategy)"
+            )
+        if boundaries is not None:
+            self._boundaries: Tuple[object, ...] = tuple(boundaries)
+            if not self._boundaries:
+                raise WarehouseError(
+                    f"routing for {relation!r}: boundaries must be non-empty"
+                )
+            self._shards = len(self._boundaries) + 1
+            self.strategy = "range"
+        else:
+            assert shards is not None
+            if shards < 1:
+                raise WarehouseError(
+                    f"routing for {relation!r}: shards must be positive: {shards}"
+                )
+            self._boundaries = ()
+            self._shards = shards
+            self.strategy = "hash"
+
+    @property
+    def shards(self) -> int:
+        """The number of shards this routing maps onto."""
+        return self._shards
+
+    @property
+    def boundaries(self) -> Tuple[object, ...]:
+        """The range split points (empty for the hash strategy)."""
+        return self._boundaries
+
+    def shard_of(self, value: object) -> int:
+        """The shard owning ``value`` of the routing attribute."""
+        if self.strategy == "hash":
+            try:
+                return _stable_hash(value) % self._shards
+            except Exception as exc:  # repr()/encode() of a broken value
+                raise WarehouseError(
+                    f"routing for {self.relation!r}: value of type "
+                    f"{type(value).__name__} cannot be hash-routed "
+                    f"(its repr() failed: {exc})"
+                ) from None
+        try:
+            for index, bound in enumerate(self._boundaries):
+                if value < bound:  # type: ignore[operator]
+                    return index
+        except TypeError:
+            raise WarehouseError(
+                f"routing for {self.relation!r}: value {value!r} is not "
+                f"comparable with the range boundaries"
+            ) from None
+        return self._shards - 1
+
+    def compatible_with(self, other: "ShardRouting") -> bool:
+        """Whether equal attribute values land on the same shard under both.
+
+        This is the *co-partitioning* precondition the shard-independence
+        prover checks for views joining two routed relations on their
+        routing attributes: same strategy and same partition of the value
+        domain (identical boundaries for range, identical shard count for
+        hash — the hash itself is attribute-independent).
+        """
+        if self.strategy != other.strategy or self._shards != other._shards:
+            return False
+        if self.strategy == "range":
+            return self._boundaries == other._boundaries
+        return True
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-ready form (used inside sharding certificates)."""
+        out: Dict[str, object] = {
+            "relation": self.relation,
+            "attribute": self.attribute,
+        }
+        if self.strategy == "range":
+            out["boundaries"] = list(self._boundaries)
+        else:
+            out["shards"] = self._shards
+        return out
+
+    def __repr__(self) -> str:
+        detail = (
+            f"boundaries={list(self._boundaries)}"
+            if self.strategy == "range"
+            else f"shards={self._shards}"
+        )
+        return (
+            f"ShardRouting({self.relation!r}, {self.attribute!r}, "
+            f"{self.strategy}, {detail})"
+        )

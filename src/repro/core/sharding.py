@@ -14,12 +14,25 @@ routed relations) ∪ (the unrouted relations in full). Key and inclusion
 constraints survive restriction to a slice, so Theorem 2.2's complement and
 Theorem 4.1's source-free maintenance hold shard-locally. Construction then
 classifies every warehouse relation by how its global image assembles from
-the shard images (``_analyze_slices``): definitions *rooted* in the routing
+the shard images — the classification is the static shard-independence
+prover's (:func:`repro.analysis.concurrency.classify_assembly`, surfaced as
+``python -m repro prove-sharding``): definitions *rooted* in the routing
 attribute satisfy ``V(∪ᵢRᵢ, S) = ∪ᵢV(Rᵢ, S)`` (select/project/join
 distribute over union, and rooted tuples from different slices never meet),
 while the ``K − π(…R…)`` complement shape of the relations joined against a
 routed one flips to intersection: ``K − ∪ᵢBᵢ = ∩ᵢ(K − Bᵢ)``. Everything
-independent of routed facts is simply replicated.
+independent of routed facts is simply replicated. Views combining *two*
+routed relations are admitted when they join on the routing attributes and
+the routings are **co-partitioned** (equal values land on the same shard —
+:meth:`repro.core.routing.ShardRouting.compatible_with`); anything else
+raises at construction with the prover's reasoned refusal.
+
+Under ``REPRO_CHECK_RACES=1`` (sibling of ``REPRO_CHECK_INVARIANTS``) a
+:class:`repro.analysis.races.RaceTracker` cross-checks the refresh
+protocol at runtime: shard locks acquired in ascending order, no
+overlapping uncommitted refreshes on a shard, and every refresh's writes
+inside the statically derived footprint
+(:func:`repro.analysis.concurrency.write_footprint`).
 
 Commits are MVCC-style: each shard refresh swaps that shard's immutable
 state mapping, and :meth:`ShardedWarehouse.commit` publishes the batch by
@@ -37,6 +50,7 @@ from __future__ import annotations
 
 from typing import (
     Dict,
+    FrozenSet,
     Iterable,
     Iterator,
     List,
@@ -46,121 +60,39 @@ from typing import (
     Sequence,
     Tuple,
 )
-from zlib import crc32
 
 from repro.errors import WarehouseError
-from repro.algebra.expressions import (
-    Difference,
-    Empty,
-    Expression,
-    Join,
-    Project,
-    RelationRef,
-    Rename,
-    Select,
-    Union,
-)
 from repro.obs.metrics import MetricsRegistry
 from repro.schema.catalog import Catalog
 from repro.storage.database import Database
 from repro.storage.relation import Relation
 from repro.storage.update import Delta, Update
 from repro.views.psj import View
+from repro.analysis.concurrency import (
+    ASSEMBLE_INTERSECT,
+    ASSEMBLE_REPLICATED,
+    ASSEMBLE_UNION,
+    AssemblyReport,
+    classify_assembly,
+    sharding_certificate_digest,
+    write_footprint,
+)
+from repro.analysis.races import RaceTracker, races_enabled
 from repro.core.complement import WarehouseSpec, specify
+from repro.core.routing import ShardRouting, _stable_hash  # noqa: F401 — re-export
 from repro.core.translation import answer_query
 from repro.core.warehouse import StateLike, Warehouse
 
-
-def _stable_hash(value: object) -> int:
-    """A process-stable hash (``hash(str)`` is salted per process)."""
-    return crc32(repr(value).encode("utf-8"))
-
-
-class ShardRouting:
-    """The partitioning rule for one fact relation.
-
-    Two strategies:
-
-    * **range** — ``boundaries`` is an increasing sequence of split points;
-      shard ``i`` owns values ``boundaries[i-1] <= v < boundaries[i]`` (the
-      first shard owns everything below the first boundary, the last shard
-      everything at or above the last), giving ``len(boundaries) + 1``
-      shards. Values must be mutually comparable with the boundaries.
-    * **hash** — ``shards`` fixes the shard count and values are assigned
-      by a process-stable hash (``crc32`` of ``repr``), for keys with no
-      useful order.
-
-    Examples
-    --------
-    >>> routing = ShardRouting("Sale", "item", boundaries=["m"])
-    >>> routing.shards, routing.shard_of("apple"), routing.shard_of("zoo")
-    (2, 0, 1)
-    """
-
-    __slots__ = ("relation", "attribute", "strategy", "_boundaries", "_shards")
-
-    def __init__(
-        self,
-        relation: str,
-        attribute: str,
-        boundaries: Optional[Sequence[object]] = None,
-        shards: Optional[int] = None,
-    ) -> None:
-        self.relation = relation
-        self.attribute = attribute
-        if (boundaries is None) == (shards is None):
-            raise WarehouseError(
-                f"routing for {relation!r}: give exactly one of "
-                "boundaries= (range strategy) or shards= (hash strategy)"
-            )
-        if boundaries is not None:
-            self._boundaries = tuple(boundaries)
-            if not self._boundaries:
-                raise WarehouseError(
-                    f"routing for {relation!r}: boundaries must be non-empty"
-                )
-            self._shards = len(self._boundaries) + 1
-            self.strategy = "range"
-        else:
-            assert shards is not None
-            if shards < 1:
-                raise WarehouseError(
-                    f"routing for {relation!r}: shards must be positive: {shards}"
-                )
-            self._boundaries = ()
-            self._shards = shards
-            self.strategy = "hash"
-
-    @property
-    def shards(self) -> int:
-        """The number of shards this routing maps onto."""
-        return self._shards
-
-    def shard_of(self, value: object) -> int:
-        """The shard owning ``value`` of the routing attribute."""
-        if self.strategy == "hash":
-            return _stable_hash(value) % self._shards
-        try:
-            for index, bound in enumerate(self._boundaries):
-                if value < bound:  # type: ignore[operator]
-                    return index
-        except TypeError:
-            raise WarehouseError(
-                f"routing for {self.relation!r}: value {value!r} is not "
-                f"comparable with the range boundaries"
-            ) from None
-        return self._shards - 1
-
-    def __repr__(self) -> str:
-        detail = (
-            f"boundaries={list(self._boundaries)}"
-            if self.strategy == "range"
-            else f"shards={self._shards}"
-        )
-        return (
-            f"ShardRouting({self.relation!r}, {self.attribute!r}, "
-            f"{self.strategy}, {detail})"
-        )
+__all__ = [
+    "ShardRouting",
+    "ShardRouter",
+    "ShardedSnapshot",
+    "ShardedWarehouse",
+    "CommitRecord",
+    "ASSEMBLE_REPLICATED",
+    "ASSEMBLE_UNION",
+    "ASSEMBLE_INTERSECT",
+]
 
 
 class ShardRouter:
@@ -402,159 +334,6 @@ class ShardedSnapshot:
         )
 
 
-# How a warehouse relation's global image assembles from its shard images.
-ASSEMBLE_REPLICATED = "replicated"  # independent of routed facts: any shard
-ASSEMBLE_UNION = "union"  # E(∪ᵢRᵢ) = ∪ᵢ E(Rᵢ)
-ASSEMBLE_INTERSECT = "intersect"  # E(∪ᵢRᵢ) = ∩ᵢ E(Rᵢ)
-
-
-class _SliceAnalysis(NamedTuple):
-    """Result of the decomposability walk for one routed relation.
-
-    ``assemble`` — one of the ``ASSEMBLE_*`` modes; ``rooted`` — for
-    union-mode subtrees, the output attribute names (after
-    renames/projections) that still carry the routing attribute's value for
-    *every* tuple the subtree can produce. Non-empty ``rooted`` means each
-    output tuple determines its own shard (its slices are disjoint).
-    """
-
-    assemble: str
-    rooted: frozenset
-
-
-def _analyze_slices(
-    expression: Expression,
-    routed: str,
-    attribute: str,
-    scope: Mapping[str, Tuple[str, ...]],
-    context: str,
-) -> _SliceAnalysis:
-    """Decide how ``expression`` over slices assembles to the global image.
-
-    For disjoint slices ``R = ∪ᵢ Rᵢ`` the walk establishes, per subtree,
-    one of three structural identities: independence of ``R``
-    (*replicated*), ``E(∪ᵢRᵢ) = ∪ᵢE(Rᵢ)`` (*union* — PSJ operators
-    distribute over union in each argument; two ``R``-dependent operands
-    may only meet on a *rooted* attribute, one guaranteed to carry the
-    routing value, so tuples from different slices never combine), or
-    ``E(∪ᵢRᵢ) = ∩ᵢE(Rᵢ)`` (*intersect* — the ``K − π(…R…)`` shape of
-    Theorem 2.2 complements for the relations *joined against* the routed
-    one: subtracting a growing union flips union-assembly into
-    intersection-assembly). Raises :class:`WarehouseError` for shapes where
-    no identity can be established.
-    """
-
-    def fail(reason: str) -> "WarehouseError":
-        return WarehouseError(
-            f"cannot shard {routed!r}: warehouse relation {context!r} "
-            f"{reason}, so its global image is not assemblable from shard "
-            "images"
-        )
-
-    def walk(node: Expression) -> _SliceAnalysis:
-        if isinstance(node, RelationRef):
-            if node.name == routed:
-                return _SliceAnalysis(ASSEMBLE_UNION, frozenset((attribute,)))
-            return _SliceAnalysis(ASSEMBLE_REPLICATED, frozenset())
-        if isinstance(node, Empty):
-            return _SliceAnalysis(ASSEMBLE_REPLICATED, frozenset())
-        if isinstance(node, Select):
-            # Selection commutes with both union and intersection.
-            return walk(node.child)
-        if isinstance(node, Project):
-            inner = walk(node.child)
-            if inner.assemble == ASSEMBLE_INTERSECT:
-                # Projection does not commute with intersection.
-                raise fail(f"projects an intersection-assembled image of {routed!r}")
-            return _SliceAnalysis(
-                inner.assemble, inner.rooted & frozenset(node.attrs)
-            )
-        if isinstance(node, Rename):
-            inner = walk(node.child)
-            mapping = dict(node.mapping)
-            return _SliceAnalysis(
-                inner.assemble,
-                frozenset(mapping.get(name, name) for name in inner.rooted),
-            )
-        if isinstance(node, Join):
-            left, right = walk(node.left), walk(node.right)
-            kinds = {left.assemble, right.assemble}
-            if kinds == {ASSEMBLE_REPLICATED}:
-                return _SliceAnalysis(ASSEMBLE_REPLICATED, frozenset())
-            if ASSEMBLE_INTERSECT in kinds:
-                # A natural-join tuple determines each operand's sub-tuple
-                # (set semantics), so join commutes with intersection —
-                # but only against a slice-independent other side.
-                if kinds == {ASSEMBLE_INTERSECT, ASSEMBLE_REPLICATED}:
-                    return _SliceAnalysis(ASSEMBLE_INTERSECT, frozenset())
-                raise fail(
-                    f"joins an intersection-assembled image of {routed!r} "
-                    "with a slice-dependent side"
-                )
-            if left.assemble == ASSEMBLE_UNION and right.assemble == ASSEMBLE_UNION:
-                shared = frozenset(node.left.attributes(scope)) & frozenset(
-                    node.right.attributes(scope)
-                )
-                if not (left.rooted & right.rooted & shared):
-                    raise fail(
-                        f"joins two subexpressions over {routed!r} without "
-                        f"equating the routing attribute {attribute!r}"
-                    )
-                return _SliceAnalysis(ASSEMBLE_UNION, left.rooted | right.rooted)
-            rooted = left.rooted if left.assemble == ASSEMBLE_UNION else right.rooted
-            return _SliceAnalysis(ASSEMBLE_UNION, rooted)
-        if isinstance(node, Union):
-            left, right = walk(node.left), walk(node.right)
-            kinds = {left.assemble, right.assemble}
-            if ASSEMBLE_INTERSECT in kinds:
-                raise fail(f"unions an intersection-assembled image of {routed!r}")
-            if kinds == {ASSEMBLE_REPLICATED}:
-                return _SliceAnalysis(ASSEMBLE_REPLICATED, frozenset())
-            if kinds == {ASSEMBLE_UNION}:
-                if not (left.rooted & right.rooted):
-                    raise fail(
-                        f"unions two subexpressions over {routed!r} that do "
-                        f"not both retain the routing attribute {attribute!r}"
-                    )
-                return _SliceAnalysis(ASSEMBLE_UNION, left.rooted & right.rooted)
-            # Union with a slice-independent side replicates that side into
-            # every shard image — still union-assembled (sets dedup), but
-            # the result no longer determines a tuple's shard (not rooted).
-            return _SliceAnalysis(ASSEMBLE_UNION, frozenset())
-        if isinstance(node, Difference):
-            left, right = walk(node.left), walk(node.right)
-            la, ra = left.assemble, right.assemble
-            if la == ASSEMBLE_REPLICATED and ra == ASSEMBLE_REPLICATED:
-                return _SliceAnalysis(ASSEMBLE_REPLICATED, frozenset())
-            if la == ASSEMBLE_UNION and ra == ASSEMBLE_REPLICATED:
-                # (∪ᵢAᵢ) − K = ∪ᵢ(Aᵢ − K), unconditionally.
-                return _SliceAnalysis(ASSEMBLE_UNION, left.rooted)
-            if la == ASSEMBLE_UNION and ra == ASSEMBLE_UNION:
-                if not (left.rooted & right.rooted):
-                    raise fail(
-                        f"subtracts between subexpressions over {routed!r} "
-                        f"that do not both retain the routing attribute "
-                        f"{attribute!r}"
-                    )
-                return _SliceAnalysis(ASSEMBLE_UNION, left.rooted & right.rooted)
-            if la == ASSEMBLE_REPLICATED and ra == ASSEMBLE_UNION:
-                # K − (∪ᵢBᵢ) = ∩ᵢ(K − Bᵢ): the Theorem 2.2 complement
-                # shape for relations joined against the routed one.
-                return _SliceAnalysis(ASSEMBLE_INTERSECT, frozenset())
-            if la == ASSEMBLE_INTERSECT and ra == ASSEMBLE_REPLICATED:
-                # (∩ᵢAᵢ) − K = ∩ᵢ(Aᵢ − K).
-                return _SliceAnalysis(ASSEMBLE_INTERSECT, frozenset())
-            if la == ASSEMBLE_REPLICATED and ra == ASSEMBLE_INTERSECT:
-                # K − (∩ᵢBᵢ) = ∪ᵢ(K − Bᵢ), but slices overlap: not rooted.
-                return _SliceAnalysis(ASSEMBLE_UNION, frozenset())
-            raise fail(
-                f"subtracts incompatibly-assembled images of {routed!r}"
-            )
-        raise fail(f"uses unsupported operator {type(node).__name__}")
-
-    return walk(expression)
-
-
 class ShardedWarehouse:
     """N complete warehouses over one spec, facts partitioned by key range.
 
@@ -608,7 +387,13 @@ class ShardedWarehouse:
         # shard images (replicated / union / intersect). Relations whose
         # definitions never read a routed base stay replicated — broadcast
         # updates keep all their replicas identical.
-        self._assembly: Dict[str, str] = self._validate_routings()
+        self._report: AssemblyReport = self._validate_routings()
+        self._assembly: Dict[str, str] = dict(self._report.assembly)
+        self._race_tracker: Optional[RaceTracker] = (
+            RaceTracker(router.shards) if races_enabled() else None
+        )
+        self._footprints: Dict[FrozenSet[str], FrozenSet[str]] = {}
+        self._certificate_digest: Optional[str] = None
         self.shards: Tuple[Warehouse, ...] = tuple(
             Warehouse(spec, cached=cached, engine=engine, compile_plans=compile_plans)
             for _ in range(router.shards)
@@ -622,13 +407,18 @@ class ShardedWarehouse:
         self._metrics = MetricsRegistry()
         self._metrics.gauge("warehouse.shards").set(router.shards)
 
-    def _validate_routings(self) -> Dict[str, str]:
-        """Check shardability and classify each warehouse relation's assembly."""
+    def _validate_routings(self) -> AssemblyReport:
+        """Check shardability and classify each warehouse relation's assembly.
+
+        Delegates to the static shard-independence prover
+        (:func:`repro.analysis.concurrency.classify_assembly`): the same
+        walk that decides ``python -m repro prove-sharding`` verdicts also
+        gates construction, so a layout that builds is exactly a layout
+        the prover admits — including views over two routed relations
+        joined on co-partitioned routing attributes.
+        """
         catalog = self.spec.catalog
-        definitions = self.spec.definitions_over_sources()
-        scope = self.spec.source_scope()
-        assembly: Dict[str, str] = {}
-        contributor: Dict[str, str] = {}
+        routings: Dict[str, ShardRouting] = {}
         for name in self.router.routed_relations:
             routing = self.router.routing_for(name)
             if name not in catalog:
@@ -638,24 +428,12 @@ class ShardedWarehouse:
                     f"routing attribute {routing.attribute!r} is not an "
                     f"attribute of {name!r}"
                 )
-            for wh_name, expression in definitions.items():
-                analysis = _analyze_slices(
-                    expression, name, routing.attribute, scope, wh_name
-                )
-                if analysis.assemble == ASSEMBLE_REPLICATED:
-                    continue
-                if wh_name in contributor:
-                    # Per-shard evaluation only sees same-shard slices of
-                    # both routed relations; cross-shard combinations are
-                    # unaccounted for, so this layout is not supported.
-                    raise WarehouseError(
-                        f"warehouse relation {wh_name!r} depends on two "
-                        f"routed relations ({contributor[wh_name]!r} and "
-                        f"{name!r}); shard one of them or neither"
-                    )
-                contributor[wh_name] = name
-                assembly[wh_name] = analysis.assemble
-        return assembly
+            routings[name] = routing
+        return classify_assembly(
+            self.spec.definitions_over_sources(),
+            self.spec.source_scope(),
+            routings,
+        )
 
     @classmethod
     def specify(
@@ -764,14 +542,41 @@ class ShardedWarehouse:
         """Route an update: non-empty per-shard parts keyed by shard index."""
         return self.router.split_update(update)
 
+    def _write_footprint(self, update: Update) -> FrozenSet[str]:
+        """The static write footprint of one update part (memoized by shape)."""
+        updated = frozenset(delta.relation for delta in update)
+        cached = self._footprints.get(updated)
+        if cached is None:
+            cached = write_footprint(self.spec, updated)
+            self._footprints[updated] = cached
+        return cached
+
     def apply_to_shard(self, index: int, update: Update) -> Dict[str, Delta]:
         """Refresh one shard with its part of a batch (no publication).
 
         The shard's state swap is locally atomic, but readers keep seeing
         the previous *committed* snapshot until :meth:`commit` publishes
         the whole batch — this is what keeps multi-shard batches untorn.
+        Under ``REPRO_CHECK_RACES=1`` the refresh is bracketed by the race
+        tracker: an uncommitted refresh by another worker on this shard, or
+        a write outside the static footprint, fails loudly.
         """
+        tracker = self._race_tracker
+        footprint: FrozenSet[str] = frozenset()
+        if tracker is not None:
+            footprint = self._write_footprint(update)
+            tracker.begin_refresh(index, footprint)
         applied = self.shards[index].apply(update)
+        if tracker is not None:
+            tracker.check_written(
+                index,
+                footprint,
+                [
+                    name
+                    for name, delta in applied.items()
+                    if len(delta.inserts) or len(delta.deletes)
+                ],
+            )
         metrics = self._metrics
         metrics.counter(f"warehouse.shard_refreshes.{index}").inc()
         rows = sum(len(d.inserts) + len(d.deletes) for d in applied.values())
@@ -798,6 +603,8 @@ class ShardedWarehouse:
         self._snapshot = None
         if update is not None:
             self._commit_log.append(CommitRecord(self._version, update, touched))
+        if self._race_tracker is not None:
+            self._race_tracker.end_commit(touched)
         self._metrics.counter("warehouse.commits").inc()
         return self._version
 
@@ -853,6 +660,68 @@ class ShardedWarehouse:
         """Convenience: apply a deletion update."""
         attrs = self.spec.catalog[relation].attributes
         return self.apply(Update.delete(relation, attrs, rows))
+
+    # ------------------------------------------------------------------
+    # Static-analysis surface
+    # ------------------------------------------------------------------
+
+    @property
+    def assembly_report(self) -> AssemblyReport:
+        """The prover's admission verdict this warehouse was built under."""
+        return self._report
+
+    @property
+    def co_partitioned(self) -> Tuple[Tuple[str, ...], ...]:
+        """Groups of routed relations admitted via co-partitioning."""
+        return self._report.co_partitioned
+
+    @property
+    def race_tracker(self) -> Optional[RaceTracker]:
+        """The ``REPRO_CHECK_RACES=1`` tracker (``None`` when disabled)."""
+        return self._race_tracker
+
+    def recertify(
+        self, certificate: Optional[Mapping[str, object]] = None
+    ) -> bool:
+        """Re-validate the sharding certificate; evict stale compiled plans.
+
+        With no argument, every shard re-runs its own compiler
+        recertification (:meth:`repro.core.warehouse.Warehouse.recertify`)
+        and ``True`` means at least one shard's plans were evicted. Given a
+        sharding certificate document (as produced by ``python -m repro
+        prove-sharding --certificates``), its canonical digest — the same
+        :func:`~repro.analysis.digest.canonical_digest` that keys the
+        compiled-plan cache — is compared with the last accepted one: a
+        changed digest means the closures were specialized against facts
+        that no longer hold, so every shard's compiled plans are evicted.
+        A certificate recording *refuted* batch commutativity additionally
+        raises after eviction: concurrent use of this warehouse would be
+        unsound, and silently continuing on fresh plans would hide that.
+        """
+        if certificate is None:
+            changed = False
+            for shard in self.shards:
+                changed = shard.recertify() or changed
+            return changed
+        digest = sharding_certificate_digest(certificate)
+        changed = digest != self._certificate_digest
+        if changed and self._certificate_digest is not None:
+            evicted = sum(shard.evict_plans() for shard in self.shards)
+            self._metrics.counter("warehouse.plan_evictions").inc(
+                evicted if evicted else 1
+            )
+        self._certificate_digest = digest
+        commutativity = certificate.get("commutativity")
+        if isinstance(commutativity, Mapping) and commutativity.get(
+            "commute"
+        ) is False:
+            raise WarehouseError(
+                "sharding certificate refutes batch commutativity: "
+                "concurrent per-source batches on this layout are "
+                "order-dependent; compiled plans evicted, refusing to "
+                "accept the certificate"
+            )
+        return changed
 
     # ------------------------------------------------------------------
     # Observability

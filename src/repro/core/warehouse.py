@@ -546,6 +546,28 @@ class Warehouse:
         self._metrics.gauge("compiler.plans").set(0)
         return True
 
+    def evict_plans(self) -> int:
+        """Drop every cached compiled program, keeping the certificate.
+
+        The hard-eviction half of :meth:`recertify`: used when an
+        *external* certificate (e.g. a sharding certificate —
+        :meth:`repro.core.sharding.ShardedWarehouse.recertify`) changed
+        and the closures must be rebuilt even though this warehouse's own
+        compiler certificate still validates. Returns the number of
+        evicted plans (0 when compilation is off or nothing was cached).
+        """
+        old = self._compiler
+        if old is None:
+            return 0
+        from repro.compiler.runtime import RefreshCompiler
+
+        evicted = old.plan_count
+        self._compiler = RefreshCompiler(self.spec, old.certificate)
+        if evicted:
+            self._metrics.counter("compiler.evictions").inc(evicted)
+        self._metrics.gauge("compiler.plans").set(0)
+        return evicted
+
     def apply(self, update: Update) -> Dict[str, Delta]:
         """Incrementally fold a reported source update into the warehouse.
 

@@ -31,9 +31,14 @@ ENGINE_COLUMNAR = "columnar"
 
 
 def _engine_from_environment() -> str:
-    """The engine the environment selects (anything unknown means tuple)."""
+    """The engine the environment selects (anything but tuple means columnar).
+
+    The columnar kernels have been the production path since the sharded
+    integrator landed; the tuple engine remains as the differential
+    reference, opted into with ``REPRO_ENGINE=tuple``.
+    """
     value = os.environ.get(ENGINE_ENV, "").strip().lower()
-    return ENGINE_COLUMNAR if value == ENGINE_COLUMNAR else ENGINE_TUPLE
+    return ENGINE_TUPLE if value == ENGINE_TUPLE else ENGINE_COLUMNAR
 
 
 #: The process default, read once at import (tests may monkeypatch it).

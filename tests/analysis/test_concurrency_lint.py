@@ -1,0 +1,217 @@
+"""Unit tests for :mod:`repro.analysis.concurrency_lint` (W01xx)."""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.analysis.concurrency_lint import (
+    default_lint_files,
+    lint_concurrency,
+    lint_file,
+)
+
+
+def write_sample(tmp_path, source):
+    path = tmp_path / "sample.py"
+    path.write_text(textwrap.dedent(source))
+    return str(path)
+
+
+def codes(findings):
+    return [finding.code for finding in findings]
+
+
+class TestW0101CommitAtomicity:
+    def test_async_commit_is_flagged(self, tmp_path):
+        path = write_sample(
+            tmp_path,
+            """
+            class Warehouse:
+                async def commit(self, batch):
+                    self.state = batch
+            """,
+        )
+        assert "W0101" in codes(lint_file(path))
+
+    def test_await_inside_commit_is_flagged(self, tmp_path):
+        path = write_sample(
+            tmp_path,
+            """
+            class Warehouse:
+                async def commit(self, batch):
+                    await self.flush()
+            """,
+        )
+        findings = [f for f in lint_file(path) if f.code == "W0101"]
+        # Both the async declaration and the suspension point are reported.
+        assert len(findings) == 2
+
+    def test_suspending_call_inside_sync_commit_is_flagged(self, tmp_path):
+        path = write_sample(
+            tmp_path,
+            """
+            class Warehouse:
+                def shard_commit(self, lock, batch):
+                    lock.acquire()
+                    self.state = batch
+            """,
+        )
+        (finding,) = lint_file(path)
+        assert finding.code == "W0101"
+        assert "acquire" in finding.message
+
+    def test_sync_commit_without_suspension_is_clean(self, tmp_path):
+        path = write_sample(
+            tmp_path,
+            """
+            class Warehouse:
+                def commit(self, batch):
+                    self.state = batch
+                    self.version += 1
+            """,
+        )
+        assert lint_file(path) == []
+
+    def test_nested_function_is_not_attributed_to_commit(self, tmp_path):
+        path = write_sample(
+            tmp_path,
+            """
+            class Warehouse:
+                def commit(self, batch):
+                    def later():
+                        return lock.acquire()
+                    self.state = batch
+            """,
+        )
+        assert lint_file(path) == []
+
+
+class TestW0102LockOrder:
+    def test_unsorted_acquisition_is_flagged(self, tmp_path):
+        path = write_sample(
+            tmp_path,
+            """
+            async def refresh(locks, parts):
+                for index in reversed(sorted(parts)):
+                    await locks[index].acquire()
+            """,
+        )
+        assert codes(lint_file(path)) == ["W0102"]
+
+    def test_direct_sorted_loop_is_clean(self, tmp_path):
+        path = write_sample(
+            tmp_path,
+            """
+            async def refresh(locks, parts):
+                for index in sorted(parts):
+                    await locks[index].acquire()
+            """,
+        )
+        assert lint_file(path) == []
+
+    def test_loop_over_variable_assigned_from_sorted_is_clean(self, tmp_path):
+        path = write_sample(
+            tmp_path,
+            """
+            async def refresh(locks, parts):
+                ordered = sorted(parts)
+                for index in ordered:
+                    await locks[index].acquire()
+            """,
+        )
+        assert lint_file(path) == []
+
+    def test_sync_functions_are_out_of_scope(self, tmp_path):
+        path = write_sample(
+            tmp_path,
+            """
+            def helper(lock):
+                lock.acquire()
+            """,
+        )
+        assert lint_file(path) == []
+
+
+class TestW0103LockScopedMutation:
+    def test_mutation_outside_try_finally_is_flagged(self, tmp_path):
+        path = write_sample(
+            tmp_path,
+            """
+            async def refresh(warehouse, parts, update):
+                for index in sorted(parts):
+                    warehouse.apply_to_shard(index, update)
+            """,
+        )
+        assert codes(lint_file(path)) == ["W0103"]
+
+    def test_mutation_inside_releasing_finally_is_clean(self, tmp_path):
+        path = write_sample(
+            tmp_path,
+            """
+            async def refresh(warehouse, locks, parts, update):
+                for index in sorted(parts):
+                    await locks[index].acquire()
+                try:
+                    for index in sorted(parts):
+                        warehouse.apply_to_shard(index, update)
+                    warehouse.commit(parts)
+                finally:
+                    for index in parts:
+                        locks[index].release()
+            """,
+        )
+        assert lint_file(path) == []
+
+    def test_try_without_release_does_not_count(self, tmp_path):
+        path = write_sample(
+            tmp_path,
+            """
+            async def refresh(warehouse, parts, update):
+                try:
+                    warehouse.commit(parts)
+                finally:
+                    warehouse.log("done")
+            """,
+        )
+        assert codes(lint_file(path)) == ["W0103"]
+
+
+class TestDriver:
+    def test_own_runtime_is_clean(self):
+        assert lint_concurrency() == []
+
+    def test_default_targets_are_the_shipped_runtime(self):
+        files = default_lint_files()
+        assert len(files) == 2
+        assert any(path.endswith("sharding.py") for path in files)
+        assert any(path.endswith("async_integrator.py") for path in files)
+
+    def test_findings_deduplicate_by_code_and_span(self, tmp_path):
+        path = write_sample(
+            tmp_path,
+            """
+            async def refresh(lock):
+                await lock.acquire()
+            """,
+        )
+        findings = lint_concurrency([path, path])
+        assert len(findings) == 1
+
+    def test_broken_sample_triggers_all_three_families(self, tmp_path):
+        path = write_sample(
+            tmp_path,
+            """
+            class Broken:
+                async def commit(self, batch):
+                    await self.flush()
+
+                async def refresh(self, locks, parts, update):
+                    for index in reversed(sorted(parts)):
+                        await locks[index].acquire()
+                    self.apply_to_shard(0, update)
+            """,
+        )
+        found = set(codes(lint_file(path)))
+        assert found == {"W0101", "W0102", "W0103"}
