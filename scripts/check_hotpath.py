@@ -4,8 +4,9 @@
 Two rule sets, dispatched per file:
 
 **Evaluator rules** (``src/repro/algebra/evaluator.py``,
-``columnar_eval.py``, and the compiler's hot modules
-``repro/compiler/{certificate,fuse,runtime}.py``). Each evaluator keeps
+``columnar_eval.py``, the compiler's hot modules
+``repro/compiler/{certificate,fuse,runtime}.py``, and the
+query-translation serving path ``repro/core/translation.py``). Each evaluator keeps
 two entry points: ``_eval`` (the default, untraced path — called once
 per operator per evaluation, often inside per-row loops higher up) and
 ``_eval_traced`` (taken only when a tracer is installed); the compiled
@@ -28,11 +29,11 @@ R3  Any other ``*.tracer.method(...)`` call outside the allowlist must
     annotate in ``_eval_difference``.)
 R4  The name ``Span`` must not be referenced at all: the evaluator
     receives spans only through the tracer's context manager.
-R5  No environment reads: ``environ``/``getenv`` (and the sanitizer's
-    ``REPRO_CHECK_INVARIANTS`` variable name) must never appear — the
-    sanitizer flag is read once per ``Warehouse`` construction, and the
-    engine default once at ``repro.storage.engine`` import, never
-    per-operator.
+R5  No environment reads: ``environ``/``getenv`` (and the sanitizer
+    variable names ``REPRO_CHECK_INVARIANTS`` / ``REPRO_CHECK_QUERIES``)
+    must never appear — the sanitizer flags are read once per
+    ``Warehouse`` construction, and the engine default once at
+    ``repro.storage.engine`` import, never per-operator.
 
 **Columnar kernel rules** (``src/repro/storage/columnar.py``). The
 batch kernels exist to replace per-row Python interpretation with
@@ -63,7 +64,7 @@ from typing import List
 SPAN_ALLOWLIST = frozenset({"_eval_traced", "_run_traced"})
 TIMING_NAMES = frozenset({"perf_counter", "monotonic", "time", "datetime"})
 ENVIRON_NAMES = frozenset({"environ", "getenv"})
-SANITIZER_ENV = "REPRO_CHECK_INVARIANTS"
+SANITIZER_ENVS = frozenset({"REPRO_CHECK_INVARIANTS", "REPRO_CHECK_QUERIES"})
 
 #: Columnar facade methods allowed to loop row-at-a-time (C1): they run
 #: once per build/patch on delta-sized inputs, not inside operator trees.
@@ -83,6 +84,10 @@ DEFAULT_TARGETS = (
     _ROOT / "src" / "repro" / "compiler" / "certificate.py",
     _ROOT / "src" / "repro" / "compiler" / "fuse.py",
     _ROOT / "src" / "repro" / "compiler" / "runtime.py",
+    # The query-translation serving path: translate/cache/lookup runs per
+    # answer() call and must never read clocks, spans, or the environment
+    # — the REPRO_CHECK_QUERIES wiring lives in repro.core.warehouse.
+    _ROOT / "src" / "repro" / "core" / "translation.py",
 )
 
 
@@ -184,12 +189,12 @@ class _HotPathChecker(ast.NodeVisitor):
         self.generic_visit(node)
 
     def visit_Constant(self, node: ast.Constant) -> None:
-        if node.value == SANITIZER_ENV:
+        if node.value in SANITIZER_ENVS:
             self._report(
                 node,
                 "R5",
-                f"'{SANITIZER_ENV}' mentioned in the evaluator — the "
-                "sanitizer flag is read once per Warehouse, never here",
+                f"'{node.value}' mentioned in the evaluator — the "
+                "sanitizer flags are read once per Warehouse, never here",
             )
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:

@@ -23,7 +23,10 @@ MODULES = [
     "repro.analysis.satisfiability", "repro.analysis.lint",
     "repro.analysis.specfile", "repro.analysis.report",
     "repro.analysis.dataflow", "repro.analysis.counterexample",
-    "repro.analysis.prover",
+    "repro.analysis.prover", "repro.analysis.digest",
+    "repro.analysis.concurrency", "repro.analysis.concurrency_lint",
+    "repro.analysis.races",
+    "repro.analysis.query", "repro.analysis.query_lint",
     "repro.core.covers", "repro.core.complement", "repro.core.independence",
     "repro.core.translation", "repro.core.maintenance", "repro.core.warehouse",
     "repro.core.minimality", "repro.core.selfmaint", "repro.core.star",

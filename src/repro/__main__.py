@@ -36,6 +36,19 @@ Commands
     document per file; ``--strict`` makes UNKNOWN a failure. Exit
     status: 0 every verdict matches its spec's expectation and the lint
     is clean, 1 otherwise, 2 unreadable input.
+``prove-query FILE [FILE ...]``
+    Statically decide each spec file's declared queries (its
+    ``"queries"`` section, or synthesized identity queries): PROVED
+    emits a self-validating translation certificate (the rewritten
+    ``Q ∘ W^{-1}``, the Equation (4) inversions or view folds it leans
+    on, a static read set with zero source relations, and a
+    kernel-level cost estimate — digest-compatible with the serving
+    path's translated-plan cache), REFUTED a minimal replay-verified
+    two-database witness where warehouse state underdetermines the
+    answer, UNKNOWN neither. ``--certificates DIR`` writes one JSON
+    document per file; ``--strict`` makes UNKNOWN a failure unless the
+    spec pinned ``"expect": "unknown"``. Exit status: 0 every verdict
+    matches its expectation, 1 otherwise, 2 unreadable input.
 ``compile FILE [FILE ...]``
     Run the plan compiler (``repro.compiler``, docs/compiler.md) on spec
     files: certify each spec against the prover's PROVED certificate and
@@ -226,6 +239,33 @@ def _cmd_prove_sharding(args) -> int:
     if code == 0 and has_errors(findings):
         code = 1
     return code
+
+
+def _cmd_prove_query(args) -> int:
+    from pathlib import Path
+
+    from repro.analysis.query import (
+        prove_queries_file,
+        query_certificate_json,
+        query_exit_code,
+        render_queries_json,
+        render_queries_text,
+    )
+
+    results = [
+        prove_queries_file(path, method=args.method) for path in args.files
+    ]
+    if args.certificates:
+        directory = Path(args.certificates)
+        directory.mkdir(parents=True, exist_ok=True)
+        for result in results:
+            name = Path(result.path).stem + ".query.json"
+            (directory / name).write_text(query_certificate_json(result))
+    if args.format == "json":
+        print(render_queries_json(results, strict=args.strict))
+    else:
+        print(render_queries_text(results, strict=args.strict))
+    return query_exit_code(results, strict=args.strict)
 
 
 def _cmd_compile(args) -> int:
@@ -445,6 +485,33 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="skip the W01xx concurrency lint over the runtime sources",
     )
 
+    query_parser = commands.add_parser(
+        "prove-query",
+        help="statically prove or refute warehouse-answerability of "
+        "declared queries (docs/translation.md)",
+    )
+    query_parser.add_argument("files", nargs="+", help="spec JSON file(s)")
+    query_parser.add_argument(
+        "--method",
+        choices=("thm22", "prop22", "trivial"),
+        default="thm22",
+        help="complement construction method (default: thm22)",
+    )
+    query_parser.add_argument(
+        "--format", choices=("text", "json"), default="text"
+    )
+    query_parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="treat UNKNOWN verdicts as failures (unless expected)",
+    )
+    query_parser.add_argument(
+        "--certificates",
+        default=None,
+        metavar="DIR",
+        help="write one query certificate JSON per input file into DIR",
+    )
+
     compile_parser = commands.add_parser(
         "compile",
         help="compile certified refresh plans from spec files (docs/compiler.md)",
@@ -491,6 +558,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "lint": _cmd_lint,
         "prove": _cmd_prove,
         "prove-sharding": _cmd_prove_sharding,
+        "prove-query": _cmd_prove_query,
         "compile": _cmd_compile,
         "tpcd": _cmd_tpcd,
         "obs": _cmd_obs,

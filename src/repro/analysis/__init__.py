@@ -17,7 +17,12 @@ decides those preconditions *statically*, before any data flows:
   layer: symbolic inversion certificates, bounded counterexample search
   (:mod:`~repro.analysis.counterexample`), and the plan-dataflow analysis
   (:mod:`~repro.analysis.dataflow`) with its ``REPRO_CHECK_INVARIANTS``
-  runtime sanitizer.
+  runtime sanitizer;
+* :mod:`~repro.analysis.query` — the ``python -m repro prove-query``
+  decision layer: per-query translation certificates (Theorem 3.1),
+  answer-divergence witnesses, the kernel cost model, and the
+  ``REPRO_CHECK_QUERIES`` runtime sanitizer, with the ``W02xx`` lint
+  checks in :mod:`~repro.analysis.query_lint`.
 
 The diagnostic catalog is documented in ``docs/lint.md``; every code has a
 stable meaning, a paper reference, and a triggering test.
@@ -57,6 +62,23 @@ from repro.analysis.prover import (
     prove_file,
     prove_target,
 )
+from repro.analysis.query import (
+    CostEstimate,
+    QueryProofResult,
+    QueryVerdict,
+    QueryWitness,
+    build_query_certificate,
+    check_query_certificate,
+    check_translation_reads,
+    estimate_cost,
+    prove_queries_file,
+    prove_queries_target,
+    queries_enabled,
+    query_exit_code,
+    search_query_counterexample,
+    verify_query_witness,
+)
+from repro.analysis.query_lint import lint_queries
 from repro.analysis.report import (
     FileReport,
     display_path,
@@ -69,42 +91,64 @@ from repro.analysis.satisfiability import (
     tautological_conjuncts,
     unsatisfiable_reason,
 )
-from repro.analysis.specfile import LintTarget, ProverOptions, load_target
+from repro.analysis.specfile import (
+    LintTarget,
+    ProverOptions,
+    QueryOptions,
+    QuerySpec,
+    load_target,
+)
 from repro.analysis.typecheck import typecheck_aggregate, typecheck_expression
 
 __all__ = [
     "CATALOG",
+    "CostEstimate",
     "DataflowReport",
     "Diagnostic",
     "FileReport",
     "LintTarget",
     "ProofResult",
     "ProverOptions",
+    "QueryOptions",
+    "QueryProofResult",
+    "QuerySpec",
+    "QueryVerdict",
+    "QueryWitness",
     "SearchOutcome",
     "Severity",
     "SourceSpan",
     "UpdateShape",
     "Witness",
     "build_certificate",
+    "build_query_certificate",
     "check_certificate",
+    "check_query_certificate",
     "check_refresh_reads",
+    "check_translation_reads",
     "display_path",
+    "estimate_cost",
     "exit_code",
     "filter_ignored",
     "has_errors",
     "lint_file",
+    "lint_queries",
     "lint_spec",
     "lint_views",
     "load_target",
     "max_severity",
     "prove_exit_code",
     "prove_file",
+    "prove_queries_file",
+    "prove_queries_target",
     "prove_target",
     "psj_parts",
+    "queries_enabled",
+    "query_exit_code",
     "render_json",
     "render_text",
     "sanitizer_enabled",
     "search_counterexample",
+    "search_query_counterexample",
     "sort_diagnostics",
     "spec_read_sets",
     "static_refresh_reads",
@@ -112,6 +156,7 @@ __all__ = [
     "typecheck_aggregate",
     "typecheck_expression",
     "unsatisfiable_reason",
+    "verify_query_witness",
     "verify_witness",
     "views_only_read_sets",
 ]

@@ -28,6 +28,11 @@ Code ranges
     sources, found by the AST lint in
     :mod:`repro.analysis.concurrency_lint` (commit atomicity, lock order,
     lock-scoped mutation).
+``W02xx``
+    Query-translation defects in a spec file's declared queries, found by
+    :mod:`repro.analysis.query_lint` (undeclared relations, translations
+    that would read a source, conditions over projected-away attributes,
+    cost-budget overruns).
 """
 
 from __future__ import annotations
@@ -237,6 +242,32 @@ CATALOG: Dict[str, CodeInfo] = {
         Severity.ERROR,
         "Batch commutativity (prove-sharding) is only sound when refreshes "
         "and commits happen under the touched shards' locks",
+    ),
+    # -- W02xx: query translation (prove-query) ------------------------
+    "W0201": CodeInfo(
+        "query references an undeclared relation",
+        Severity.ERROR,
+        "Section 3: queries are stated over the schemata of D (or over "
+        "warehouse relation names); anything else cannot be translated",
+    ),
+    "W0202": CodeInfo(
+        "translated query would still read a source relation",
+        Severity.WARNING,
+        "Theorem 3.1: Q^ = Q ∘ W^{-1} must be a warehouse-only "
+        "expression; a residual source reference means the warehouse "
+        "underdetermines the answer",
+    ),
+    "W0203": CodeInfo(
+        "query condition needs an attribute every view projects away",
+        Severity.WARNING,
+        "Theorem 2.2 context: without a complement covering the "
+        "attribute, a selection on it cannot be evaluated warehouse-only",
+    ),
+    "W0204": CodeInfo(
+        "translated query cost estimate exceeds the declared budget",
+        Severity.WARNING,
+        "Section 3 practicality: translation is only useful if Q^ is "
+        "evaluable within the serving path's kernel budget",
     ),
 }
 

@@ -1,0 +1,183 @@
+"""The ``W02xx`` lint family: query-translation defects in spec files.
+
+Rides alongside the view lints (:mod:`repro.analysis.lint`) inside
+``python -m repro lint``: when a spec file declares a ``"queries"``
+section (or for the synthesized identity queries when it does not), this
+pass statically checks each query against the declared warehouse, without
+running the (more expensive) refutation search of
+:mod:`repro.analysis.query`:
+
+* **W0201** (error) — the query references a relation that is neither a
+  declared source nor a warehouse relation; it cannot be translated at
+  all.
+* **W0202** (warning) — the translated query still reads a source
+  relation: the warehouse is lossy for this query, Theorem 3.1's
+  ``Q ∘ W^{-1}`` does not exist. ``repro prove-query`` will REFUTE (or
+  honestly UNKNOWN) it.
+* **W0203** (warning) — the query's selection condition needs an
+  attribute that every warehouse relation projects away; the root cause
+  behind most W0202s, reported separately because it points at the
+  *attribute* to add to a view (or cover with a complement).
+* **W0204** (warning) — the spec declares a ``queries.budget`` and the
+  kernel-level cost estimate of the translated plan exceeds it.
+
+All four are suppressable per file via ``lint.ignore`` with a recorded
+justification, like every other code.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.errors import ReproError
+from repro.algebra.expressions import Expression, RelationRef, Select
+from repro.algebra.parser import parse
+from repro.algebra.rewriting import fold_occurrences
+from repro.algebra.simplify import simplify
+from repro.core.complement import WarehouseSpec
+from repro.core.translation import translate_query
+from repro.analysis.diagnostics import Diagnostic, make
+from repro.analysis.query import (
+    QuerySpec,
+    default_queries,
+    estimate_cost,
+    invertible_spec,
+)
+from repro.analysis.specfile import LintTarget
+
+
+def _condition_attributes(query: Expression) -> FrozenSet[str]:
+    """Every attribute mentioned by a selection condition inside ``query``."""
+    needed: Set[str] = set()
+    for node in query.walk():
+        if isinstance(node, Select):
+            needed |= node.condition.attributes()
+    return frozenset(needed)
+
+
+def _translated(
+    target: LintTarget,
+    spec: Optional[WarehouseSpec],
+    query: Expression,
+) -> Optional[Expression]:
+    """The warehouse-side plan this query would get, or ``None``.
+
+    Mirrors the prover's first two methods (inversion, view-fold) but
+    never searches for witnesses — lint must stay cheap.
+    """
+    if spec is not None:
+        try:
+            return translate_query(spec, query, optimized=True)
+        except ReproError:
+            return None
+    source_scope = {s.name: s.attributes for s in target.catalog.schemas()}
+    view_scope = {
+        view.name: view.definition.attributes(source_scope)
+        for view in target.views
+    }
+    merged = dict(source_scope)
+    merged.update(view_scope)
+    replacements: Dict[Expression, Expression] = {
+        view.definition: RelationRef(view.name) for view in target.views
+    }
+    try:
+        return simplify(fold_occurrences(query, replacements), merged)
+    except ReproError:
+        return None
+
+
+def lint_queries(target: LintTarget, method: str = "thm22") -> List[Diagnostic]:
+    """Run the W02xx checks over one loaded spec's declared queries."""
+    diagnostics: List[Diagnostic] = []
+    options = target.queries
+    items: Tuple[QuerySpec, ...] = (
+        options.items if options is not None else default_queries(target)
+    )
+    budget = options.budget if options is not None else None
+    rows = dict(options.rows or {}) if options is not None else {}
+    spec = invertible_spec(target, method=method)
+    sources = frozenset(target.catalog.relation_names())
+    source_scope = {s.name: s.attributes for s in target.catalog.schemas()}
+    try:
+        if spec is not None:
+            warehouse_scope = dict(spec.warehouse_scope())
+        else:
+            warehouse_scope = {
+                view.name: view.definition.attributes(source_scope)
+                for view in target.views
+            }
+    except ReproError:
+        # A view that does not scope-check has no translation to lint;
+        # the E01xx typechecker owns that report.
+        return diagnostics
+    warehouse_attrs = frozenset(
+        attr for attrs in warehouse_scope.values() for attr in attrs
+    )
+    known = sources | frozenset(warehouse_scope)
+    for item in items:
+        label = item.label()
+        try:
+            query = parse(item.query)
+        except ReproError as exc:
+            diagnostics.append(
+                make(
+                    "W0201",
+                    f"query {label!r} cannot be analyzed: {exc}",
+                    hint="fix the query text; see docs/algebra.md for the "
+                    "expression syntax",
+                )
+            )
+            continue
+        undeclared = sorted(query.relation_names() - known)
+        if undeclared:
+            diagnostics.append(
+                make(
+                    "W0201",
+                    f"query {label!r} references undeclared relation(s) "
+                    f"{undeclared}",
+                    hint="queries may mention declared source relations "
+                    "and warehouse relations only",
+                )
+            )
+            continue
+        dropped = sorted(_condition_attributes(query) - warehouse_attrs)
+        if dropped:
+            diagnostics.append(
+                make(
+                    "W0203",
+                    f"query {label!r} selects on attribute(s) {dropped} "
+                    "that every warehouse relation projects away",
+                    hint="keep the attribute in a view, or store a "
+                    "complement covering it (Theorem 2.2)",
+                )
+            )
+        plan = _translated(target, spec, query)
+        if plan is None:
+            continue
+        residual = sorted(plan.relation_names() & sources)
+        if residual:
+            diagnostics.append(
+                make(
+                    "W0202",
+                    f"translated query {label!r} would still read source "
+                    f"relation(s) {residual}",
+                    hint="the warehouse underdetermines this query; "
+                    "`python -m repro prove-query` can exhibit a witness",
+                )
+            )
+            continue
+        if budget is not None:
+            cost = estimate_cost(
+                plan, warehouse_scope, rows=rows, budget=budget
+            )
+            if not cost.within_budget:
+                diagnostics.append(
+                    make(
+                        "W0204",
+                        f"query {label!r} has estimated cost {cost.total}, "
+                        f"exceeding the declared budget {budget}",
+                        hint="raise queries.budget, adjust queries.rows "
+                        "estimates, or simplify the query",
+                    )
+                )
+    return diagnostics

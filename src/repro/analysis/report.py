@@ -89,6 +89,16 @@ def lint_file(
         except ReproError as exc:
             return FileReport(path, diagnostics, target.ignore, error=str(exc))
         diagnostics = lint_spec(spec, deep=deep, ignore=ignore)
+    if deep and clean:
+        # The W02xx query-translation checks ride along, but only once
+        # the definitions themselves are error-free — a view that does
+        # not typecheck has no meaningful translation to lint. (Lazy
+        # import: repro.analysis.query needs display_path from here.)
+        from repro.analysis.diagnostics import filter_ignored, sort_diagnostics
+        from repro.analysis.query_lint import lint_queries
+
+        extra = filter_ignored(lint_queries(target, method=method), ignore)
+        diagnostics = sort_diagnostics(list(diagnostics) + list(extra))
     return FileReport(path, diagnostics, target.ignore)
 
 

@@ -11,8 +11,13 @@ Decides two cheap, sound properties of a condition's top-level conjuncts:
   class, so constant constraints anywhere along the chain combine
   (``a = b and b = 3 and a != 3`` is unsatisfiable), and an ordering or
   disequality conjunct between two attributes of the same class is itself
-  a contradiction. Sound but incomplete; deeper cross-attribute reasoning
-  is left to the conjunctive-query machinery in
+  a contradiction. Attribute-attribute *orderings* are propagated
+  transitively over the equality classes: ``a < b and b < c`` implies
+  ``a < c``, so a strict cycle (``a < b and b < a``, or any longer chain
+  back to itself) is reported, and constant bounds travel along the
+  chains (``a < b and b < 3`` bounds ``a`` above by 3, which then
+  contradicts ``a > 5``). Sound but incomplete; deeper cross-attribute
+  reasoning is left to the conjunctive-query machinery in
   :mod:`repro.algebra.containment`, which the lint pass consults as a
   second opinion.
 * **tautological conjuncts** — conjuncts that filter nothing: the constant
@@ -154,6 +159,72 @@ def _empty_interval(
     return None
 
 
+def _ordering_contradiction(
+    edges: List[Tuple[str, str, bool]],
+    bounds: Dict[str, _Bounds],
+    classes: _EqualityClasses,
+) -> Optional[str]:
+    """Transitive closure over the ``attr < attr`` conjuncts.
+
+    ``edges`` are ``(low, high, strict)`` triples between equality-class
+    roots. A strict cycle (some class below itself via a path with at
+    least one strict edge) is a contradiction outright; otherwise constant
+    bounds travel along the closure (``a < b and b < 3`` gives ``a < 3``)
+    and are folded into ``bounds`` where the interval check may fire.
+    """
+    if not edges:
+        return None
+    # best[(u, v)]: v is reachable from u; True iff some path is strict.
+    best: Dict[Tuple[str, str], bool] = {}
+    for low, high, strict in edges:
+        best[(low, high)] = best.get((low, high), False) or strict
+    nodes = sorted({node for edge in edges for node in edge[:2]})
+    for k in nodes:
+        for i in nodes:
+            through = best.get((i, k))
+            if through is None:
+                continue
+            for j in nodes:
+                onward = best.get((k, j))
+                if onward is None:
+                    continue
+                combined = through or onward
+                best[(i, j)] = best.get((i, j), False) or combined
+    for node in nodes:
+        if best.get((node, node)):
+            return (
+                f"{classes.label(node)} is required strictly less than "
+                "itself by the ordering conjuncts"
+            )
+    derived: List[Tuple[str, str, object]] = []
+    for (low, high), strict in sorted(best.items(), key=lambda item: item[0]):
+        if low == high:
+            continue
+        low_bounds = bounds.get(low)
+        if low_bounds is not None:  # low's lower bounds push high up
+            points = list(low_bounds.lower)
+            if low_bounds.equal is not None:
+                points.append((low_bounds.equal, False))
+            for value, value_strict in points:
+                derived.append(
+                    (high, ">" if (strict or value_strict) else ">=", value)
+                )
+        high_bounds = bounds.get(high)
+        if high_bounds is not None:  # high's upper bounds push low down
+            points = list(high_bounds.upper)
+            if high_bounds.equal is not None:
+                points.append((high_bounds.equal, False))
+            for value, value_strict in points:
+                derived.append(
+                    (low, "<" if (strict or value_strict) else "<=", value)
+                )
+    for name, op, value in derived:
+        reason = bounds.setdefault(name, _Bounds()).add(op, value)
+        if reason:
+            return f"{classes.label(name)} {reason}"
+    return None
+
+
 def unsatisfiable_reason(condition: Condition) -> Optional[str]:
     """Why no row can satisfy ``condition``, or ``None`` if undecided.
 
@@ -173,6 +244,18 @@ def unsatisfiable_reason(condition: Condition) -> Optional[str]:
     "attributes 'a' = 'b' required to equal and not equal 3"
     >>> unsatisfiable_reason(parse_condition("a = b and b < c and c = a"))
     "attributes 'a' = 'b' = 'c' are required equal, contradicting 'b' < 'c'"
+
+    Orderings propagate transitively (``a < b and b < c`` implies
+    ``a < c``), so strict cycles and chained constant bounds are caught:
+
+    >>> unsatisfiable_reason(parse_condition("a < b and b < a"))
+    "attribute 'a' is required strictly less than itself by the ordering conjuncts"
+    >>> unsatisfiable_reason(parse_condition("a < b and b < c and c <= a"))
+    "attribute 'a' is required strictly less than itself by the ordering conjuncts"
+    >>> unsatisfiable_reason(parse_condition("a <= b and b <= a")) is None
+    True
+    >>> unsatisfiable_reason(parse_condition("a < b and b < c and c < 3 and a > 5"))
+    "attribute 'c' requires a value both > 3 and < 5"
     """
     if isinstance(condition, FalseCondition):
         return "the condition is the constant false"
@@ -188,6 +271,7 @@ def unsatisfiable_reason(condition: Condition) -> Optional[str]:
         ):
             classes.union(conjunct.left.name, conjunct.right.name)
     bounds: Dict[str, _Bounds] = {}
+    order_edges: List[Tuple[str, str, bool]] = []
     for conjunct in conjuncts:
         if isinstance(conjunct, FalseCondition):
             return "a conjunct is the constant false"
@@ -203,12 +287,22 @@ def unsatisfiable_reason(condition: Condition) -> Optional[str]:
             oriented.right, AttributeRef
         ):
             left, right = oriented.left.name, oriented.right.name
-            if left == right or oriented.op in ("=", "<=", ">="):
+            if left == right or oriented.op == "=":
                 continue
             if classes.find(left) == classes.find(right):
+                if oriented.op in ("<=", ">="):
+                    continue  # consistent with the required equality
                 return (
                     f"{classes.label(left)} are required equal, "
                     f"contradicting {left!r} {oriented.op} {right!r}"
+                )
+            if oriented.op in ("<", "<="):
+                order_edges.append(
+                    (classes.find(left), classes.find(right), oriented.op == "<")
+                )
+            elif oriented.op in (">", ">="):
+                order_edges.append(
+                    (classes.find(right), classes.find(left), oriented.op == ">")
                 )
             continue
         if not (
@@ -222,7 +316,7 @@ def unsatisfiable_reason(condition: Condition) -> Optional[str]:
         )
         if reason:
             return f"{classes.label(name)} {reason}"
-    return None
+    return _ordering_contradiction(order_edges, bounds, classes)
 
 
 def tautological_conjuncts(condition: Condition) -> List[Condition]:

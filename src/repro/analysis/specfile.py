@@ -19,6 +19,13 @@ optional ``"lint"`` section for per-file suppressions and an optional
         "expect": "proved",          # or "refuted"
         "max_model_size": 2,
         "domain_size": 2
+      },
+      "queries": {
+        "budget": 100000,            # optional cost ceiling (W0204)
+        "rows": {"Sale": 5000},      # optional cardinality estimates
+        "items": [
+          {"query": "pi[clerk](Sale)", "expect": "proved"}
+        ]
       }
     }
 
@@ -46,6 +53,10 @@ from repro.analysis.diagnostics import CATALOG
 PROVER_MODES = ("with-complement", "views-only")
 PROVER_EXPECTATIONS = ("proved", "refuted")
 SHARDING_EXPECTATIONS = ("proved", "refuted")
+#: Unlike the spec-level provers, a *query* expectation may be "unknown":
+#: the translation prover is sound but not complete, and a pinned
+#: honest-UNKNOWN example documents exactly where completeness ends.
+QUERY_EXPECTATIONS = ("proved", "refuted", "unknown")
 
 
 class ProverOptions(NamedTuple):
@@ -106,6 +117,38 @@ class ShardingOptions(NamedTuple):
     sources: Optional[Dict[str, Tuple[str, ...]]] = None
 
 
+class QuerySpec(NamedTuple):
+    """One declared query inside a spec file's ``"queries"`` section.
+
+    ``query`` is an algebra expression over source relations (warehouse
+    names are also legal — Theorem 3.1's translation leaves them alone).
+    ``expect`` is the translation verdict CI treats as success; ``name``
+    labels the query in reports and defaults to the query text itself.
+    """
+
+    query: str
+    expect: str = "proved"
+    name: Optional[str] = None
+
+    def label(self) -> str:
+        """The display name: explicit ``name`` or the query text."""
+        return self.name if self.name is not None else self.query
+
+
+class QueryOptions(NamedTuple):
+    """Per-file options for ``python -m repro prove-query``.
+
+    ``items`` declares the queries to decide; ``budget`` is an optional
+    kernel-cost ceiling (W0204 fires above it); ``rows`` optionally
+    estimates per-relation cardinalities for the cost model (defaulted
+    when omitted).
+    """
+
+    items: Tuple[QuerySpec, ...]
+    budget: Optional[int] = None
+    rows: Optional[Dict[str, int]] = None
+
+
 class LintTarget(NamedTuple):
     """One loaded spec file, ready for :func:`repro.analysis.lint.lint_views`."""
 
@@ -115,6 +158,7 @@ class LintTarget(NamedTuple):
     ignore: Dict[str, str]
     prover: ProverOptions = ProverOptions()
     sharding: Optional[ShardingOptions] = None
+    queries: Optional[QueryOptions] = None
 
     def ignored_codes(self) -> List[str]:
         """The suppressed diagnostic codes."""
@@ -260,6 +304,71 @@ def _parse_sharding(data: Mapping[str, Any], path: str) -> Optional[ShardingOpti
     return ShardingOptions(routings=routings, expect=str(expect), sources=sources)
 
 
+def _parse_query_item(raw: Any, path: str, index: int) -> QuerySpec:
+    where = f"{path}: queries.items[{index}]"
+    if not isinstance(raw, Mapping):
+        raise SchemaError(f"{where} must be an object")
+    unknown = set(raw) - {"query", "expect", "name"}
+    if unknown:
+        raise SchemaError(f"{where}: unknown key(s) {sorted(unknown)}")
+    query = raw.get("query")
+    if not isinstance(query, str) or not query.strip():
+        raise SchemaError(f"{where}: 'query' must be a non-empty string")
+    expect = raw.get("expect", "proved")
+    if expect not in QUERY_EXPECTATIONS:
+        raise SchemaError(
+            f"{where}: expect must be one of {list(QUERY_EXPECTATIONS)}, "
+            f"got {expect!r}"
+        )
+    name = raw.get("name")
+    if name is not None and (not isinstance(name, str) or not name.strip()):
+        raise SchemaError(f"{where}: 'name' must be a non-empty string")
+    return QuerySpec(query=query, expect=str(expect), name=name)
+
+
+def _parse_queries(data: Mapping[str, Any], path: str) -> Optional[QueryOptions]:
+    raw = data.get("queries")
+    if raw is None:
+        return None
+    if not isinstance(raw, Mapping):
+        raise SchemaError(f"{path}: 'queries' must be an object")
+    unknown = set(raw) - {"items", "budget", "rows"}
+    if unknown:
+        raise SchemaError(f"{path}: unknown queries option(s) {sorted(unknown)}")
+    items_raw = raw.get("items")
+    if not isinstance(items_raw, list) or not items_raw:
+        raise SchemaError(f"{path}: 'queries.items' must be a non-empty list")
+    items = tuple(
+        _parse_query_item(entry, path, index)
+        for index, entry in enumerate(items_raw)
+    )
+    budget = raw.get("budget")
+    if budget is not None and (
+        not isinstance(budget, int) or isinstance(budget, bool) or budget < 1
+    ):
+        raise SchemaError(f"{path}: queries.budget must be a positive integer")
+    rows_raw = raw.get("rows")
+    rows: Optional[Dict[str, int]] = None
+    if rows_raw is not None:
+        if not isinstance(rows_raw, Mapping) or not rows_raw:
+            raise SchemaError(
+                f"{path}: 'queries.rows' must map relation names to "
+                "positive row estimates"
+            )
+        rows = {}
+        for name, estimate in rows_raw.items():
+            if (
+                not isinstance(estimate, int)
+                or isinstance(estimate, bool)
+                or estimate < 1
+            ):
+                raise SchemaError(
+                    f"{path}: queries.rows[{name!r}] must be a positive integer"
+                )
+            rows[str(name)] = estimate
+    return QueryOptions(items=items, budget=budget, rows=rows)
+
+
 def load_target(path: str) -> LintTarget:
     """Load a spec file into a :class:`LintTarget`.
 
@@ -285,4 +394,5 @@ def load_target(path: str) -> LintTarget:
         _parse_ignore(data, path),
         _parse_prover(data, path),
         _parse_sharding(data, path),
+        _parse_queries(data, path),
     )

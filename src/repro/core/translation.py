@@ -5,11 +5,28 @@ Section 3, Steps 3-4 of the paper: given the inverse mapping ``W^{-1}``
 substituting, for every base relation, its inverse expression. The
 substitution is purely syntactic; correctness is Theorem 3.1 (and is
 re-checked empirically in the test suite).
+
+Besides the translation itself this module exposes the static facts the
+query-translation prover (:mod:`repro.analysis.query`) certifies and the
+serving path caches against:
+
+* :func:`translation_read_set` — the warehouse relations the optimized
+  translation will read, the static side of the ``REPRO_CHECK_QUERIES``
+  sanitizer's comparison;
+* :func:`translation_digest` — a canonical digest over every fact the
+  translation depends on (schemata, warehouse definitions, inverses), the
+  key under which translated plans may be cached;
+* :class:`TranslationCache` — a digest-keyed plan cache; a prover
+  re-verdict that changes the digest evicts every cached plan.
+
+This file is on the query-serving hot path and is held to the
+``scripts/check_hotpath.py`` rules: no environment reads, no timing, no
+tracing here — the sanitizer wiring lives in :mod:`repro.core.warehouse`.
 """
 
 from __future__ import annotations
 
-from typing import Mapping, Optional
+from typing import Dict, Mapping, Optional, Tuple
 
 from repro.errors import WarehouseError
 from repro.algebra.evaluator import evaluate
@@ -19,6 +36,7 @@ from repro.algebra.rewriting import substitute
 from repro.algebra.simplify import simplify
 from repro.storage.relation import Relation
 from repro.core.complement import WarehouseSpec
+from repro.analysis.digest import canonical_digest
 
 
 def translate_query(
@@ -51,6 +69,114 @@ def translate_query(
     if optimized:
         return optimize(translated, spec.warehouse_scope())
     return simplify(translated, spec.warehouse_scope())
+
+
+def translation_read_set(
+    spec: WarehouseSpec, query: Expression
+) -> Tuple[str, ...]:
+    """The warehouse relations the optimized translation of ``query`` reads.
+
+    This is the static read set the translation certificate records and the
+    ``REPRO_CHECK_QUERIES`` sanitizer compares traced reads against: by
+    Theorem 3.1 it contains warehouse names only, never a source relation.
+    """
+    translated = translate_query(spec, query, optimized=True)
+    return tuple(sorted(translated.relation_names()))
+
+
+def translation_digest(spec: WarehouseSpec) -> str:
+    """Canonical digest over every fact query translation depends on.
+
+    Covers the source schemata, the warehouse mapping ``W`` (each stored
+    relation as an expression over sources) and the Equation (4) inverses.
+    Any re-specification that changes what ``Q ∘ W^{-1}`` means changes
+    this digest — which is exactly when cached translated plans must die.
+    The hash is :func:`repro.analysis.digest.canonical_digest`, the same
+    function the prover's certificates and the compiler's plan-cache keys
+    use, so the three layers stay digest-compatible.
+    """
+    document: Dict[str, object] = {
+        "kind": "translation",
+        "method": spec.method,
+        "source_relations": {
+            schema.name: list(schema.attributes)
+            for schema in spec.catalog.schemas()
+        },
+        "warehouse": {
+            name: str(expression)
+            for name, expression in spec.definitions_over_sources().items()
+        },
+        "inverses": {
+            name: str(expression) for name, expression in spec.inverses.items()
+        },
+    }
+    return canonical_digest(document)
+
+
+class TranslationCache:
+    """A digest-keyed cache of optimized ``Q ∘ W^{-1}`` plans.
+
+    Keys are structural expression keys (``Expression._key()``), so two
+    textual spellings of the same query share one plan. The cache carries
+    the :func:`translation_digest` it was built against;
+    :meth:`revalidate` compares a fresh digest and evicts everything on
+    mismatch — the hook ``Warehouse.recertify_queries`` uses to let prover
+    re-verdicts invalidate cached translated plans.
+    """
+
+    __slots__ = ("_digest", "_plans", "hits", "misses", "evictions")
+
+    def __init__(self, digest: str) -> None:
+        self._digest = digest
+        self._plans: Dict[object, Expression] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @property
+    def digest(self) -> str:
+        """The translation digest the cached plans were derived under."""
+        return self._digest
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def lookup(self, query: Expression) -> Optional[Expression]:
+        """The cached optimized translation of ``query``, if any."""
+        plan = self._plans.get(query._key())
+        if plan is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return plan
+
+    def store(self, query: Expression, translated: Expression) -> None:
+        """Remember the optimized translation of ``query``."""
+        self._plans[query._key()] = translated
+
+    def clear(self) -> None:
+        """Drop every cached plan."""
+        self.evictions += len(self._plans)
+        self._plans.clear()
+
+    def revalidate(self, digest: str) -> bool:
+        """Adopt ``digest``; evict all plans if it differs. True = evicted."""
+        if digest == self._digest:
+            return False
+        self.clear()
+        self._digest = digest
+        return True
+
+
+def translate_cached(
+    spec: WarehouseSpec, query: Expression, cache: TranslationCache
+) -> Expression:
+    """The optimized translation of ``query``, through ``cache``."""
+    plan = cache.lookup(query)
+    if plan is None:
+        plan = translate_query(spec, query, optimized=True)
+        cache.store(query, plan)
+    return plan
 
 
 def answer_query(

@@ -39,7 +39,12 @@ from repro.core.maintenance import (
     maintenance_expressions,
     refresh_state,
 )
-from repro.core.translation import answer_query, translate_query
+from repro.core.translation import (
+    TranslationCache,
+    translate_cached,
+    translate_query,
+    translation_digest,
+)
 
 QueryLike = TypingUnion[str, Expression]
 StateLike = TypingUnion[Database, Mapping[str, Relation]]
@@ -122,6 +127,16 @@ class Warehouse:
         from repro.analysis.dataflow import sanitizer_enabled
 
         self._sanitize = sanitizer_enabled()
+        # Query sanitizer mode (REPRO_CHECK_QUERIES=1): every answer()
+        # traces the translated evaluation and cross-checks its runtime
+        # reads against the translation's static read set (Theorem 3.1's
+        # "no source reads", per query). Same read-once discipline.
+        from repro.analysis.query import queries_enabled
+
+        self._check_queries = queries_enabled()
+        # Translated-plan cache, keyed by the translation digest: the
+        # prover's re-verdicts (recertify_queries) evict it wholesale.
+        self._translation_cache = TranslationCache(translation_digest(spec))
 
     # ------------------------------------------------------------------
     # Performance introspection
@@ -434,12 +449,55 @@ class Warehouse:
         """Translate a source query to a warehouse query (``Q^``)."""
         return translate_query(self.spec, self._as_expression(query))
 
+    @property
+    def translation_cache(self) -> TranslationCache:
+        """The digest-keyed cache of optimized ``Q ∘ W^{-1}`` plans."""
+        return self._translation_cache
+
     def answer(self, query: QueryLike) -> Relation:
-        """Answer a source query from warehouse relations only."""
+        """Answer a source query from warehouse relations only.
+
+        The optimized translation is cached per query shape
+        (:class:`~repro.core.translation.TranslationCache`); under
+        ``REPRO_CHECK_QUERIES=1`` the evaluation is traced (with a
+        throwaway buffer if tracing is off) and its runtime reads are
+        cross-checked against the plan's static read set.
+        """
         self._metrics.counter("warehouse.queries").inc()
-        return answer_query(
-            self.spec, self.state, self._as_expression(query), engine=self.engine
-        )
+        expression = self._as_expression(query)
+        plan = translate_cached(self.spec, expression, self._translation_cache)
+        tracer = self._tracer
+        sanitize_buffer = None
+        if self._check_queries:
+            sanitize_buffer = RingBufferCollector(capacity=1)
+            if tracer is None:
+                tracer = Tracer([sanitize_buffer])
+            else:
+                tracer.collectors.append(sanitize_buffer)
+        try:
+            if tracer is not None:
+                with tracer.span("answer", query=str(expression)):
+                    result = evaluate(
+                        plan, self.state, tracer=tracer, engine=self.engine
+                    )
+            else:
+                result = evaluate(plan, self.state, engine=self.engine)
+        finally:
+            if sanitize_buffer is not None and self._tracer is not None:
+                self._tracer.collectors.remove(sanitize_buffer)
+        if sanitize_buffer is not None:
+            root = sanitize_buffer.last("answer")
+            if root is not None:
+                from repro.analysis.query import check_translation_reads
+                from repro.core.translation import translation_read_set
+
+                # The static read set is recomputed from the spec, not
+                # taken from the cached plan — a stale or corrupted plan
+                # must not self-certify.
+                check_translation_reads(
+                    self.spec, translation_read_set(self.spec, expression), root
+                )
+        return result
 
     def reconstruct(self, relation: str) -> Relation:
         """Recompute one base relation via Equation (4)."""
@@ -567,6 +625,36 @@ class Warehouse:
             self._metrics.counter("compiler.evictions").inc(evicted)
         self._metrics.gauge("compiler.plans").set(0)
         return evicted
+
+    def recertify_queries(
+        self, document: Optional[Mapping[str, object]] = None
+    ) -> bool:
+        """Revalidate cached translated plans against a prover verdict.
+
+        ``document`` is a ``python -m repro prove-query`` file document
+        (any mapping with a ``"translation_digest"`` key works). Its
+        recorded digest is compared against a freshly computed
+        :func:`~repro.core.translation.translation_digest`: a mismatch
+        means the prover's verdicts were issued under a *different*
+        warehouse mapping than the one now serving queries, so every
+        cached translated plan is evicted (counted by
+        ``warehouse.plan_evictions``). Without a document, the cache is
+        simply revalidated against the fresh digest. Returns ``True``
+        when plans were evicted.
+        """
+        fresh = translation_digest(self.spec)
+        recorded = None if document is None else document.get("translation_digest")
+        if recorded is not None and str(recorded) != fresh:
+            evicted = len(self._translation_cache)
+            self._translation_cache.clear()
+            self._translation_cache.revalidate(fresh)
+            if evicted:
+                self._metrics.counter("warehouse.plan_evictions").inc(evicted)
+            return True
+        evicted_now = self._translation_cache.revalidate(fresh)
+        if evicted_now:
+            self._metrics.counter("warehouse.plan_evictions").inc()
+        return evicted_now
 
     def apply(self, update: Update) -> Dict[str, Delta]:
         """Incrementally fold a reported source update into the warehouse.

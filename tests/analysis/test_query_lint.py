@@ -1,0 +1,151 @@
+"""Unit tests for the ``W02xx`` family (:mod:`repro.analysis.query_lint`)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.diagnostics import filter_ignored
+from repro.analysis.query_lint import lint_queries
+from repro.analysis.report import lint_file
+from repro.analysis.specfile import load_target
+
+INVERTIBLE_SPEC = {
+    "relations": [
+        {"name": "Sale", "attributes": ["item", "clerk"]},
+        {"name": "Emp", "attributes": ["clerk", "age"], "key": ["clerk"]},
+    ],
+    "views": [{"name": "Sold", "definition": "Sale join Emp"}],
+}
+
+LOSSY_SPEC = {
+    "relations": [{"name": "Sale", "attributes": ["item", "clerk"]}],
+    "views": [{"name": "Clerks", "definition": "pi[clerk](Sale)"}],
+    "prover": {"mode": "views-only", "expect": "refuted"},
+    "lint": {"ignore": {"W0031": "deliberately lossy test spec"}},
+}
+
+
+def load(tmp_path, data, name="spec.json"):
+    path = tmp_path / name
+    path.write_text(json.dumps(data))
+    return load_target(str(path))
+
+
+def with_queries(base, items, **options):
+    spec = json.loads(json.dumps(base))
+    spec["queries"] = dict({"items": items}, **options)
+    return spec
+
+
+def codes(diagnostics):
+    return [d.code for d in diagnostics]
+
+
+class TestCodes:
+    def test_clean_invertible_target(self, tmp_path):
+        target = load(
+            tmp_path, with_queries(INVERTIBLE_SPEC, [{"query": "pi[age](Emp)"}])
+        )
+        assert lint_queries(target) == []
+
+    def test_w0201_unparseable_query(self, tmp_path):
+        target = load(
+            tmp_path, with_queries(INVERTIBLE_SPEC, [{"query": "pi[(((", "name": "bad"}])
+        )
+        (diag,) = lint_queries(target)
+        assert diag.code == "W0201"
+        assert "cannot be analyzed" in diag.message
+
+    def test_w0201_undeclared_relation(self, tmp_path):
+        target = load(
+            tmp_path, with_queries(INVERTIBLE_SPEC, [{"query": "Sale join Ghost"}])
+        )
+        (diag,) = lint_queries(target)
+        assert diag.code == "W0201"
+        assert "Ghost" in diag.message
+
+    def test_w0202_lossy_source_read(self, tmp_path):
+        target = load(
+            tmp_path, with_queries(LOSSY_SPEC, [{"query": "Sale", "expect": "refuted"}])
+        )
+        assert "W0202" in codes(lint_queries(target))
+
+    def test_w0203_condition_on_dropped_attribute(self, tmp_path):
+        target = load(
+            tmp_path,
+            with_queries(
+                LOSSY_SPEC,
+                [{"query": "pi[clerk](sigma[item = 'PC'](Sale))", "expect": "refuted"}],
+            ),
+        )
+        found = codes(lint_queries(target))
+        assert "W0203" in found
+        assert "W0202" in found  # the dropped attribute makes it lossy too
+
+    def test_w0204_over_budget(self, tmp_path):
+        target = load(
+            tmp_path,
+            with_queries(
+                INVERTIBLE_SPEC,
+                [{"query": "pi[age](Sale join Emp)"}],
+                budget=10,
+                rows={"Sale": 5000, "Emp": 200},
+            ),
+        )
+        (diag,) = lint_queries(target)
+        assert diag.code == "W0204"
+        assert "budget" in diag.message
+
+    def test_within_budget_is_silent(self, tmp_path):
+        target = load(
+            tmp_path,
+            with_queries(
+                INVERTIBLE_SPEC,
+                [{"query": "pi[age](Emp)"}],
+                budget=10_000_000,
+            ),
+        )
+        assert lint_queries(target) == []
+
+    def test_default_identity_queries_when_no_section(self, tmp_path):
+        # A lossy spec with no "queries" section still gets its identity
+        # queries linted — Sale is underdetermined, so W0202 fires.
+        target = load(tmp_path, LOSSY_SPEC)
+        assert "W0202" in codes(lint_queries(target))
+
+
+class TestGating:
+    def test_suppressable_via_lint_ignore(self, tmp_path):
+        target = load(
+            tmp_path, with_queries(LOSSY_SPEC, [{"query": "Sale", "expect": "refuted"}])
+        )
+        diagnostics = lint_queries(target)
+        assert codes(diagnostics) == ["W0202"]
+        assert filter_ignored(diagnostics, {"W0202": "known lossy"}) == []
+
+    def test_broken_view_skips_query_lint(self, tmp_path):
+        # A view that fails the typechecker has no translation to lint;
+        # lint_queries stays silent and lint_file reports E01xx only.
+        spec = with_queries(
+            {
+                "relations": [{"name": "Sale", "attributes": ["item", "clerk"]}],
+                "views": [{"name": "V", "definition": "pi[ghost](Sale)"}],
+            },
+            [{"query": "Sale"}],
+        )
+        path = tmp_path / "broken_view.json"
+        path.write_text(json.dumps(spec))
+        assert lint_queries(load_target(str(path))) == []
+        report = lint_file(str(path), deep=True)
+        found = codes(report.diagnostics)
+        assert any(code.startswith("E01") for code in found)
+        assert not any(code.startswith("W02") for code in found)
+
+    def test_lint_file_deep_includes_w02xx_when_clean(self, tmp_path):
+        spec = with_queries(LOSSY_SPEC, [{"query": "Sale", "expect": "refuted"}])
+        path = tmp_path / "lossy.json"
+        path.write_text(json.dumps(spec))
+        deep = lint_file(str(path), deep=True)
+        shallow = lint_file(str(path), deep=False)
+        assert "W0202" in codes(deep.diagnostics)
+        assert "W0202" not in codes(shallow.diagnostics)

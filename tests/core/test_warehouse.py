@@ -129,3 +129,70 @@ class TestUpdates:
 class TestDescribe:
     def test_describe_shows_spec(self, warehouse):
         assert "inverses" in warehouse.describe()
+
+
+class TestQuerySanitizer:
+    """REPRO_CHECK_QUERIES=1: answer() cross-checks its traced reads."""
+
+    def armed(self, catalog, db, monkeypatch) -> Warehouse:
+        monkeypatch.setenv("REPRO_CHECK_QUERIES", "1")
+        wh = Warehouse.specify(catalog, [View("Sold", parse("Sale join Emp"))])
+        wh.initialize(db)
+        return wh
+
+    def test_honest_answers_pass(self, catalog, db, monkeypatch):
+        wh = self.armed(catalog, db, monkeypatch)
+        assert wh.answer("Sale").to_set() == {("TV", "Mary"), ("PC", "John")}
+        assert wh.answer("pi[age](Emp)").to_set() == {(23,), (25,), (32,)}
+
+    def test_poisoned_cached_plan_fails_loudly(self, catalog, db, monkeypatch):
+        # A corrupted cache entry routes Emp through C_Sale — outside the
+        # translation's static read set. The sanitizer recomputes that set
+        # from the spec, so the poisoned plan cannot self-certify.
+        wh = self.armed(catalog, db, monkeypatch)
+        wh.translation_cache.store(parse("Emp"), parse("pi[clerk](C_Sale)"))
+        with pytest.raises(WarehouseError, match="query sanitizer"):
+            wh.answer("Emp")
+
+    def test_same_poison_goes_unnoticed_when_disarmed(self, catalog, db, monkeypatch):
+        monkeypatch.delenv("REPRO_CHECK_QUERIES", raising=False)
+        wh = Warehouse.specify(catalog, [View("Sold", parse("Sale join Emp"))])
+        wh.initialize(db)
+        wh.translation_cache.store(parse("Emp"), parse("pi[clerk](C_Sale)"))
+        wh.answer("Emp")  # wrong answer, no alarm — the sanitizer has teeth
+
+    def test_sanitizer_composes_with_tracing(self, catalog, db, monkeypatch):
+        wh = self.armed(catalog, db, monkeypatch)
+        wh.enable_tracing()
+        wh.answer("Sale")
+        assert wh.last_trace("answer") is not None
+        # The throwaway sanitize buffer was detached from the tracer again.
+        assert len(wh.tracer.collectors) == 1
+
+
+class TestTranslationCache:
+    def test_repeated_answers_hit_the_cache(self, warehouse):
+        warehouse.answer("Sale")
+        warehouse.answer("Sale")
+        warehouse.answer("pi[clerk](Sale)")
+        cache = warehouse.translation_cache
+        assert cache.hits == 1
+        assert cache.misses == 2
+        assert len(cache) == 2
+
+    def test_recertify_queries_evicts_on_digest_mismatch(self, warehouse):
+        warehouse.answer("Sale")
+        assert len(warehouse.translation_cache) == 1
+        stale = {"translation_digest": "not-the-real-digest"}
+        assert warehouse.recertify_queries(stale) is True
+        assert len(warehouse.translation_cache) == 0
+        assert warehouse.metrics.counter("warehouse.plan_evictions").value == 1
+
+    def test_recertify_queries_keeps_plans_on_match(self, warehouse):
+        from repro.core.translation import translation_digest
+
+        warehouse.answer("Sale")
+        fresh = {"translation_digest": translation_digest(warehouse.spec)}
+        assert warehouse.recertify_queries(fresh) is False
+        assert warehouse.recertify_queries() is False
+        assert len(warehouse.translation_cache) == 1

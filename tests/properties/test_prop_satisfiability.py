@@ -1,0 +1,114 @@
+"""Property-based soundness of the static satisfiability analysis.
+
+:func:`repro.analysis.satisfiability.unsatisfiable_reason` is sound but
+incomplete: whenever it reports a reason, *no* assignment may satisfy the
+condition. The test brute-forces every row over a tiny domain — small
+enough to enumerate exhaustively, large enough to exercise the equality
+chains, interval bounds, and the transitive ordering closure
+(``a < b and b < c`` implying ``a < c``).
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Relation, evaluate, parse
+from repro.algebra.parser import parse_condition
+from repro.analysis.satisfiability import (
+    tautological_conjuncts,
+    unsatisfiable_reason,
+)
+
+ATTRS = ("a", "b", "c")
+DOMAIN = range(4)
+OPS = ("=", "!=", "<", "<=", ">", ">=")
+
+_term = st.one_of(st.sampled_from(ATTRS), st.integers(0, 3))
+_comparison = st.tuples(_term, st.sampled_from(OPS), _term)
+
+
+def _render(term) -> str:
+    return term if isinstance(term, str) else str(term)
+
+
+conditions = st.lists(_comparison, min_size=1, max_size=5).map(
+    lambda cs: " and ".join(
+        f"{_render(l)} {op} {_render(r)}" for l, op, r in cs
+    )
+)
+
+
+def brute_force_satisfiable(text: str) -> bool:
+    """Whether any row over the tiny domain satisfies the condition."""
+    expression = parse(f"sigma[{text}](R)")
+    for row in product(DOMAIN, repeat=len(ATTRS)):
+        if evaluate(expression, {"R": Relation(ATTRS, [row])}).rows:
+            return True
+    return False
+
+
+@given(conditions)
+@settings(max_examples=150, deadline=None)
+def test_unsatisfiable_verdicts_are_sound(text):
+    reason = unsatisfiable_reason(parse_condition(text))
+    if reason is not None:
+        assert not brute_force_satisfiable(text), (
+            f"claimed unsatisfiable ({reason!r}) but a row satisfies: {text}"
+        )
+
+
+@given(conditions)
+@settings(max_examples=150, deadline=None)
+def test_tautological_conjuncts_filter_nothing(text):
+    # Every conjunct reported tautological must hold on every row.
+    for conjunct in tautological_conjuncts(parse_condition(text)):
+        assert not brute_force_satisfiable(f"not ({conjunct})") or all(
+            evaluate(
+                parse(f"sigma[{conjunct}](R)"), {"R": Relation(ATTRS, [row])}
+            ).rows
+            for row in product(DOMAIN, repeat=len(ATTRS))
+        )
+
+
+class TestTransitiveOrderingRegression:
+    """Pinned examples for the ordering-chain propagation."""
+
+    def test_strict_cycle_through_three_attributes(self):
+        assert unsatisfiable_reason(
+            parse_condition("a < b and b < c and c < a")
+        ) is not None
+
+    def test_one_strict_edge_suffices(self):
+        assert unsatisfiable_reason(
+            parse_condition("a < b and b <= c and c <= a")
+        ) is not None
+
+    def test_non_strict_cycle_is_satisfiable(self):
+        assert unsatisfiable_reason(
+            parse_condition("a <= b and b <= c and c <= a")
+        ) is None
+        assert brute_force_satisfiable("a <= b and b <= c and c <= a")
+
+    def test_constant_bound_travels_down_the_chain(self):
+        assert unsatisfiable_reason(
+            parse_condition("a > 5 and a < b and b < c and c < 3")
+        ) is not None
+
+    def test_constant_bound_travels_up_the_chain(self):
+        assert unsatisfiable_reason(
+            parse_condition("a < b and b < c and a > 5 and c < 3")
+        ) is not None
+
+    def test_equality_classes_merge_chain_nodes(self):
+        # b = c makes a < b and c < a a strict two-node cycle.
+        assert unsatisfiable_reason(
+            parse_condition("b = c and a < b and c < a")
+        ) is not None
+
+    def test_open_chain_stays_satisfiable(self):
+        text = "a < b and b < c"
+        assert unsatisfiable_reason(parse_condition(text)) is None
+        assert brute_force_satisfiable(text)
